@@ -1,0 +1,98 @@
+//! Design-choice ablations (DESIGN.md §7):
+//!
+//! - hash function used for fingerprint construction (Jenkins vs lookup3 vs
+//!   SplitMix vs Fx-style);
+//! - popcount kernel (hardware `count_ones` loop vs byte-LUT);
+//! - cached cardinality vs recomputing `|B1 ∨ B2|` per comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfinger_core::bits::{and_count_words, and_count_words_lut};
+use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::shf::ShfParams;
+use goldfinger_datasets::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_hashers(c: &mut Criterion) {
+    let data = SynthConfig::ml1m().scaled(0.05).generate().prepare();
+    let profiles = data.profiles();
+    let mut group = c.benchmark_group("ablation_hash_construction");
+    for (name, kind) in [
+        ("jenkins", HasherKind::Jenkins),
+        ("lookup3", HasherKind::Lookup3),
+        ("splitmix", HasherKind::SplitMix),
+        ("fxlike", HasherKind::FxLike),
+    ] {
+        let params = ShfParams::new(1024, DynHasher::new(kind, 42));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(params.fingerprint_store(profiles)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_popcount(c: &mut Criterion) {
+    let data = SynthConfig::ml1m().scaled(0.02).generate().prepare();
+    let store = ShfParams::new(4096, DynHasher::new(HasherKind::Jenkins, 42))
+        .fingerprint_store(data.profiles());
+    let n = store.len() as u32;
+    let mut group = c.benchmark_group("ablation_popcount");
+    group.bench_function("hardware_count_ones", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(and_count_words(
+                store.fingerprint_words(i % n),
+                store.fingerprint_words((i.wrapping_mul(31) + 3) % n),
+            ))
+        })
+    });
+    group.bench_function("byte_lut", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(and_count_words_lut(
+                store.fingerprint_words(i % n),
+                store.fingerprint_words((i.wrapping_mul(31) + 3) % n),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cached_cardinality(c: &mut Criterion) {
+    let data = SynthConfig::ml1m().scaled(0.02).generate().prepare();
+    let store = ShfParams::new(1024, DynHasher::new(HasherKind::Jenkins, 42))
+        .fingerprint_store(data.profiles());
+    let n = store.len() as u32;
+    let mut group = c.benchmark_group("ablation_cached_cardinality");
+    group.bench_function("cached_cardinality", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(store.jaccard(i % n, (i.wrapping_mul(31) + 3) % n))
+        })
+    });
+    group.bench_function("recompute_or_popcount", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(store.jaccard_via_or(i % n, (i.wrapping_mul(31) + 3) % n))
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hashers, bench_popcount, bench_cached_cardinality
+}
+criterion_main!(benches);

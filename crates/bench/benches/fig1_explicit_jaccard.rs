@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 1: explicit-profile Jaccard cost vs profile
+//! size (random profiles from a 1000-item universe).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfinger_core::profile::ProfileStore;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn profiles_of_size(size: usize, rng: &mut StdRng) -> ProfileStore {
+    let mut pool: Vec<u32> = (0..1_000).collect();
+    let lists = (0..32)
+        .map(|_| {
+            pool.shuffle(rng);
+            pool[..size].to_vec()
+        })
+        .collect();
+    ProfileStore::from_item_lists(lists)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("fig1_explicit_jaccard");
+    for size in [10usize, 40, 80, 160, 200] {
+        let profiles = profiles_of_size(size, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(profiles.jaccard(i % 32, (i.wrapping_mul(13) + 7) % 32))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 9: one SHF similarity evaluation as a
+//! function of the fingerprint width, on ml10M-like profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::shf::ShfParams;
+use goldfinger_datasets::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let data = SynthConfig::ml10m().scaled(0.01).generate().prepare();
+    let profiles = data.profiles();
+    let n = profiles.n_users() as u32;
+
+    let mut group = c.benchmark_group("fig9_shf_scaling");
+    group.bench_function("explicit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(profiles.jaccard(i % n, (i.wrapping_mul(131) + 7) % n))
+        })
+    });
+    for bits in [64u32, 256, 1024, 4096, 8192] {
+        let store = ShfParams::new(bits, DynHasher::new(HasherKind::Jenkins, 42))
+            .fingerprint_store(profiles);
+        group.throughput(Throughput::Bytes(2 * (bits as u64 / 8)));
+        group.bench_with_input(BenchmarkId::new("shf", bits), &bits, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(store.jaccard(i % n, (i.wrapping_mul(131) + 7) % n))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for Table 1: SHF Jaccard estimation time for widths
+//! 64–4096 bits, against the explicit 80-item baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfinger_core::profile::ProfileStore;
+use goldfinger_core::shf::ShfParams;
+use goldfinger_core::hash::{DynHasher, HasherKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut pool: Vec<u32> = (0..1_000).collect();
+    let lists: Vec<Vec<u32>> = (0..32)
+        .map(|_| {
+            pool.shuffle(&mut rng);
+            pool[..80].to_vec()
+        })
+        .collect();
+    let profiles = ProfileStore::from_item_lists(lists);
+
+    let mut group = c.benchmark_group("table1_shf_jaccard");
+    group.bench_function("explicit_80_items", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(profiles.jaccard(i % 32, (i.wrapping_mul(13) + 7) % 32))
+        })
+    });
+    for bits in [64u32, 256, 1024, 4096] {
+        let store = ShfParams::new(bits, DynHasher::new(HasherKind::Jenkins, 42))
+            .fingerprint_store(&profiles);
+        group.bench_with_input(BenchmarkId::new("shf", bits), &bits, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(store.jaccard(i % 32, (i.wrapping_mul(13) + 7) % 32))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion bench for Table 3: preparation time of the three dataset
+//! representations — native packed profiles, b-bit MinHash sketches
+//! (explicit permutations), and GoldFinger SHFs — on a compact
+//! AmazonMovies-like dataset (large item universe: the regime where
+//! MinHash's permutation cost explodes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::profile::ProfileStore;
+use goldfinger_core::shf::ShfParams;
+use goldfinger_datasets::synth::SynthConfig;
+use goldfinger_minhash::{BbitParams, BbitStore, MinHashParams, PermutationStrategy};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // ~300 users but the full 171k-item AmazonMovies universe.
+    let data = SynthConfig::amazon_movies()
+        .scaled(0.005)
+        .generate()
+        .prepare();
+    let profiles = data.profiles();
+    let lists: Vec<Vec<u32>> = profiles.iter().map(|(_, items)| items.to_vec()).collect();
+
+    let mut group = c.benchmark_group("table3_preparation");
+    group.bench_function("native_pack", |b| {
+        b.iter(|| black_box(ProfileStore::from_item_lists(lists.clone())))
+    });
+    group.bench_function("goldfinger_1024", |b| {
+        let params = ShfParams::new(1024, DynHasher::new(HasherKind::Jenkins, 42));
+        b.iter(|| black_box(params.fingerprint_store(profiles)))
+    });
+    // Fewer permutations than the paper's 256 to keep bench time sane; the
+    // cost is linear in `perms × universe`, so scale accordingly.
+    group.bench_function("minhash_explicit_32perms", |b| {
+        b.iter(|| {
+            black_box(BbitStore::build(
+                BbitParams {
+                    minhash: MinHashParams {
+                        permutations: 32,
+                        strategy: PermutationStrategy::Explicit,
+                        seed: 42,
+                    },
+                    bits: 4,
+                },
+                profiles,
+            ))
+        })
+    });
+    group.bench_function("minhash_hashed_32perms", |b| {
+        b.iter(|| {
+            black_box(BbitStore::build(
+                BbitParams {
+                    minhash: MinHashParams {
+                        permutations: 32,
+                        strategy: PermutationStrategy::Hashed,
+                        seed: 42,
+                    },
+                    bits: 4,
+                },
+                profiles,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

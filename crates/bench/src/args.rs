@@ -1,0 +1,138 @@
+//! Minimal `--key value` / `--flag` argument parsing for the experiment
+//! binaries (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s from an iterator.
+    ///
+    /// A `--key` followed by another `--…` token is treated as a flag.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let tokens: Vec<String> = args.into_iter().collect();
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    out.values.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1; // ignore positional noise
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `f64` option with default; panics with a clear message on garbage.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+        })
+    }
+
+    /// `usize` option with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+        })
+    }
+
+    /// `u64` option with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+        })
+    }
+
+    /// Comma-separated list of `u32`s with default.
+    pub fn get_u32_list(&self, key: &str, default: &[u32]) -> Vec<u32> {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects integers, got {s:?}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = parse("--scale 0.5 --csv --k 30");
+        assert_eq!(a.get_f64("scale", 1.0), 0.5);
+        assert_eq!(a.get_usize("k", 10), 30);
+        assert!(a.has_flag("csv"));
+        assert!(!a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("");
+        assert_eq!(a.get_f64("scale", 0.25), 0.25);
+        assert_eq!(a.get("out"), None);
+        assert_eq!(a.get_u64("seed", 42), 42);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("--csv --verbose");
+        assert!(a.has_flag("csv"));
+        assert!(a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn list_parsing() {
+        let a = parse("--bits 64,256,1024");
+        assert_eq!(a.get_u32_list("bits", &[1]), vec![64, 256, 1024]);
+        assert_eq!(a.get_u32_list("other", &[7, 8]), vec![7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn garbage_number_panics() {
+        let a = parse("--scale banana");
+        let _ = a.get_f64("scale", 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Driver: runs every experiment binary in sequence with shared options
+//! and writes each report under `--out DIR` (default `results/`).
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin exp_all -- --users 1000
+//! ```
+
+use goldfinger_bench::Args;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_fig1",
+    "exp_table1",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_table2",
+    "exp_table3",
+    "exp_table4",
+    "exp_table5",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_privacy",
+    "exp_cosine",
+    "exp_ablation_multihash",
+    "exp_ablation_sampling",
+    "exp_ablation_corrected",
+    "exp_blip",
+];
+
+fn main() {
+    let args = Args::from_env();
+    let out_dir = args.get("out").unwrap_or("results").to_string();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Forward the shared options verbatim.
+    let mut forwarded: Vec<String> = Vec::new();
+    for key in ["users", "scale", "k", "bits", "seed", "datasets"] {
+        if let Some(v) = args.get(key) {
+            forwarded.push(format!("--{key}"));
+            forwarded.push(v.to_string());
+        }
+    }
+
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin directory")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = exe_dir.join(name);
+        print!("running {name:<28} … ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let output = Command::new(&path).args(&forwarded).output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let report = format!("{out_dir}/{name}.txt");
+                std::fs::write(&report, &out.stdout).expect("write report");
+                println!("ok → {report}");
+            }
+            Ok(out) => {
+                println!("FAILED (status {})", out.status);
+                failures.push(name.to_string());
+            }
+            Err(e) => {
+                println!("FAILED to launch ({e}) — build binaries first: cargo build --release -p goldfinger-bench --bins");
+                failures.push(name.to_string());
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed; reports in {out_dir}/", EXPERIMENTS.len());
+    } else {
+        println!("\n{} experiment(s) failed: {}", failures.len(), failures.join(", "));
+        std::process::exit(1);
+    }
+}

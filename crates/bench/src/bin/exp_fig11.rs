@@ -1,0 +1,99 @@
+//! Figure 11: heatmap of real vs estimated similarity on an ml10M-like
+//! dataset, for 1024- and 4096-bit SHFs, plus the fraction of pairs within
+//! Δ of the diagonal (§5.3's 52 % @ 0.01 / 75 % @ 0.02 / 94 % @ 0.05 /
+//! 99 % @ 0.1 numbers).
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin exp_fig11
+//! ```
+
+use goldfinger_bench::workloads::build_dataset;
+use goldfinger_bench::{fingerprint, Args, ExperimentConfig, Table};
+use goldfinger_datasets::synth::SynthConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    let pairs = args.get_usize("pairs", 2_000_000);
+    let widths = args.get_u32_list("bits", &[1024, 4096]);
+    let data = build_dataset(&cfg, SynthConfig::ml10m());
+    let profiles = data.profiles();
+    let n = profiles.n_users() as u32;
+    println!("dataset: {n} users, {pairs} sampled pairs\n");
+
+    for &bits in &widths {
+        let (store, _) = fingerprint(&cfg, bits, profiles);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        const BINS: usize = 20;
+        let mut grid = vec![vec![0u64; BINS]; BINS];
+        let mut within = [0u64; 4]; // Δ = 0.01, 0.02, 0.05, 0.1
+        let mut low_real = 0u64;
+        let mut low_both = 0u64;
+        for _ in 0..pairs {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let real = profiles.jaccard(u, v);
+            let est = store.jaccard(u, v);
+            let bx = ((real * BINS as f64) as usize).min(BINS - 1);
+            let by = ((est * BINS as f64) as usize).min(BINS - 1);
+            grid[by][bx] += 1;
+            let d = (est - real).abs();
+            for (slot, delta) in within.iter_mut().zip([0.01, 0.02, 0.05, 0.1]) {
+                *slot += u64::from(d <= delta);
+            }
+            if real < 0.1 {
+                low_real += 1;
+                low_both += u64::from(est < 0.1);
+            }
+        }
+        let total: u64 = grid.iter().flatten().sum();
+
+        let mut table = Table::new(
+            format!("Figure 11 — real (x) vs estimated (y) similarity heatmap, b = {bits} (cell = % of pairs)"),
+            &["est \\ real", "0.0-0.2", "0.2-0.4", "0.4-0.6", "0.6-0.8", "0.8-1.0"],
+        );
+        // Print a coarse 5×5 view (the CSV keeps the 20×20 grid).
+        for coarse_y in (0..5).rev() {
+            let mut row = vec![format!("{:.1}-{:.1}", coarse_y as f64 * 0.2, coarse_y as f64 * 0.2 + 0.2)];
+            for coarse_x in 0..5 {
+                let sum: u64 = grid[coarse_y * 4..(coarse_y + 1) * 4]
+                    .iter()
+                    .flat_map(|row| &row[coarse_x * 4..(coarse_x + 1) * 4])
+                    .sum();
+                row.push(format!("{:.3}%", sum as f64 / total as f64 * 100.0));
+            }
+            table.push(row);
+        }
+        table.print();
+
+        println!("pairs within Δ of the diagonal (paper @b=1024: 52/75/94/99%):");
+        for (count, delta) in within.iter().zip([0.01, 0.02, 0.05, 0.1]) {
+            println!("  Δ = {delta:<5}: {:.1}%", *count as f64 / total as f64 * 100.0);
+        }
+        if low_real > 0 {
+            println!(
+                "pairs with real J < 0.1 also estimated < 0.1: {:.1}% (paper: 92%)\n",
+                low_both as f64 / low_real as f64 * 100.0
+            );
+        }
+        if let Some(out) = args.get("csv") {
+            let mut csv = Table::new(
+                format!("fig11 grid b={bits}"),
+                &["est_bin", "real_bin", "count"],
+            );
+            for (y, row) in grid.iter().enumerate() {
+                for (x, &c) in row.iter().enumerate() {
+                    csv.push(vec![y.to_string(), x.to_string(), c.to_string()]);
+                }
+            }
+            let path = format!("{out}.b{bits}.csv");
+            csv.write_csv(&path).expect("write CSV");
+            println!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 8: recommendation recall with native vs GoldFinger KNN graphs,
+//! 30 recommendations per user, 5-fold cross-validation.
+//!
+//! The paper's point: despite the small KNN-quality loss, the recall of the
+//! derived recommendations is essentially unchanged.
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin exp_fig8 [-- --users 800]
+//! ```
+
+use goldfinger_bench::{
+    build_datasets, dispatch, fingerprint, AlgoKind, Args, ExperimentConfig, Table,
+};
+use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
+use goldfinger_datasets::cv::five_fold;
+use goldfinger_recommend::eval::{evaluate_fold, RecallStats};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExperimentConfig::from_args(&args);
+    if args.get("users").is_none() && args.get("scale").is_none() {
+        cfg.target_users = 800; // 5 folds × algorithms: keep the default light
+    }
+    let n_recs = args.get_usize("recs", 30);
+
+    let mut table = Table::new(
+        format!("Figure 8 — recommendation recall ({n_recs} recs/user, 5-fold CV, b = {})", cfg.bits),
+        &["dataset", "algo", "recall nat.", "recall GolFi", "delta"],
+    );
+    for data in build_datasets(&cfg, args.get("datasets")) {
+        let folds = five_fold(&data, cfg.seed);
+        for kind in [AlgoKind::BruteForce, AlgoKind::Hyrec, AlgoKind::NNDescent] {
+            let mut nat = RecallStats::default();
+            let mut gf = RecallStats::default();
+            for fold in &folds {
+                let profiles = fold.train.profiles();
+                let native_sim = ExplicitJaccard::new(profiles);
+                let g_nat = dispatch(&cfg, kind, profiles, &native_sim).graph;
+                nat.merge(evaluate_fold(&g_nat, fold, n_recs));
+
+                let (store, _) = fingerprint(&cfg, cfg.bits, profiles);
+                let gf_sim = ShfJaccard::new(&store);
+                let g_gf = dispatch(&cfg, kind, profiles, &gf_sim).graph;
+                gf.merge(evaluate_fold(&g_gf, fold, n_recs));
+            }
+            table.push(vec![
+                data.name().to_string(),
+                kind.name().to_string(),
+                format!("{:.3}", nat.recall()),
+                format!("{:.3}", gf.recall()),
+                format!("{:+.3}", gf.recall() - nat.recall()),
+            ]);
+        }
+    }
+    table.print();
+    if let Some(out) = args.get("csv") {
+        table.write_csv(out).expect("write CSV");
+        println!("wrote {out}");
+    }
+    println!("Paper's shape: GoldFinger's recall loss is negligible across datasets and algorithms.");
+}

@@ -1,0 +1,64 @@
+//! Table 2: descriptive statistics of the six evaluation datasets.
+//!
+//! Runs on the calibrated synthetic counterparts (scaled to `--users`, or
+//! `--scale 1.0` for full size); pass `--full-params` to also echo the
+//! full-scale calibration targets from the paper.
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin exp_table2
+//! ```
+
+use goldfinger_bench::{build_datasets, Args, ExperimentConfig, Table};
+use goldfinger_datasets::stats::DatasetStats;
+use goldfinger_datasets::synth::SynthConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+
+    let mut table = Table::new(
+        "Table 2 — dataset statistics (synthetic counterparts at experiment scale)",
+        &[
+            "dataset",
+            "users",
+            "items",
+            "ratings>3",
+            "|Pu|",
+            "|Pi|",
+            "density",
+        ],
+    );
+    for data in build_datasets(&cfg, args.get("datasets")) {
+        let s = DatasetStats::compute(&data);
+        table.push(vec![
+            s.name.clone(),
+            s.users.to_string(),
+            s.rated_items.to_string(),
+            s.positive_ratings.to_string(),
+            format!("{:.2}", s.mean_profile),
+            format!("{:.2}", s.mean_item_degree),
+            format!("{:.3}%", s.density * 100.0),
+        ]);
+    }
+    table.print();
+    if let Some(out) = args.get("csv") {
+        table.write_csv(out).expect("write CSV");
+        println!("wrote {out}");
+    }
+
+    if args.has_flag("full-params") {
+        let mut full = Table::new(
+            "Full-scale calibration targets (paper's Table 2)",
+            &["dataset", "users", "items", "|Pu| target"],
+        );
+        for p in SynthConfig::all_presets() {
+            full.push(vec![
+                p.name.clone(),
+                p.n_users.to_string(),
+                p.n_items.to_string(),
+                format!("{:.2}", p.mean_profile),
+            ]);
+        }
+        full.print();
+    }
+}

@@ -1,0 +1,109 @@
+//! Table 4 (and Figures 6–7): end-to-end KNN construction time and quality
+//! for {Brute Force, Hyrec, NNDescent, LSH} × {native, GoldFinger} on the
+//! six datasets, k = 30, 1024-bit SHFs.
+//!
+//! This is the paper's headline result: GoldFinger is the fastest
+//! configuration on every dataset, with a small quality loss — except LSH
+//! on sparse datasets, where bucket construction dominates and GoldFinger's
+//! effect is limited.
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin exp_table4 [-- --users 1500 --datasets ml1M]
+//! ```
+
+use goldfinger_bench::{
+    build_datasets, fmt_duration, gain_percent, run, AlgoKind, Args, ExperimentConfig,
+    ProviderKind, Table,
+};
+use goldfinger_core::similarity::ExplicitJaccard;
+use goldfinger_knn::metrics::quality;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+
+    let mut table = Table::new(
+        format!(
+            "Table 4 — computation time and KNN quality, k = {}, b = {} (nat. = native, GolFi = GoldFinger)",
+            cfg.k, cfg.bits
+        ),
+        &[
+            "dataset", "algo", "t nat.", "t GolFi", "gain %", "q nat.", "q GolFi", "loss",
+        ],
+    );
+    let mut fig6 = Table::new(
+        "Figure 6 — execution time (s)",
+        &["dataset", "algo", "native", "GolFi"],
+    );
+    let mut fig7 = Table::new(
+        "Figure 7 — KNN quality",
+        &["dataset", "algo", "native", "GolFi"],
+    );
+
+    for data in build_datasets(&cfg, args.get("datasets")) {
+        // Ground truth for the quality metric: native brute force.
+        let exact = run(&cfg, AlgoKind::BruteForce, &data, ProviderKind::Native);
+        let native_sim = ExplicitJaccard::new(data.profiles());
+
+        let algos: Vec<AlgoKind> = if args.has_flag("extended") {
+            AlgoKind::all_extended().to_vec()
+        } else {
+            AlgoKind::all().to_vec()
+        };
+        for kind in algos {
+            let nat = if kind == AlgoKind::BruteForce {
+                exact.clone()
+            } else {
+                run(&cfg, kind, &data, ProviderKind::Native)
+            };
+            let gf = run(&cfg, kind, &data, ProviderKind::GoldFinger(cfg.bits));
+
+            let q_nat = quality(&nat.result.graph, &exact.result.graph, &native_sim);
+            let q_gf = quality(&gf.result.graph, &exact.result.graph, &native_sim);
+            // As in the paper, computation time starts once the dataset is
+            // prepared — fingerprinting is part of preparation (Table 3)
+            // and is reported there; including it changes nothing material
+            // (it is smaller than the native load time).
+            let (t_nat, t_gf) = (nat.result.stats.wall, gf.result.stats.wall);
+
+            table.push(vec![
+                data.name().to_string(),
+                kind.name().to_string(),
+                fmt_duration(t_nat),
+                fmt_duration(t_gf),
+                format!("{:.1}", gain_percent(t_nat, t_gf)),
+                format!("{q_nat:.2}"),
+                format!("{q_gf:.2}"),
+                format!("{:.2}", q_nat - q_gf),
+            ]);
+            if kind != AlgoKind::Lsh {
+                fig6.push(vec![
+                    data.name().to_string(),
+                    kind.name().to_string(),
+                    format!("{:.3}", t_nat.as_secs_f64()),
+                    format!("{:.3}", t_gf.as_secs_f64()),
+                ]);
+                fig7.push(vec![
+                    data.name().to_string(),
+                    kind.name().to_string(),
+                    format!("{q_nat:.3}"),
+                    format!("{q_gf:.3}"),
+                ]);
+            }
+        }
+    }
+    table.print();
+    if args.has_flag("figures") {
+        fig6.print();
+        fig7.print();
+    }
+    if let Some(out) = args.get("csv") {
+        table.write_csv(out).expect("write CSV");
+        println!("wrote {out}");
+    }
+    println!(
+        "Paper's shape: GoldFinger wins on every dataset (gains up to ~79% for Brute Force), \
+         with quality losses from negligible to ~0.2; LSH on sparse datasets (AM/DBLP/GW) \
+         shows little gain because bucketing dominates."
+    );
+}

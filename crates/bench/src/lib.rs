@@ -1,0 +1,28 @@
+//! # goldfinger-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! GoldFinger paper. The library holds shared plumbing (argument parsing,
+//! table/CSV emission, dataset assembly, algorithm dispatch); each
+//! `src/bin/exp_*.rs` binary reproduces one table or figure, and
+//! `benches/*.rs` hosts the Criterion micro-benchmarks (Figures 1 and 9,
+//! Tables 1 and 3, plus the design ablations of DESIGN.md §7).
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin exp_table4 -- --users 2000
+//! cargo bench -p goldfinger-bench --bench table1_shf_jaccard
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod report;
+pub mod workloads;
+
+pub use args::Args;
+pub use report::{fmt_duration, gain_percent, Table};
+pub use workloads::{
+    build_dataset, build_datasets, dispatch, fingerprint, run, AlgoKind, ExperimentConfig,
+    ProviderKind, RunOutcome,
+};

@@ -1,0 +1,300 @@
+//! Shared machinery for the experiment binaries: dataset assembly at a
+//! chosen scale, algorithm dispatch, and native-vs-GoldFinger comparison
+//! runs.
+
+use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::profile::ProfileStore;
+use goldfinger_core::shf::{ShfParams, ShfStore};
+use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard, Similarity};
+use goldfinger_datasets::model::BinaryDataset;
+use goldfinger_datasets::synth::SynthConfig;
+use goldfinger_knn::brute::BruteForce;
+use goldfinger_knn::graph::KnnResult;
+use goldfinger_knn::hyrec::Hyrec;
+use goldfinger_knn::kiff::Kiff;
+use goldfinger_knn::lsh::Lsh;
+use goldfinger_knn::nndescent::NNDescent;
+use std::time::{Duration, Instant};
+
+/// The four KNN construction algorithms of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// Exhaustive pairwise search.
+    BruteForce,
+    /// Greedy neighbours-of-neighbours (Boutet et al.).
+    Hyrec,
+    /// Greedy local joins with reverse graph (Dong et al.).
+    NNDescent,
+    /// MinHash bucketing.
+    Lsh,
+    /// Bipartite candidate generation (Boutet et al., ICDE 2016) — not in
+    /// the paper's Table 4, available for extended comparisons.
+    Kiff,
+}
+
+impl AlgoKind {
+    /// All four, in the paper's table order.
+    pub fn all() -> [AlgoKind; 4] {
+        [
+            AlgoKind::BruteForce,
+            AlgoKind::Hyrec,
+            AlgoKind::NNDescent,
+            AlgoKind::Lsh,
+        ]
+    }
+
+    /// All five implemented algorithms (the paper's four plus KIFF).
+    pub fn all_extended() -> [AlgoKind; 5] {
+        [
+            AlgoKind::BruteForce,
+            AlgoKind::Hyrec,
+            AlgoKind::NNDescent,
+            AlgoKind::Lsh,
+            AlgoKind::Kiff,
+        ]
+    }
+
+    /// Display name as printed in Table 4.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoKind::BruteForce => "Brute Force",
+            AlgoKind::Hyrec => "Hyrec",
+            AlgoKind::NNDescent => "NNDescent",
+            AlgoKind::Lsh => "LSH",
+            AlgoKind::Kiff => "KIFF",
+        }
+    }
+}
+
+/// Which similarity representation an algorithm runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderKind {
+    /// Explicit profiles (the paper's *native* rows).
+    Native,
+    /// SHFs of the given width (the *GoldFinger* rows).
+    GoldFinger(u32),
+}
+
+/// Common experiment parameters with the paper's defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// User-count scale override (0.0 = pick automatically so every
+    /// dataset has about `target_users` users).
+    pub scale: f64,
+    /// Automatic target population when `scale == 0.0`.
+    pub target_users: usize,
+    /// Neighbourhood size (paper: 30).
+    pub k: usize,
+    /// Fingerprint width (paper default: 1024).
+    pub bits: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 0.0,
+            target_users: 1_500,
+            k: 30,
+            bits: 1024,
+            seed: 42,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Reads the shared options from parsed CLI arguments.
+    pub fn from_args(args: &crate::args::Args) -> Self {
+        let d = ExperimentConfig::default();
+        ExperimentConfig {
+            scale: args.get_f64("scale", d.scale),
+            target_users: args.get_usize("users", d.target_users),
+            k: args.get_usize("k", d.k),
+            bits: args.get_u32_list("bits", &[d.bits])[0],
+            seed: args.get_u64("seed", d.seed),
+        }
+    }
+
+    /// The Jenkins-hashed fingerprint scheme used by every experiment.
+    pub fn shf_params(&self, bits: u32) -> ShfParams<DynHasher> {
+        ShfParams::new(bits, DynHasher::new(HasherKind::Jenkins, self.seed))
+    }
+}
+
+/// Generates the synthetic counterpart of one preset at the configured
+/// scale and runs the paper's preparation pipeline.
+pub fn build_dataset(cfg: &ExperimentConfig, preset: SynthConfig) -> BinaryDataset {
+    let factor = if cfg.scale > 0.0 {
+        cfg.scale
+    } else {
+        (cfg.target_users as f64 / preset.n_users as f64).min(1.0)
+    };
+    preset
+        .scaled(factor)
+        .with_seed(cfg.seed)
+        .generate()
+        .prepare()
+}
+
+/// All six datasets of Table 2 at the configured scale, optionally filtered
+/// by a comma-separated name list (substring match, case-insensitive).
+pub fn build_datasets(cfg: &ExperimentConfig, filter: Option<&str>) -> Vec<BinaryDataset> {
+    SynthConfig::all_presets()
+        .into_iter()
+        .filter(|p| match filter {
+            None => true,
+            Some(f) => f
+                .split(',')
+                .any(|w| p.name.to_lowercase().contains(&w.trim().to_lowercase())),
+        })
+        .map(|p| build_dataset(cfg, p))
+        .collect()
+}
+
+/// Outcome of one algorithm run, including the preparation time of the
+/// representation it ran on (Table 3's quantity).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Graph and build statistics.
+    pub result: KnnResult,
+    /// Time to construct the similarity representation (fingerprinting for
+    /// GoldFinger, zero-cost borrow for native).
+    pub prep: Duration,
+}
+
+/// Fingerprints a profile store, timing the preparation.
+pub fn fingerprint(cfg: &ExperimentConfig, bits: u32, profiles: &ProfileStore) -> (ShfStore, Duration) {
+    let t0 = Instant::now();
+    let store = cfg.shf_params(bits).fingerprint_store(profiles);
+    (store, t0.elapsed())
+}
+
+/// Runs one `(algorithm, provider)` combination.
+pub fn run(
+    cfg: &ExperimentConfig,
+    kind: AlgoKind,
+    data: &BinaryDataset,
+    provider: ProviderKind,
+) -> RunOutcome {
+    let profiles = data.profiles();
+    match provider {
+        ProviderKind::Native => {
+            let sim = ExplicitJaccard::new(profiles);
+            RunOutcome {
+                result: dispatch(cfg, kind, profiles, &sim),
+                prep: Duration::ZERO,
+            }
+        }
+        ProviderKind::GoldFinger(bits) => {
+            let (store, prep) = fingerprint(cfg, bits, profiles);
+            let sim = ShfJaccard::new(&store);
+            RunOutcome {
+                result: dispatch(cfg, kind, profiles, &sim),
+                prep,
+            }
+        }
+    }
+}
+
+/// Dispatches to the concrete algorithm with the paper's parameters
+/// (δ = 0.001, ≤ 30 iterations, 10 LSH tables).
+pub fn dispatch<S: Similarity>(
+    cfg: &ExperimentConfig,
+    kind: AlgoKind,
+    profiles: &ProfileStore,
+    sim: &S,
+) -> KnnResult {
+    match kind {
+        AlgoKind::BruteForce => BruteForce { threads: 1 }.build(sim, cfg.k),
+        AlgoKind::Hyrec => Hyrec {
+            delta: 0.001,
+            max_iterations: 30,
+            seed: cfg.seed,
+            ..Hyrec::default()
+        }
+        .build(sim, cfg.k),
+        AlgoKind::NNDescent => NNDescent {
+            delta: 0.001,
+            max_iterations: 30,
+            sample_rate: 1.0,
+            seed: cfg.seed,
+            ..NNDescent::default()
+        }
+        .build(sim, cfg.k),
+        AlgoKind::Lsh => Lsh {
+            tables: 10,
+            seed: cfg.seed,
+        }
+        .build(profiles, sim, cfg.k),
+        AlgoKind::Kiff => Kiff::default().build(profiles, sim, cfg.k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_knn::metrics::quality;
+
+    fn small_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            target_users: 150,
+            k: 5,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_dataset_hits_the_target_population() {
+        let cfg = small_cfg();
+        let data = build_dataset(&cfg, SynthConfig::ml1m());
+        // prepare() drops some sub-20-rating users; stay in the ballpark.
+        assert!(data.n_users() > 80 && data.n_users() <= 160, "{}", data.n_users());
+    }
+
+    #[test]
+    fn filter_selects_datasets_by_name() {
+        let cfg = small_cfg();
+        let picked = build_datasets(&cfg, Some("dblp,gowalla"));
+        assert_eq!(picked.len(), 2);
+        assert!(picked.iter().any(|d| d.name() == "DBLP"));
+    }
+
+    #[test]
+    fn every_algorithm_runs_native_and_goldfinger() {
+        let cfg = small_cfg();
+        let data = build_dataset(&cfg, SynthConfig::ml1m());
+        let exact = run(&cfg, AlgoKind::BruteForce, &data, ProviderKind::Native);
+        let native_sim = ExplicitJaccard::new(data.profiles());
+        for kind in AlgoKind::all() {
+            for provider in [ProviderKind::Native, ProviderKind::GoldFinger(1024)] {
+                let out = run(&cfg, kind, &data, provider);
+                assert_eq!(out.result.graph.n_users(), data.n_users());
+                let q = quality(&out.result.graph, &exact.result.graph, &native_sim);
+                assert!(
+                    q > 0.5,
+                    "{} / {:?}: quality {q}",
+                    kind.name(),
+                    provider
+                );
+                if let ProviderKind::GoldFinger(_) = provider {
+                    assert!(out.prep > Duration::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_from_args_reads_overrides() {
+        let args = crate::args::Args::parse(
+            "--scale 0.5 --k 10 --bits 256 --seed 7"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let cfg = ExperimentConfig::from_args(&args);
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.k, 10);
+        assert_eq!(cfg.bits, 256);
+        assert_eq!(cfg.seed, 7);
+    }
+}

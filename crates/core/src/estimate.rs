@@ -1,0 +1,268 @@
+//! Collision-corrected estimators — an accuracy extension beyond Eq. 4.
+//!
+//! The paper's estimator (Eq. 4) ignores hash collisions, which §2.4 shows
+//! biases `Ĵ` upward as profiles grow relative to `b`. Both sources of
+//! error are invertible in expectation:
+//!
+//! 1. **Set size.** `E[c] = b(1 − (1 − 1/b)^n)` (occupancy), so the classic
+//!    *linear counting* inversion `n̂ = ln(1 − c/b) / ln(1 − 1/b)` recovers
+//!    the true profile size from the observed cardinality.
+//! 2. **Intersection.** For a shared part of size `α`, the expected
+//!    AND-popcount is approximately the bits the shared items set plus the
+//!    accidental overlap of the two non-shared remainders:
+//!    `E[AND] ≈ a(α) + (c1 − a(α))(c2 − a(α)) / b` with
+//!    `a(α) = b(1 − (1 − 1/b)^α)`. The map is strictly increasing in `α`,
+//!    so a bisection recovers `α̂` from the observed AND-popcount.
+//!
+//! The corrected estimate is then `Ĵ* = α̂ / (n̂1 + n̂2 − α̂)`. At `b = 256`
+//! and 100-item profiles this cuts the bias by an order of magnitude (see
+//! the module tests and `exp_ablation_corrected`); at `b ≫ |P|` it
+//! coincides with Eq. 4.
+
+use crate::shf::ShfStore;
+
+/// Linear-counting inversion: estimated true set size from an SHF
+/// cardinality (Eq. 5 corrected for collisions).
+///
+/// Returns `b·ln(b)`-ish saturation when every bit is set (the inversion
+/// diverges); 0 for an empty fingerprint.
+pub fn estimate_set_size(cardinality: u32, b: u32) -> f64 {
+    assert!(b > 0, "fingerprint width must be positive");
+    assert!(cardinality <= b, "cardinality exceeds width");
+    if cardinality == 0 {
+        return 0.0;
+    }
+    let bf = b as f64;
+    if cardinality == b {
+        // Saturated: the MLE diverges; return the size at which saturation
+        // has probability ~1/2 (n ≈ b·ln(2b)) as a usable ceiling.
+        return bf * (2.0 * bf).ln();
+    }
+    (1.0 - cardinality as f64 / bf).ln() / (1.0 - 1.0 / bf).ln()
+}
+
+/// Expected number of bits set by `n` random items in `b` bins.
+#[inline]
+pub fn expected_occupancy(n: f64, b: u32) -> f64 {
+    let bf = b as f64;
+    bf * (1.0 - (1.0 - 1.0 / bf).powf(n))
+}
+
+/// Collision-corrected Jaccard estimate from the raw observables of one
+/// comparison: the AND-popcount and the two cardinalities.
+///
+/// Falls back to 0 when either fingerprint is empty, and clamps to
+/// `[0, 1]`.
+pub fn corrected_jaccard_from_counts(and_count: u32, c1: u32, c2: u32, b: u32) -> f64 {
+    if c1 == 0 || c2 == 0 {
+        return 0.0;
+    }
+    let n1 = estimate_set_size(c1, b);
+    let n2 = estimate_set_size(c2, b);
+    let bf = b as f64;
+    let (c1f, c2f) = (c1 as f64, c2 as f64);
+    let observed = and_count as f64;
+
+    // E[AND](α): shared-part occupancy plus accidental overlap of the
+    // remainders. Strictly increasing in α.
+    let expected_and = |alpha: f64| {
+        let a = expected_occupancy(alpha, b);
+        a + (c1f - a).max(0.0) * (c2f - a).max(0.0) / bf
+    };
+
+    let alpha_max = n1.min(n2);
+    // Below the pure-collision floor → no evidence of sharing.
+    if observed <= expected_and(0.0) {
+        return 0.0;
+    }
+    if observed >= expected_and(alpha_max) {
+        let denom = n1 + n2 - alpha_max;
+        return if denom <= 0.0 { 1.0 } else { (alpha_max / denom).clamp(0.0, 1.0) };
+    }
+    // Bisection on the monotone map.
+    let (mut lo, mut hi) = (0.0f64, alpha_max);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if expected_and(mid) < observed {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let alpha = 0.5 * (lo + hi);
+    let denom = n1 + n2 - alpha;
+    if denom <= 0.0 {
+        1.0
+    } else {
+        (alpha / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Collision-corrected Jaccard between two fingerprints of a packed store.
+pub fn corrected_jaccard(store: &ShfStore, u: u32, v: u32) -> f64 {
+    let and_count = crate::bits::and_count_words(
+        store.fingerprint_words(u),
+        store.fingerprint_words(v),
+    );
+    corrected_jaccard_from_counts(and_count, store.cardinality(u), store.cardinality(v), store.width())
+}
+
+/// Similarity provider using the collision-corrected estimator — a drop-in
+/// alternative to [`crate::similarity::ShfJaccard`] for small `b`.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrectedShfJaccard<'a> {
+    store: &'a ShfStore,
+}
+
+impl<'a> CorrectedShfJaccard<'a> {
+    /// Wraps a packed fingerprint store.
+    pub fn new(store: &'a ShfStore) -> Self {
+        CorrectedShfJaccard { store }
+    }
+}
+
+impl crate::similarity::Similarity for CorrectedShfJaccard<'_> {
+    fn n_users(&self) -> usize {
+        self.store.len()
+    }
+
+    fn similarity(&self, u: u32, v: u32) -> f64 {
+        corrected_jaccard(self.store, u, v)
+    }
+
+    fn bytes_per_eval(&self, _u: u32, _v: u32) -> u64 {
+        self.store.bytes_per_comparison()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{DynHasher, HasherKind};
+    use crate::profile::ProfileStore;
+    use crate::shf::ShfParams;
+
+    #[test]
+    fn set_size_inversion_roundtrips_in_expectation() {
+        // E[c] for n=100, b=256 is 256(1-(255/256)^100) ≈ 84.4; inverting
+        // the expectation must give back ~100.
+        let expected_c = expected_occupancy(100.0, 256);
+        let n_hat = estimate_set_size(expected_c.round() as u32, 256);
+        assert!((n_hat - 100.0).abs() < 2.0, "n_hat = {n_hat}");
+    }
+
+    #[test]
+    fn set_size_edge_cases() {
+        assert_eq!(estimate_set_size(0, 64), 0.0);
+        // One set bit ≈ one item.
+        assert!((estimate_set_size(1, 1024) - 1.0).abs() < 0.01);
+        // Saturation returns a finite ceiling.
+        let sat = estimate_set_size(64, 64);
+        assert!(sat.is_finite() && sat > 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn impossible_cardinality_panics() {
+        let _ = estimate_set_size(65, 64);
+    }
+
+    /// Empirical bias at the Figure-5 stress point (b = 256, 100-item
+    /// profiles, J = 0.25): the corrected estimator must be far less
+    /// biased than Eq. 4.
+    #[test]
+    fn corrected_estimator_cuts_the_bias() {
+        let b = 256u32;
+        let params = ShfParams::new(b, DynHasher::new(HasherKind::Jenkins, 0));
+        let trials = 400;
+        let (mut plain_sum, mut corrected_sum) = (0.0, 0.0);
+        for t in 0..trials {
+            let base = t * 1_000;
+            // 40 shared + 60 unique each → J = 40/160 = 0.25.
+            let a_items: Vec<u32> = (base..base + 100).collect();
+            let b_items: Vec<u32> = (base + 60..base + 160).collect();
+            let profiles = ProfileStore::from_item_lists(vec![a_items, b_items]);
+            let store = params.fingerprint_store(&profiles);
+            plain_sum += store.jaccard(0, 1);
+            corrected_sum += corrected_jaccard(&store, 0, 1);
+        }
+        let plain_bias = (plain_sum / trials as f64 - 0.25).abs();
+        let corrected_bias = (corrected_sum / trials as f64 - 0.25).abs();
+        assert!(
+            corrected_bias < plain_bias / 3.0,
+            "plain bias {plain_bias:.4}, corrected bias {corrected_bias:.4}"
+        );
+        assert!(plain_bias > 0.05, "stress point should be biased: {plain_bias:.4}");
+    }
+
+    #[test]
+    fn corrected_matches_plain_for_wide_fingerprints() {
+        let params = ShfParams::new(8192, DynHasher::default());
+        let profiles = ProfileStore::from_item_lists(vec![
+            (0..100).collect(),
+            (50..150).collect(),
+        ]);
+        let store = params.fingerprint_store(&profiles);
+        assert!((corrected_jaccard(&store, 0, 1) - store.jaccard(0, 1)).abs() < 0.02);
+    }
+
+    #[test]
+    fn disjoint_profiles_correct_to_zero() {
+        // Plain Ĵ over-estimates disjoint pairs at small b; the corrected
+        // estimator recognises the collision floor.
+        let params = ShfParams::new(128, DynHasher::new(HasherKind::Jenkins, 1));
+        let trials = 200;
+        let (mut plain_sum, mut corrected_sum) = (0.0, 0.0);
+        for t in 0..trials {
+            let base = t * 1_000;
+            let profiles = ProfileStore::from_item_lists(vec![
+                (base..base + 60).collect(),
+                (base + 500..base + 560).collect(),
+            ]);
+            let store = params.fingerprint_store(&profiles);
+            plain_sum += store.jaccard(0, 1);
+            corrected_sum += corrected_jaccard(&store, 0, 1);
+        }
+        assert!(plain_sum / trials as f64 > 0.05, "plain should over-estimate");
+        assert!(corrected_sum / (trials as f64) < plain_sum / trials as f64 / 2.0);
+    }
+
+    #[test]
+    fn identical_profiles_stay_at_one() {
+        let params = ShfParams::new(256, DynHasher::default());
+        let profiles = ProfileStore::from_item_lists(vec![
+            (0..80).collect(),
+            (0..80).collect(),
+        ]);
+        let store = params.fingerprint_store(&profiles);
+        assert!(corrected_jaccard(&store, 0, 1) > 0.95);
+    }
+
+    #[test]
+    fn empty_fingerprints_score_zero() {
+        let params = ShfParams::new(64, DynHasher::default());
+        let profiles = ProfileStore::from_item_lists(vec![vec![], vec![1, 2]]);
+        let store = params.fingerprint_store(&profiles);
+        assert_eq!(corrected_jaccard(&store, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn provider_is_in_range_and_symmetric() {
+        use crate::similarity::Similarity;
+        let params = ShfParams::new(128, DynHasher::default());
+        let profiles = ProfileStore::from_item_lists(vec![
+            (0..50).collect(),
+            (25..75).collect(),
+            (100..150).collect(),
+        ]);
+        let store = params.fingerprint_store(&profiles);
+        let sim = CorrectedShfJaccard::new(&store);
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                let s = sim.similarity(u, v);
+                assert!((0.0..=1.0).contains(&s));
+                assert_eq!(s, sim.similarity(v, u));
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Minimal data-parallel utilities over scoped threads.
+//!
+//! The paper's evaluation runs every algorithm on 8 hardware threads. These
+//! helpers give the KNN algorithms the same structure without pulling in a
+//! full task runtime: static range splitting for regular work
+//! ([`par_for_each_range`]), an atomic work-stealing counter for irregular
+//! work ([`par_dynamic`]), and a channel-based collector ([`par_map_chunks`]).
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Effective thread count: `requested` capped to at least 1.
+///
+/// `requested = 0` means "use the machine's available parallelism".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Splits `0..n` into `threads` near-equal contiguous ranges and runs `f`
+/// on each range from its own scoped thread.
+///
+/// `f` receives `(thread_index, start, end)`.
+pub fn par_for_each_range<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    let threads = effective_threads(threads).min(n.max(1));
+    if threads <= 1 || n == 0 {
+        f(0, 0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let f = &f;
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            scope.spawn(move || f(t, start, end));
+        }
+    });
+}
+
+/// Processes indices `0..n` with dynamic (work-stealing) scheduling: each
+/// thread repeatedly claims the next `grain` indices from a shared counter.
+///
+/// Use this when per-index cost varies wildly (e.g. KNN candidate scans over
+/// skewed profile sizes); static splitting would leave threads idle.
+pub fn par_dynamic<F>(n: usize, threads: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = effective_threads(threads).min(n.max(1));
+    let grain = grain.max(1);
+    if threads <= 1 || n == 0 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            scope.spawn(move || loop {
+                let start = next.fetch_add(grain, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + grain).min(n) {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f` over `0..n` in parallel and collects results in index order.
+///
+/// Results are produced chunk-wise and sent over a channel, then stitched
+/// back together; `O(n)` memory, no locks on the hot path.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads).min(n.max(1));
+    if threads <= 1 || n == 0 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let (tx, rx) = channel::bounded::<(usize, Vec<T>)>(threads);
+    let mut out: Vec<Option<Vec<T>>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let f = &f;
+            let tx = tx.clone();
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            scope.spawn(move || {
+                let part: Vec<T> = (start..end).map(f).collect();
+                // The receiver lives until the scope ends; ignore failure.
+                let _ = tx.send((t, part));
+            });
+        }
+        drop(tx);
+        while let Ok((t, part)) = rx.recv() {
+            out[t] = Some(part);
+        }
+    });
+    out.into_iter().flatten().flatten().collect()
+}
+
+/// Maps `f` over mutable, disjoint chunks of `data` in parallel.
+///
+/// `f` receives `(chunk_index, first_element_index, chunk)`.
+pub fn par_map_chunks<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let threads = effective_threads(threads).min(n.max(1));
+    if threads <= 1 || n == 0 {
+        f(0, 0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, piece) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(t, t * chunk, piece));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn effective_threads_floor_is_one() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn ranges_cover_everything_exactly_once() {
+        for threads in [1usize, 2, 3, 7, 16] {
+            for n in [0usize, 1, 5, 64, 1000] {
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                par_for_each_range(n, threads, |_, s, e| {
+                    for h in &hits[s..e] {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_covers_everything_exactly_once() {
+        for grain in [1usize, 3, 64] {
+            let n = 257;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            par_dynamic(n, 4, grain, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "grain={grain}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1usize, 2, 5] {
+            let out = par_map_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_chunks_mutates_disjointly() {
+        let mut data = vec![0u64; 103];
+        par_map_chunks(&mut data, 4, |_, base, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = (base + off) as u64;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,340 @@
+//! Compact binary persistence for fingerprint stores and profiles.
+//!
+//! The paper's privacy deployment (§2.5) has clients fingerprint locally
+//! and ship *only* the SHFs to an untrusted KNN-construction service — so
+//! fingerprints need a wire format. This module provides a small,
+//! versioned, little-endian format with integrity checks:
+//!
+//! ```text
+//! SHF store:     "GFS1" | u32 bits | u32 n | n × u32 card | n·w × u64 words
+//! Profile store: "GFP1" | u32 n    | (n+1) × u32 offsets  | m × u32 items
+//! ```
+//!
+//! Readers validate magic, version, dimensional consistency and (for SHFs)
+//! the cached cardinalities, so corrupted or truncated inputs fail loudly
+//! instead of producing silently wrong similarities.
+
+use crate::bits::BitArray;
+use crate::profile::ProfileStore;
+use crate::shf::ShfStore;
+use std::io::{self, Read, Write};
+
+const SHF_MAGIC: &[u8; 4] = b"GFS1";
+const PROFILE_MAGIC: &[u8; 4] = b"GFP1";
+
+/// Errors produced while decoding a persisted structure.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Underlying I/O failure (including truncation).
+    Io(io::Error),
+    /// The magic/version header did not match.
+    BadMagic {
+        /// What was expected.
+        expected: [u8; 4],
+        /// What was found.
+        found: [u8; 4],
+    },
+    /// Structurally inconsistent payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "I/O error: {e}"),
+            DecodeError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            DecodeError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> DecodeError {
+    DecodeError::Corrupt(msg.into())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn check_magic(r: &mut impl Read, expected: &[u8; 4]) -> Result<(), DecodeError> {
+    let mut found = [0u8; 4];
+    r.read_exact(&mut found)?;
+    if &found != expected {
+        return Err(DecodeError::BadMagic {
+            expected: *expected,
+            found,
+        });
+    }
+    Ok(())
+}
+
+/// Upper bound on the population accepted by the readers — guards against
+/// allocating terabytes on a corrupted length field.
+const MAX_POPULATION: u32 = 500_000_000;
+
+/// Writes a fingerprint store in the `GFS1` format.
+pub fn write_shf_store(store: &ShfStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(SHF_MAGIC)?;
+    w.write_all(&store.width().to_le_bytes())?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for u in 0..store.len() as u32 {
+        w.write_all(&store.cardinality(u).to_le_bytes())?;
+    }
+    for u in 0..store.len() as u32 {
+        for &word in store.fingerprint_words(u) {
+            w.write_all(&word.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a fingerprint store in the `GFS1` format, validating magic,
+/// dimensions and cached cardinalities.
+pub fn read_shf_store(r: &mut impl Read) -> Result<ShfStore, DecodeError> {
+    check_magic(r, SHF_MAGIC)?;
+    let bits = read_u32(r)?;
+    if bits == 0 || bits > 1 << 26 {
+        return Err(corrupt(format!("implausible fingerprint width {bits}")));
+    }
+    let n = read_u32(r)?;
+    if n > MAX_POPULATION {
+        return Err(corrupt(format!("implausible population {n}")));
+    }
+    let words_per_fp = BitArray::words_for(bits);
+    let mut cards = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let c = read_u32(r)?;
+        if c > bits {
+            return Err(corrupt(format!("cardinality {c} exceeds width {bits}")));
+        }
+        cards.push(c);
+    }
+    let mut data = Vec::with_capacity(n as usize * words_per_fp);
+    for _ in 0..n as usize * words_per_fp {
+        data.push(read_u64(r)?);
+    }
+    // Validate the cached cardinalities before trusting them.
+    for (u, &card) in cards.iter().enumerate() {
+        let words = &data[u * words_per_fp..(u + 1) * words_per_fp];
+        let actual: u32 = words.iter().map(|w| w.count_ones()).sum();
+        if actual != card {
+            return Err(corrupt(format!(
+                "fingerprint {u}: cached cardinality {card} != popcount {actual}"
+            )));
+        }
+    }
+    Ok(ShfStore::from_raw_parts(bits, cards, data))
+}
+
+/// Writes a profile store in the `GFP1` format.
+pub fn write_profile_store(store: &ProfileStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(PROFILE_MAGIC)?;
+    w.write_all(&(store.n_users() as u32).to_le_bytes())?;
+    let mut offset = 0u32;
+    w.write_all(&offset.to_le_bytes())?;
+    for (_, items) in store.iter() {
+        offset += items.len() as u32;
+        w.write_all(&offset.to_le_bytes())?;
+    }
+    for (_, items) in store.iter() {
+        for &i in items {
+            w.write_all(&i.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a profile store in the `GFP1` format, validating monotone offsets
+/// and sorted-unique item lists.
+pub fn read_profile_store(r: &mut impl Read) -> Result<ProfileStore, DecodeError> {
+    check_magic(r, PROFILE_MAGIC)?;
+    let n = read_u32(r)?;
+    if n > MAX_POPULATION {
+        return Err(corrupt(format!("implausible population {n}")));
+    }
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    for _ in 0..=n {
+        offsets.push(read_u32(r)?);
+    }
+    if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("offsets are not monotone from zero"));
+    }
+    let total = *offsets.last().expect("offsets non-empty") as usize;
+    let mut items = Vec::with_capacity(total);
+    for _ in 0..total {
+        items.push(read_u32(r)?);
+    }
+    let mut lists = Vec::with_capacity(n as usize);
+    for u in 0..n as usize {
+        let slice = &items[offsets[u] as usize..offsets[u + 1] as usize];
+        if slice.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt(format!("profile {u} is not sorted unique")));
+        }
+        lists.push(slice.to_vec());
+    }
+    Ok(ProfileStore::from_item_lists(lists))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::DynHasher;
+    use crate::shf::ShfParams;
+
+    fn store() -> (ProfileStore, ShfStore) {
+        let profiles = ProfileStore::from_item_lists(vec![
+            (0..80).collect(),
+            (40..120).collect(),
+            vec![],
+            vec![7],
+        ]);
+        let shf = ShfParams::new(256, DynHasher::default()).fingerprint_store(&profiles);
+        (profiles, shf)
+    }
+
+    #[test]
+    fn shf_store_roundtrips() {
+        let (_, shf) = store();
+        let mut buf = Vec::new();
+        write_shf_store(&shf, &mut buf).unwrap();
+        let back = read_shf_store(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), shf.len());
+        assert_eq!(back.width(), shf.width());
+        for u in 0..4u32 {
+            assert_eq!(back.cardinality(u), shf.cardinality(u));
+            assert_eq!(back.fingerprint_words(u), shf.fingerprint_words(u));
+        }
+        assert_eq!(back.jaccard(0, 1), shf.jaccard(0, 1));
+    }
+
+    #[test]
+    fn profile_store_roundtrips() {
+        let (profiles, _) = store();
+        let mut buf = Vec::new();
+        write_profile_store(&profiles, &mut buf).unwrap();
+        let back = read_profile_store(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.n_users(), 4);
+        for u in 0..4u32 {
+            assert_eq!(back.items(u), profiles.items(u));
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let (_, shf) = store();
+        let mut buf = Vec::new();
+        write_shf_store(&shf, &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_shf_store(&mut buf.as_slice()),
+            Err(DecodeError::BadMagic { .. })
+        ));
+        // Reading an SHF payload as profiles fails on the magic, too.
+        let mut buf2 = Vec::new();
+        write_shf_store(&shf, &mut buf2).unwrap();
+        assert!(matches!(
+            read_profile_store(&mut buf2.as_slice()),
+            Err(DecodeError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_an_io_error() {
+        let (_, shf) = store();
+        let mut buf = Vec::new();
+        write_shf_store(&shf, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(
+            read_shf_store(&mut buf.as_slice()),
+            Err(DecodeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_caught_by_cardinality_check() {
+        let (_, shf) = store();
+        let mut buf = Vec::new();
+        write_shf_store(&shf, &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF; // corrupt fingerprint words
+        match read_shf_store(&mut buf.as_slice()) {
+            Err(DecodeError::Corrupt(msg)) => assert!(msg.contains("cardinality")),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_header_fields_are_rejected() {
+        // width = 0
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GFS1");
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_shf_store(&mut buf.as_slice()),
+            Err(DecodeError::Corrupt(_))
+        ));
+        // population = u32::MAX on profiles
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GFP1");
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_profile_store(&mut buf.as_slice()),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unsorted_profile_payload_is_rejected() {
+        // Hand-craft a GFP1 with a decreasing item pair.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GFP1");
+        buf.extend_from_slice(&1u32.to_le_bytes()); // 1 user
+        buf.extend_from_slice(&0u32.to_le_bytes()); // offsets
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&9u32.to_le_bytes()); // items: 9, 3 (unsorted)
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        match read_profile_store(&mut buf.as_slice()) {
+            Err(DecodeError::Corrupt(msg)) => assert!(msg.contains("sorted")),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let profiles = ProfileStore::from_item_lists(vec![]);
+        let shf = ShfParams::new(64, DynHasher::default()).fingerprint_store(&profiles);
+        let mut buf = Vec::new();
+        write_shf_store(&shf, &mut buf).unwrap();
+        let back = read_shf_store(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 0);
+    }
+}

@@ -1,0 +1,557 @@
+//! Single Hash Fingerprints (SHFs) — the paper's core data structure.
+//!
+//! An SHF summarises a profile `P` as a pair `(B, c)` where `B` is a `b`-bit
+//! array with bit `h(e)` set for every item `e ∈ P`, and `c = popcount(B)`
+//! is cached. Jaccard's index between two profiles is then estimated with a
+//! single `AND` + popcount (Eq. 4 of the paper):
+//!
+//! ```text
+//! Ĵ(P1, P2) = |B1 ∧ B2| / (c1 + c2 − |B1 ∧ B2|)
+//! ```
+//!
+//! Unlike Bloom filters, SHFs deliberately use a *single* hash function:
+//! extra hash functions increase single-bit collisions and degrade the
+//! similarity approximation (see the multi-hash ablation in
+//! `goldfinger-bench`).
+
+use crate::bits::{and_count_words, or_count_words, BitArray};
+use crate::hash::{DynHasher, ItemHasher};
+use crate::profile::{ItemId, ProfileStore};
+
+/// Parameters of a fingerprinting scheme: the fingerprint width `b` and the
+/// item hash function.
+#[derive(Debug, Clone, Copy)]
+pub struct ShfParams<H = DynHasher> {
+    bits: u32,
+    hasher: H,
+}
+
+impl Default for ShfParams<DynHasher> {
+    /// The paper's default configuration: 1024-bit SHFs with Jenkins' hash.
+    fn default() -> Self {
+        ShfParams::new(1024, DynHasher::default())
+    }
+}
+
+impl<H: ItemHasher> ShfParams<H> {
+    /// Creates a scheme with `bits`-bit fingerprints and the given hasher.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`.
+    pub fn new(bits: u32, hasher: H) -> Self {
+        assert!(bits > 0, "fingerprint width must be positive");
+        ShfParams { bits, hasher }
+    }
+
+    /// Fingerprint width in bits.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The item hasher.
+    #[inline]
+    pub fn hasher(&self) -> &H {
+        &self.hasher
+    }
+
+    /// Fingerprints one profile.
+    pub fn fingerprint(&self, items: &[ItemId]) -> Shf {
+        let mut bits = BitArray::zeroed(self.bits);
+        for &it in items {
+            bits.set(self.hasher.bit_position(it as u64, self.bits));
+        }
+        let card = bits.count_ones();
+        Shf { bits, card }
+    }
+
+    /// Fingerprints every profile using `hashes` hash functions per item,
+    /// Bloom-filter style.
+    ///
+    /// This exists as an *ablation*: the paper argues (§2.3) that unlike
+    /// Bloom filters, SHFs must use a single hash function — every extra
+    /// hash inflates single-bit collisions and degrades the similarity
+    /// approximation. `hashes = 1` is identical to
+    /// [`ShfParams::fingerprint_store`].
+    ///
+    /// # Panics
+    /// Panics if `hashes == 0`.
+    pub fn fingerprint_store_multi(&self, profiles: &ProfileStore, hashes: u32) -> ShfStore
+    where
+        H: Clone,
+    {
+        assert!(hashes > 0, "need at least one hash function");
+        let words_per_fp = BitArray::words_for(self.bits);
+        let n = profiles.n_users();
+        let mut data = vec![0u64; words_per_fp * n];
+        let mut cards = vec![0u32; n];
+        for (u, items) in profiles.iter() {
+            let chunk = &mut data[u as usize * words_per_fp..(u as usize + 1) * words_per_fp];
+            for &it in items {
+                for h in 0..hashes {
+                    // Derive per-function inputs by folding the function
+                    // index into the item id with an odd multiplier.
+                    let salted = (it as u64) ^ (h as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let pos = self.hasher.bit_position(salted, self.bits);
+                    chunk[(pos / 64) as usize] |= 1u64 << (pos % 64);
+                }
+            }
+            cards[u as usize] = chunk.iter().map(|w| w.count_ones()).sum();
+        }
+        ShfStore {
+            bits: self.bits,
+            words_per_fp,
+            data,
+            cards,
+        }
+    }
+
+    /// Fingerprints every profile of a [`ProfileStore`] into a packed
+    /// [`ShfStore`] (one contiguous allocation, cache-friendly scans).
+    pub fn fingerprint_store(&self, profiles: &ProfileStore) -> ShfStore {
+        let words_per_fp = BitArray::words_for(self.bits);
+        let n = profiles.n_users();
+        let mut data = vec![0u64; words_per_fp * n];
+        let mut cards = vec![0u32; n];
+        for (u, items) in profiles.iter() {
+            let chunk = &mut data[u as usize * words_per_fp..(u as usize + 1) * words_per_fp];
+            for &it in items {
+                let pos = self.hasher.bit_position(it as u64, self.bits);
+                chunk[(pos / 64) as usize] |= 1u64 << (pos % 64);
+            }
+            cards[u as usize] = chunk.iter().map(|w| w.count_ones()).sum();
+        }
+        ShfStore {
+            bits: self.bits,
+            words_per_fp,
+            data,
+            cards,
+        }
+    }
+}
+
+/// A Single Hash Fingerprint: a bit array plus its cached cardinality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shf {
+    bits: BitArray,
+    card: u32,
+}
+
+impl Shf {
+    /// Builds an SHF directly from a bit array (recomputes the cardinality).
+    pub fn from_bits(bits: BitArray) -> Self {
+        let card = bits.count_ones();
+        Shf { bits, card }
+    }
+
+    /// The underlying bit array.
+    #[inline]
+    pub fn bits(&self) -> &BitArray {
+        &self.bits
+    }
+
+    /// Cached number of set bits (`c` in the paper).
+    #[inline]
+    pub fn cardinality(&self) -> u32 {
+        self.card
+    }
+
+    /// Fingerprint width in bits (`b`).
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.bits.len()
+    }
+
+    /// Estimated Jaccard index between the fingerprinted profiles (Eq. 4).
+    ///
+    /// Returns 0 when both fingerprints are empty.
+    ///
+    /// # Panics
+    /// Panics if the fingerprint widths differ.
+    #[inline]
+    pub fn jaccard(&self, other: &Shf) -> f64 {
+        let inter = self.bits.and_count(&other.bits);
+        jaccard_from_counts(inter, self.card, other.card)
+    }
+
+    /// Estimated size of the profile intersection, `|B1 ∧ B2|` (Eq. 6).
+    #[inline]
+    pub fn intersection_estimate(&self, other: &Shf) -> u32 {
+        self.bits.and_count(&other.bits)
+    }
+
+    /// Estimated size of the fingerprinted profile (Eq. 5): `|P| ≈ c`.
+    ///
+    /// This under-estimates when collisions occur; see
+    /// `goldfinger_theory::occupancy` for the exact law.
+    #[inline]
+    pub fn set_size_estimate(&self) -> u32 {
+        self.card
+    }
+
+    /// Adds one item to the fingerprint in place; returns `true` if a new
+    /// bit was set (false means the item collided with an existing bit).
+    ///
+    /// Supports the paper's real-time motivation (§1.2): fresh activity can
+    /// be folded into a user's SHF in O(1) without re-fingerprinting —
+    /// deletion, by design, is impossible (SHFs are lossy).
+    pub fn insert_item<H: ItemHasher>(&mut self, item: ItemId, hasher: &H) -> bool {
+        let pos = hasher.bit_position(item as u64, self.bits.len());
+        if self.bits.test(pos) {
+            return false;
+        }
+        self.bits.set(pos);
+        self.card += 1;
+        true
+    }
+
+    /// Merges another fingerprint into this one (set union of the
+    /// underlying profiles).
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &Shf) {
+        self.bits.union_with(&other.bits);
+        self.card = self.bits.count_ones();
+    }
+
+    /// Estimated cosine similarity between the fingerprinted binary
+    /// profiles: `|B1 ∧ B2| / √(c1·c2)`.
+    ///
+    /// The paper focuses on Jaccard but notes the scheme covers any
+    /// intersection-driven set similarity; cosine is the other common one.
+    #[inline]
+    pub fn cosine(&self, other: &Shf) -> f64 {
+        if self.card == 0 || other.card == 0 {
+            return 0.0;
+        }
+        let inter = self.bits.and_count(&other.bits) as f64;
+        inter / ((self.card as f64) * (other.card as f64)).sqrt()
+    }
+}
+
+/// Assembles the Jaccard estimate from an AND-popcount and two cardinalities.
+#[inline]
+pub fn jaccard_from_counts(intersection: u32, c1: u32, c2: u32) -> f64 {
+    let union = (c1 + c2).saturating_sub(intersection);
+    if union == 0 {
+        0.0
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+/// All users' fingerprints packed into one allocation.
+///
+/// Fingerprint `u` occupies `data[u*words_per_fp .. (u+1)*words_per_fp]`.
+/// This is the representation every GoldFinger KNN algorithm scans.
+#[derive(Debug, Clone)]
+pub struct ShfStore {
+    bits: u32,
+    words_per_fp: usize,
+    data: Vec<u64>,
+    cards: Vec<u32>,
+}
+
+impl ShfStore {
+    /// Reassembles a store from raw parts (the inverse of
+    /// [`ShfStore::fingerprint_words`] / [`ShfStore::cardinality`] dumps,
+    /// used by [`crate::serial`]).
+    ///
+    /// # Panics
+    /// Panics if the dimensions are inconsistent or a cached cardinality
+    /// does not match its bit array.
+    pub fn from_raw_parts(bits: u32, cards: Vec<u32>, data: Vec<u64>) -> Self {
+        assert!(bits > 0, "fingerprint width must be positive");
+        let words_per_fp = BitArray::words_for(bits);
+        assert_eq!(
+            data.len(),
+            cards.len() * words_per_fp,
+            "data length does not match population and width"
+        );
+        for (u, &card) in cards.iter().enumerate() {
+            let words = &data[u * words_per_fp..(u + 1) * words_per_fp];
+            let actual: u32 = words.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(actual, card, "cardinality mismatch for fingerprint {u}");
+        }
+        ShfStore {
+            bits,
+            words_per_fp,
+            data,
+            cards,
+        }
+    }
+
+    /// Number of fingerprints.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// True if the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cards.is_empty()
+    }
+
+    /// Fingerprint width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.bits
+    }
+
+    /// Words per fingerprint (`ceil(bits / 64)`).
+    #[inline]
+    pub fn words_per_fingerprint(&self) -> usize {
+        self.words_per_fp
+    }
+
+    /// The raw words of fingerprint `u`.
+    #[inline]
+    pub fn fingerprint_words(&self, u: u32) -> &[u64] {
+        &self.data[u as usize * self.words_per_fp..(u as usize + 1) * self.words_per_fp]
+    }
+
+    /// Cached cardinality of fingerprint `u`.
+    #[inline]
+    pub fn cardinality(&self, u: u32) -> u32 {
+        self.cards[u as usize]
+    }
+
+    /// Estimated Jaccard index between users `u` and `v` (Eq. 4).
+    #[inline]
+    pub fn jaccard(&self, u: u32, v: u32) -> f64 {
+        let inter = and_count_words(self.fingerprint_words(u), self.fingerprint_words(v));
+        jaccard_from_counts(inter, self.cards[u as usize], self.cards[v as usize])
+    }
+
+    /// Jaccard estimate computed without the cached cardinalities,
+    /// recomputing `|B1 ∨ B2|` instead (ablation: Eq. 7 denominator `û`).
+    #[inline]
+    pub fn jaccard_via_or(&self, u: u32, v: u32) -> f64 {
+        let a = self.fingerprint_words(u);
+        let b = self.fingerprint_words(v);
+        let inter = and_count_words(a, b);
+        let union = or_count_words(a, b);
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Replaces fingerprint `u` with an updated one (e.g. after folding
+    /// fresh activity into a user's [`Shf`] with [`Shf::insert_item`]) —
+    /// the write half of the real-time maintenance story.
+    ///
+    /// # Panics
+    /// Panics if the widths differ or `u` is out of range.
+    pub fn set_fingerprint(&mut self, u: u32, shf: &Shf) {
+        assert_eq!(shf.width(), self.bits, "fingerprint width mismatch");
+        let chunk =
+            &mut self.data[u as usize * self.words_per_fp..(u as usize + 1) * self.words_per_fp];
+        chunk.copy_from_slice(shf.bits().words());
+        self.cards[u as usize] = shf.cardinality();
+    }
+
+    /// Extracts fingerprint `u` as an owned [`Shf`] (for inspection/tests).
+    pub fn get(&self, u: u32) -> Shf {
+        let mut bits = BitArray::zeroed(self.bits);
+        for pos in 0..self.bits {
+            let w = self.fingerprint_words(u)[(pos / 64) as usize];
+            if (w >> (pos % 64)) & 1 == 1 {
+                bits.set(pos);
+            }
+        }
+        Shf::from_bits(bits)
+    }
+
+    /// Bytes of fingerprint payload touched by one similarity evaluation
+    /// (two fingerprints), used by the memory-traffic model of Table 5.
+    #[inline]
+    pub fn bytes_per_comparison(&self) -> u64 {
+        2 * (self.words_per_fp as u64 * 8 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{DynHasher, HasherKind};
+    use crate::profile::ProfileStore;
+
+    fn params(bits: u32) -> ShfParams<DynHasher> {
+        ShfParams::new(bits, DynHasher::new(HasherKind::Jenkins, 42))
+    }
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = ShfParams::default();
+        assert_eq!(p.bits(), 1024);
+    }
+
+    #[test]
+    fn fingerprint_cardinality_bounded_by_profile_and_width() {
+        let p = params(64);
+        let items: Vec<u32> = (0..200).collect();
+        let f = p.fingerprint(&items);
+        assert!(f.cardinality() <= 64);
+        assert!(f.cardinality() > 0);
+        assert_eq!(f.cardinality(), f.bits().count_ones());
+    }
+
+    #[test]
+    fn identical_profiles_have_jaccard_one() {
+        let p = params(1024);
+        let items: Vec<u32> = (0..80).collect();
+        let a = p.fingerprint(&items);
+        let b = p.fingerprint(&items);
+        assert_eq!(a, b);
+        assert!((a.jaccard(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_small_profiles_have_low_jaccard() {
+        let p = params(4096);
+        let a = p.fingerprint(&(0..20).collect::<Vec<_>>());
+        let b = p.fingerprint(&(1000..1020).collect::<Vec<_>>());
+        // With 40 items in 4096 bits, collisions are rare: estimate ≈ 0.
+        assert!(a.jaccard(&b) < 0.1);
+    }
+
+    #[test]
+    fn empty_fingerprint_jaccard_is_zero() {
+        let p = params(64);
+        let a = p.fingerprint(&[]);
+        let b = p.fingerprint(&[1, 2, 3]);
+        assert_eq!(a.jaccard(&b), 0.0);
+        assert_eq!(a.jaccard(&a), 0.0);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn estimator_overestimates_on_collisions() {
+        // Tiny b forces collisions; the estimate of disjoint profiles rises.
+        let p = params(8);
+        let a = p.fingerprint(&(0..50).collect::<Vec<_>>());
+        let b = p.fingerprint(&(100..150).collect::<Vec<_>>());
+        assert!(a.jaccard(&b) > 0.5, "heavy collisions should inflate Ĵ");
+    }
+
+    #[test]
+    fn store_matches_individual_fingerprints() {
+        let lists: Vec<Vec<u32>> = vec![
+            (0..80).collect(),
+            (40..120).collect(),
+            vec![],
+            (0..5).collect(),
+        ];
+        let profiles = ProfileStore::from_item_lists(lists.clone());
+        let p = params(256);
+        let store = p.fingerprint_store(&profiles);
+        assert_eq!(store.len(), 4);
+        for (u, items) in lists.iter().enumerate() {
+            let solo = p.fingerprint(items);
+            assert_eq!(store.cardinality(u as u32), solo.cardinality());
+            assert_eq!(store.get(u as u32), solo);
+        }
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                let solo = p.fingerprint(&lists[u as usize]).jaccard(&p.fingerprint(&lists[v as usize]));
+                assert!((store.jaccard(u, v) - solo).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_via_or_agrees_with_cached_cardinalities() {
+        // By inclusion-exclusion |A∨B| = c1 + c2 − |A∧B| exactly, so the two
+        // estimators must agree to the last bit.
+        let profiles = ProfileStore::from_item_lists(vec![
+            (0..90).collect(),
+            (30..140).collect(),
+        ]);
+        let store = params(512).fingerprint_store(&profiles);
+        assert_eq!(store.jaccard(0, 1), store.jaccard_via_or(0, 1));
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard_for_wide_fingerprints() {
+        // 100-item profiles with 50 shared items: J = 50/150 ≈ 0.333.
+        let a_items: Vec<u32> = (0..100).collect();
+        let b_items: Vec<u32> = (50..150).collect();
+        let p = params(8192);
+        let est = p.fingerprint(&a_items).jaccard(&p.fingerprint(&b_items));
+        assert!((est - 1.0 / 3.0).abs() < 0.05, "est = {est}");
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_fingerprinting() {
+        let p = params(256);
+        let items: Vec<u32> = (0..60).collect();
+        let batch = p.fingerprint(&items);
+        let mut incremental = p.fingerprint(&[]);
+        for &it in &items {
+            incremental.insert_item(it, p.hasher());
+        }
+        assert_eq!(incremental, batch);
+        // Re-inserting is a no-op reported as a collision.
+        assert!(!incremental.insert_item(items[0], p.hasher()));
+        assert_eq!(incremental, batch);
+    }
+
+    #[test]
+    fn merge_equals_fingerprint_of_union() {
+        let p = params(512);
+        let a_items: Vec<u32> = (0..40).collect();
+        let b_items: Vec<u32> = (20..70).collect();
+        let mut a = p.fingerprint(&a_items);
+        let b = p.fingerprint(&b_items);
+        a.merge(&b);
+        let union: Vec<u32> = (0..70).collect();
+        assert_eq!(a, p.fingerprint(&union));
+    }
+
+    #[test]
+    fn multi_hash_with_one_function_matches_single_hash() {
+        let profiles = ProfileStore::from_item_lists(vec![
+            (0..90).collect(),
+            (30..140).collect(),
+        ]);
+        let p = params(512);
+        let single = p.fingerprint_store(&profiles);
+        let multi = p.fingerprint_store_multi(&profiles, 1);
+        assert_eq!(single.jaccard(0, 1), multi.jaccard(0, 1));
+        assert_eq!(single.cardinality(0), multi.cardinality(0));
+    }
+
+    #[test]
+    fn extra_hash_functions_inflate_cardinality_and_distort_jaccard() {
+        let profiles = ProfileStore::from_item_lists(vec![
+            (0..100).collect(),
+            (50..150).collect(),
+        ]);
+        let p = params(256);
+        let single = p.fingerprint_store_multi(&profiles, 1);
+        let quad = p.fingerprint_store_multi(&profiles, 4);
+        assert!(quad.cardinality(0) > single.cardinality(0));
+        // True J = 1/3; the 4-hash estimate drifts further from it than the
+        // single-hash estimate (the paper's argument against Bloom-style
+        // multi-hashing).
+        let truth = 1.0 / 3.0;
+        assert!(
+            (quad.jaccard(0, 1) - truth).abs() >= (single.jaccard(0, 1) - truth).abs(),
+            "single {} quad {}",
+            single.jaccard(0, 1),
+            quad.jaccard(0, 1)
+        );
+    }
+
+    #[test]
+    fn bytes_per_comparison_model() {
+        let profiles = ProfileStore::from_item_lists(vec![vec![1], vec![2]]);
+        let store = params(1024).fingerprint_store(&profiles);
+        // 1024 bits = 128 bytes per fingerprint + 4-byte cardinality, ×2.
+        assert_eq!(store.bytes_per_comparison(), 2 * (128 + 4));
+    }
+}

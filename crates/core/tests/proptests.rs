@@ -1,0 +1,155 @@
+//! Property-based tests for the fingerprint kernels.
+
+use goldfinger_core::bits::{and_count_words, and_count_words_lut, BitArray};
+use goldfinger_core::hash::{DynHasher, HasherKind, ItemHasher};
+use goldfinger_core::profile::{intersection_size_sorted, Profile, ProfileStore};
+use goldfinger_core::shf::ShfParams;
+use goldfinger_core::topk::TopK;
+use proptest::prelude::*;
+
+fn item_set() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..5000, 0..300)
+}
+
+proptest! {
+    /// popcount(A AND B) + popcount(A OR B) == popcount(A) + popcount(B).
+    #[test]
+    fn inclusion_exclusion_on_bit_arrays(
+        xs in proptest::collection::vec(0u32..512, 0..200),
+        ys in proptest::collection::vec(0u32..512, 0..200),
+    ) {
+        let a = BitArray::from_positions(512, xs);
+        let b = BitArray::from_positions(512, ys);
+        prop_assert_eq!(
+            a.and_count(&b) + a.or_count(&b),
+            a.count_ones() + b.count_ones()
+        );
+        // XOR = OR − AND.
+        prop_assert_eq!(a.xor_count(&b), a.or_count(&b) - a.and_count(&b));
+    }
+
+    /// iter_ones returns exactly the set positions, in order.
+    #[test]
+    fn iter_ones_is_sorted_and_complete(xs in proptest::collection::vec(0u32..300, 0..100)) {
+        let a = BitArray::from_positions(300, xs.clone());
+        let ones: Vec<u32> = a.iter_ones().collect();
+        let mut want = xs;
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(ones, want);
+    }
+
+    /// The LUT popcount ablation matches the hardware popcount kernel.
+    #[test]
+    fn lut_popcount_equals_hw(
+        xs in proptest::collection::vec(0u32..1024, 0..400),
+        ys in proptest::collection::vec(0u32..1024, 0..400),
+    ) {
+        let a = BitArray::from_positions(1024, xs);
+        let b = BitArray::from_positions(1024, ys);
+        prop_assert_eq!(
+            and_count_words(a.words(), b.words()),
+            and_count_words_lut(a.words(), b.words())
+        );
+    }
+
+    /// Merge intersection equals a naive O(n·m) count.
+    #[test]
+    fn merge_matches_naive(xs in item_set(), ys in item_set()) {
+        let a = Profile::from_items(xs);
+        let b = Profile::from_items(ys);
+        let naive = a.items().iter().filter(|i| b.contains(**i)).count();
+        prop_assert_eq!(intersection_size_sorted(a.items(), b.items()), naive);
+    }
+
+    /// Jaccard on explicit profiles is symmetric, bounded, and 1 on self.
+    #[test]
+    fn explicit_jaccard_axioms(xs in item_set(), ys in item_set()) {
+        let store = ProfileStore::from_item_lists(vec![xs.clone(), ys]);
+        let j = store.jaccard(0, 1);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, store.jaccard(1, 0));
+        if !xs.is_empty() {
+            prop_assert!((store.jaccard(0, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// SHF estimator axioms: symmetric, in [0,1], exact 1 on identical
+    /// non-empty profiles, and store/solo agreement.
+    #[test]
+    fn shf_estimator_axioms(
+        xs in item_set(),
+        ys in item_set(),
+        bits in prop_oneof![Just(64u32), Just(256), Just(1024)],
+        seed in 0u64..8,
+    ) {
+        let params = ShfParams::new(bits, DynHasher::new(HasherKind::Jenkins, seed));
+        let fa = params.fingerprint(&xs);
+        let fb = params.fingerprint(&ys);
+        let j = fa.jaccard(&fb);
+        prop_assert!((0.0..=1.0).contains(&j), "j = {j}");
+        prop_assert_eq!(j, fb.jaccard(&fa));
+        if !xs.is_empty() {
+            prop_assert!((fa.jaccard(&fa) - 1.0).abs() < 1e-12);
+        }
+        let store = params.fingerprint_store(
+            &ProfileStore::from_item_lists(vec![xs, ys]),
+        );
+        prop_assert!((store.jaccard(0, 1) - j).abs() < 1e-12);
+    }
+
+    /// The estimator never *underestimates below* what the common items
+    /// force: hashing identical items always produces identical bits, so
+    /// fingerprints of supersets keep intersecting.
+    #[test]
+    fn subset_keeps_full_overlap(xs in proptest::collection::vec(0u32..2000, 1..150)) {
+        let params = ShfParams::new(1024, DynHasher::default());
+        let full = Profile::from_items(xs.clone());
+        let half: Vec<u32> = full.items().iter().copied().step_by(2).collect();
+        let f_full = params.fingerprint(full.items());
+        let f_half = params.fingerprint(&half);
+        // Every bit of the subset fingerprint is set in the superset's.
+        prop_assert_eq!(
+            f_half.bits().and_count(f_full.bits()),
+            f_half.cardinality()
+        );
+    }
+
+    /// Hash positions are always within range, for every hasher kind.
+    #[test]
+    fn hash_positions_in_range(
+        item in any::<u64>(),
+        bits in 1u32..10_000,
+        kind in prop_oneof![
+            Just(HasherKind::Jenkins),
+            Just(HasherKind::Lookup3),
+            Just(HasherKind::SplitMix),
+            Just(HasherKind::FxLike),
+        ],
+    ) {
+        let h = DynHasher::new(kind, 7);
+        prop_assert!(h.bit_position(item, bits) < bits);
+    }
+
+    /// TopK equals sort-and-truncate for arbitrary inputs.
+    #[test]
+    fn topk_matches_sort(
+        sims in proptest::collection::vec(0u32..=1000, 1..200),
+        k in 1usize..40,
+    ) {
+        let pairs: Vec<(f64, u32)> = sims
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s as f64 / 1000.0, i as u32))
+            .collect();
+        let mut t = TopK::new(k);
+        for &(s, u) in &pairs {
+            t.offer(s, u);
+        }
+        let got: Vec<u32> = t.into_sorted().iter().map(|e| e.user).collect();
+        let mut sorted = pairs;
+        sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let want: Vec<u32> = sorted.iter().take(k).map(|&(_, u)| u).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,363 @@
+//! The bipartite rating dataset model.
+//!
+//! All six datasets of the paper share one shape: users rate items, ratings
+//! are *binarised* by keeping only those strictly above 3, and users with
+//! fewer than 20 ratings (before binarisation) are dropped to sidestep the
+//! cold-start problem. [`RatingsDataset`] stores the raw ratings with dense
+//! ids; [`RatingsDataset::binarize`] produces the positive-item
+//! [`ProfileStore`] every KNN algorithm consumes, plus the rating values the
+//! recommender needs for its weighted scores.
+
+use goldfinger_core::profile::{ItemId, ProfileStore, UserId};
+use std::collections::HashMap;
+
+/// One (user, item, rating) triple with dense ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// Dense user id.
+    pub user: UserId,
+    /// Dense item id.
+    pub item: ItemId,
+    /// Rating value on the dataset's scale (e.g. 0.5–5).
+    pub value: f32,
+}
+
+/// The rating threshold of the paper: an item belongs to a profile iff the
+/// user rated it strictly higher than 3.
+pub const BINARIZE_THRESHOLD: f32 = 3.0;
+
+/// Minimum number of ratings (before binarisation) for a user to be kept.
+pub const MIN_RATINGS_PER_USER: usize = 20;
+
+/// A raw ratings dataset with densely renumbered user and item ids.
+#[derive(Debug, Clone, Default)]
+pub struct RatingsDataset {
+    n_users: usize,
+    n_items: usize,
+    ratings: Vec<Rating>,
+    name: String,
+}
+
+impl RatingsDataset {
+    /// Builds a dataset from dense-id ratings.
+    ///
+    /// `n_users` and `n_items` must upper-bound the ids present.
+    ///
+    /// # Panics
+    /// Panics if a rating references an out-of-range user or item.
+    pub fn new(name: impl Into<String>, n_users: usize, n_items: usize, ratings: Vec<Rating>) -> Self {
+        for r in &ratings {
+            assert!((r.user as usize) < n_users, "user id {} out of range", r.user);
+            assert!((r.item as usize) < n_items, "item id {} out of range", r.item);
+        }
+        RatingsDataset {
+            n_users,
+            n_items,
+            ratings,
+            name: name.into(),
+        }
+    }
+
+    /// Builds a dataset from ratings with *arbitrary* (sparse) u64 ids,
+    /// interning them into dense ids in first-seen order.
+    pub fn from_sparse_ids(
+        name: impl Into<String>,
+        triples: impl IntoIterator<Item = (u64, u64, f32)>,
+    ) -> Self {
+        let mut users: HashMap<u64, UserId> = HashMap::new();
+        let mut items: HashMap<u64, ItemId> = HashMap::new();
+        let mut ratings = Vec::new();
+        for (u, i, v) in triples {
+            let next_u = users.len() as UserId;
+            let user = *users.entry(u).or_insert(next_u);
+            let next_i = items.len() as ItemId;
+            let item = *items.entry(i).or_insert(next_i);
+            ratings.push(Rating { user, item, value: v });
+        }
+        RatingsDataset {
+            n_users: users.len(),
+            n_items: items.len(),
+            ratings,
+            name: name.into(),
+        }
+    }
+
+    /// Dataset name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// All ratings.
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// Drops users with fewer than `min` ratings, renumbering the survivors
+    /// densely. Items keep their ids (the paper keeps the item universe).
+    pub fn filter_min_ratings(&self, min: usize) -> RatingsDataset {
+        let mut counts = vec![0usize; self.n_users];
+        for r in &self.ratings {
+            counts[r.user as usize] += 1;
+        }
+        let mut remap = vec![u32::MAX; self.n_users];
+        let mut kept = 0u32;
+        for (u, &c) in counts.iter().enumerate() {
+            if c >= min {
+                remap[u] = kept;
+                kept += 1;
+            }
+        }
+        let ratings: Vec<Rating> = self
+            .ratings
+            .iter()
+            .filter(|r| remap[r.user as usize] != u32::MAX)
+            .map(|r| Rating {
+                user: remap[r.user as usize],
+                ..*r
+            })
+            .collect();
+        RatingsDataset {
+            n_users: kept as usize,
+            n_items: self.n_items,
+            ratings,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Binarises the dataset: keeps ratings strictly above `threshold` and
+    /// packs each user's positive items into a [`ProfileStore`].
+    ///
+    /// Users keep their ids even when left with an empty profile, so graph
+    /// indices stay aligned with the raw dataset.
+    pub fn binarize(&self, threshold: f32) -> BinaryDataset {
+        let mut lists: Vec<Vec<ItemId>> = vec![Vec::new(); self.n_users];
+        let mut values: Vec<Vec<(ItemId, f32)>> = vec![Vec::new(); self.n_users];
+        for r in &self.ratings {
+            if r.value > threshold {
+                lists[r.user as usize].push(r.item);
+                values[r.user as usize].push((r.item, r.value));
+            }
+        }
+        for v in &mut values {
+            v.sort_unstable_by_key(|&(i, _)| i);
+            v.dedup_by_key(|&mut (i, _)| i);
+        }
+        BinaryDataset {
+            profiles: ProfileStore::from_item_lists(lists),
+            values,
+            n_items: self.n_items,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Convenience: the paper's standard preparation — filter users with
+    /// fewer than [`MIN_RATINGS_PER_USER`] ratings, then binarise at
+    /// [`BINARIZE_THRESHOLD`].
+    pub fn prepare(&self) -> BinaryDataset {
+        self.filter_min_ratings(MIN_RATINGS_PER_USER)
+            .binarize(BINARIZE_THRESHOLD)
+    }
+}
+
+/// A binarised dataset: positive-item profiles plus the retained rating
+/// values (needed by the recommender's weighted average).
+#[derive(Debug, Clone)]
+pub struct BinaryDataset {
+    profiles: ProfileStore,
+    /// Per user: sorted `(item, rating)` pairs for the positive items.
+    values: Vec<Vec<(ItemId, f32)>>,
+    n_items: usize,
+    name: String,
+}
+
+impl BinaryDataset {
+    /// Builds a binary dataset directly from positive item lists, assigning
+    /// every kept item the maximum rating (used by tests and by datasets
+    /// that are inherently binary, like DBLP co-authorship).
+    pub fn from_positive_lists(name: impl Into<String>, n_items: usize, lists: Vec<Vec<ItemId>>) -> Self {
+        let values = lists
+            .iter()
+            .map(|l| {
+                let mut v: Vec<(ItemId, f32)> = l.iter().map(|&i| (i, 5.0)).collect();
+                v.sort_unstable_by_key(|&(i, _)| i);
+                v.dedup_by_key(|&mut (i, _)| i);
+                v
+            })
+            .collect();
+        BinaryDataset {
+            profiles: ProfileStore::from_item_lists(lists),
+            values,
+            n_items,
+            name: name.into(),
+        }
+    }
+
+    /// Builds a binary dataset from per-user `(item, rating)` lists — used
+    /// by cross-validation to assemble training folds.
+    pub fn from_rated_lists(
+        name: impl Into<String>,
+        n_items: usize,
+        lists: Vec<Vec<(ItemId, f32)>>,
+    ) -> Self {
+        let mut values: Vec<Vec<(ItemId, f32)>> = lists;
+        for v in &mut values {
+            v.sort_unstable_by_key(|&(i, _)| i);
+            v.dedup_by_key(|&mut (i, _)| i);
+        }
+        let item_lists: Vec<Vec<ItemId>> = values
+            .iter()
+            .map(|v| v.iter().map(|&(i, _)| i).collect())
+            .collect();
+        BinaryDataset {
+            profiles: ProfileStore::from_item_lists(item_lists),
+            values,
+            n_items,
+            name: name.into(),
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The packed positive-item profiles.
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.profiles.n_users()
+    }
+
+    /// Size of the item universe (including never-rated items).
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total number of positive associations.
+    pub fn n_positive(&self) -> usize {
+        self.profiles.n_associations()
+    }
+
+    /// The rating user `u` gave item `i`, if it is one of `u`'s positive
+    /// items.
+    pub fn rating(&self, u: UserId, i: ItemId) -> Option<f32> {
+        let v = &self.values[u as usize];
+        v.binary_search_by_key(&i, |&(it, _)| it)
+            .ok()
+            .map(|idx| v[idx].1)
+    }
+
+    /// Sorted `(item, rating)` pairs of user `u`.
+    pub fn rated_items(&self, u: UserId) -> &[(ItemId, f32)] {
+        &self.values[u as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(user: u32, item: u32, value: f32) -> Rating {
+        Rating { user, item, value }
+    }
+
+    #[test]
+    fn dense_construction_checks_ranges() {
+        let d = RatingsDataset::new("t", 2, 3, vec![r(0, 0, 5.0), r(1, 2, 1.0)]);
+        assert_eq!(d.n_users(), 2);
+        assert_eq!(d.n_items(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_user_panics() {
+        let _ = RatingsDataset::new("t", 1, 1, vec![r(1, 0, 5.0)]);
+    }
+
+    #[test]
+    fn sparse_ids_are_interned_in_first_seen_order() {
+        let d = RatingsDataset::from_sparse_ids(
+            "t",
+            vec![(100, 7, 5.0), (50, 7, 4.0), (100, 9, 2.0)],
+        );
+        assert_eq!(d.n_users(), 2);
+        assert_eq!(d.n_items(), 2);
+        assert_eq!(d.ratings()[0].user, 0); // 100 -> 0
+        assert_eq!(d.ratings()[1].user, 1); // 50 -> 1
+        assert_eq!(d.ratings()[2].item, 1); // 9 -> 1
+    }
+
+    #[test]
+    fn min_ratings_filter_renumbers() {
+        let mut ratings = Vec::new();
+        for i in 0..25 {
+            ratings.push(r(0, i, 4.0)); // user 0: 25 ratings — kept
+        }
+        ratings.push(r(1, 0, 5.0)); // user 1: 1 rating — dropped
+        for i in 0..20 {
+            ratings.push(r(2, i, 2.0)); // user 2: exactly 20 — kept
+        }
+        let d = RatingsDataset::new("t", 3, 30, ratings).filter_min_ratings(20);
+        assert_eq!(d.n_users(), 2);
+        // former user 2 is now user 1
+        assert!(d.ratings().iter().any(|x| x.user == 1 && x.value == 2.0));
+        assert!(d.ratings().iter().all(|x| x.user < 2));
+    }
+
+    #[test]
+    fn binarize_keeps_strictly_above_threshold() {
+        let d = RatingsDataset::new(
+            "t",
+            1,
+            4,
+            vec![r(0, 0, 3.0), r(0, 1, 3.5), r(0, 2, 5.0), r(0, 3, 1.0)],
+        );
+        let b = d.binarize(3.0);
+        assert_eq!(b.profiles().items(0), &[1, 2]);
+        assert_eq!(b.n_positive(), 2);
+        assert_eq!(b.rating(0, 1), Some(3.5));
+        assert_eq!(b.rating(0, 0), None);
+    }
+
+    #[test]
+    fn prepare_combines_filter_and_binarize() {
+        let mut ratings = Vec::new();
+        for i in 0..30 {
+            ratings.push(r(0, i, if i < 10 { 5.0 } else { 2.0 }));
+        }
+        ratings.push(r(1, 0, 5.0)); // dropped: only 1 rating
+        let d = RatingsDataset::new("t", 2, 40, ratings);
+        let b = d.prepare();
+        assert_eq!(b.n_users(), 1);
+        assert_eq!(b.profiles().profile_len(0), 10);
+    }
+
+    #[test]
+    fn empty_profiles_keep_user_slots() {
+        let d = RatingsDataset::new("t", 2, 2, vec![r(0, 0, 5.0), r(1, 1, 1.0)]);
+        let b = d.binarize(3.0);
+        assert_eq!(b.n_users(), 2);
+        assert_eq!(b.profiles().profile_len(1), 0);
+    }
+
+    #[test]
+    fn from_positive_lists_sets_max_rating() {
+        let b = BinaryDataset::from_positive_lists("t", 10, vec![vec![3, 1], vec![]]);
+        assert_eq!(b.profiles().items(0), &[1, 3]);
+        assert_eq!(b.rating(0, 3), Some(5.0));
+        assert_eq!(b.rated_items(1), &[]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Profile sampling by item popularity — the compaction *baseline* of the
+//! paper's related work (§6, citing Kermarrec, Ruas & Taïani, Euro-Par
+//! 2018: "Nobody cares if you liked Star Wars").
+//!
+//! Instead of fingerprinting, each profile is truncated to its `β` **least
+//! popular** items: unpopular items carry more discriminating signal for
+//! Jaccard-style similarities than blockbusters everyone rated. The paper
+//! reports the resulting speedup as "interesting but lower than the one
+//! produced by GoldFinger" — the ablation benchmark
+//! `exp_ablation_sampling` reproduces that comparison.
+
+use goldfinger_core::profile::{ItemId, ProfileStore};
+
+/// Computes each item's popularity (number of profiles containing it).
+pub fn item_popularity(profiles: &ProfileStore) -> Vec<u32> {
+    let bound = profiles.item_universe_bound() as usize;
+    let mut pop = vec![0u32; bound];
+    for (_, items) in profiles.iter() {
+        for &i in items {
+            pop[i as usize] += 1;
+        }
+    }
+    pop
+}
+
+/// Truncates every profile to its `beta` least popular items (ties broken
+/// towards lower item ids for determinism). Profiles shorter than `beta`
+/// are kept whole.
+///
+/// # Panics
+/// Panics if `beta == 0`.
+pub fn sample_least_popular(profiles: &ProfileStore, beta: usize) -> ProfileStore {
+    assert!(beta > 0, "beta must be positive");
+    let pop = item_popularity(profiles);
+    let lists: Vec<Vec<ItemId>> = profiles
+        .iter()
+        .map(|(_, items)| {
+            if items.len() <= beta {
+                return items.to_vec();
+            }
+            let mut ranked: Vec<ItemId> = items.to_vec();
+            ranked.sort_unstable_by_key(|&i| (pop[i as usize], i));
+            ranked.truncate(beta);
+            ranked
+        })
+        .collect();
+    ProfileStore::from_item_lists(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> ProfileStore {
+        // Item 0 is in every profile (popular); items 10+u are unique.
+        ProfileStore::from_item_lists(vec![
+            vec![0, 1, 10],
+            vec![0, 1, 11],
+            vec![0, 12],
+            vec![0],
+        ])
+    }
+
+    #[test]
+    fn popularity_counts_profiles_containing_each_item() {
+        let pop = item_popularity(&profiles());
+        assert_eq!(pop[0], 4);
+        assert_eq!(pop[1], 2);
+        assert_eq!(pop[10], 1);
+        assert_eq!(pop[2], 0);
+    }
+
+    #[test]
+    fn sampling_keeps_the_least_popular_items() {
+        let sampled = sample_least_popular(&profiles(), 2);
+        // User 0: keeps unique item 10 and item 1 (pop 2); drops item 0.
+        assert_eq!(sampled.items(0), &[1, 10]);
+        // User 2 has exactly 2 items — kept whole.
+        assert_eq!(sampled.items(2), &[0, 12]);
+        // User 3's single item survives even though it is popular.
+        assert_eq!(sampled.items(3), &[0]);
+    }
+
+    #[test]
+    fn beta_one_keeps_single_most_discriminating_item() {
+        let sampled = sample_least_popular(&profiles(), 1);
+        assert_eq!(sampled.items(0), &[10]);
+        assert_eq!(sampled.items(1), &[11]);
+    }
+
+    #[test]
+    fn sampling_preserves_population_and_order() {
+        let sampled = sample_least_popular(&profiles(), 2);
+        assert_eq!(sampled.n_users(), 4);
+        for (_, items) in sampled.iter() {
+            assert!(items.windows(2).all(|w| w[0] < w[1]), "unsorted output");
+        }
+    }
+
+    #[test]
+    fn large_beta_is_identity() {
+        let original = profiles();
+        let sampled = sample_least_popular(&original, 100);
+        for u in 0..4u32 {
+            assert_eq!(sampled.items(u), original.items(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn zero_beta_panics() {
+        let _ = sample_least_popular(&profiles(), 0);
+    }
+
+    #[test]
+    fn sampling_preserves_neighbourhood_signal() {
+        // Two taste clusters polluted by universally popular items: after
+        // sampling, intra-cluster similarity still dominates.
+        let mut lists = Vec::new();
+        for u in 0..6u32 {
+            let mut items: Vec<u32> = (0..10).collect(); // popular block
+            let base = if u < 3 { 100 } else { 200 };
+            items.extend(base..base + 10); // cluster items
+            items.push(300 + u); // unique item
+            lists.push(items);
+        }
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sampled = sample_least_popular(&profiles, 8);
+        // Intra-cluster similarity still clearly above inter-cluster.
+        assert!(sampled.jaccard(0, 1) > sampled.jaccard(0, 4) + 0.2);
+    }
+}

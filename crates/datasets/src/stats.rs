@@ -1,0 +1,115 @@
+//! Dataset statistics — the columns of the paper's Table 2.
+
+use crate::model::BinaryDataset;
+
+/// One row of Table 2: the descriptive statistics of a binarised dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users.
+    pub users: usize,
+    /// Number of *rated* items (items with at least one positive rating).
+    pub rated_items: usize,
+    /// Size of the full item universe.
+    pub item_universe: usize,
+    /// Number of positive ratings (ratings > 3 in the paper).
+    pub positive_ratings: usize,
+    /// Mean positive profile size, `|P_u|`.
+    pub mean_profile: f64,
+    /// Mean item degree over rated items, `|P_i|`.
+    pub mean_item_degree: f64,
+    /// Density: positive ratings / (users × rated items).
+    pub density: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a binarised dataset.
+    pub fn compute(data: &BinaryDataset) -> Self {
+        let profiles = data.profiles();
+        let users = profiles.n_users();
+        let positive = profiles.n_associations();
+        let mut item_seen = vec![false; data.n_items().max(profiles.item_universe_bound() as usize)];
+        let mut item_degree = vec![0u32; item_seen.len()];
+        for (_, items) in profiles.iter() {
+            for &i in items {
+                item_seen[i as usize] = true;
+                item_degree[i as usize] += 1;
+            }
+        }
+        let rated_items = item_seen.iter().filter(|&&s| s).count();
+        let mean_item_degree = if rated_items == 0 {
+            0.0
+        } else {
+            positive as f64 / rated_items as f64
+        };
+        let density = if users == 0 || rated_items == 0 {
+            0.0
+        } else {
+            positive as f64 / (users as f64 * rated_items as f64)
+        };
+        DatasetStats {
+            name: data.name().to_owned(),
+            users,
+            rated_items,
+            item_universe: data.n_items(),
+            positive_ratings: positive,
+            mean_profile: profiles.mean_profile_len(),
+            mean_item_degree,
+            density,
+        }
+    }
+
+    /// Formats the row the way Table 2 prints it.
+    pub fn table2_row(&self) -> String {
+        format!(
+            "{:<14} {:>8} {:>8} {:>10} {:>8.2} {:>8.2} {:>8.3}%",
+            self.name,
+            self.users,
+            self.rated_items,
+            self.positive_ratings,
+            self.mean_profile,
+            self.mean_item_degree,
+            self.density * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BinaryDataset;
+
+    #[test]
+    fn stats_on_small_dataset() {
+        let d = BinaryDataset::from_positive_lists(
+            "t",
+            10,
+            vec![vec![0, 1, 2], vec![1, 2], vec![]],
+        );
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.users, 3);
+        assert_eq!(s.rated_items, 3);
+        assert_eq!(s.positive_ratings, 5);
+        assert!((s.mean_profile - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_item_degree - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.density - 5.0 / 9.0).abs() < 1e-12);
+        assert_eq!(s.item_universe, 10);
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_density() {
+        let d = BinaryDataset::from_positive_lists("t", 5, vec![vec![], vec![]]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.rated_items, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.mean_item_degree, 0.0);
+    }
+
+    #[test]
+    fn row_formatting_contains_name() {
+        let d = BinaryDataset::from_positive_lists("mini", 3, vec![vec![0]]);
+        let row = DatasetStats::compute(&d).table2_row();
+        assert!(row.contains("mini"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the dataset pipeline: binarisation, filtering,
+//! loading, and cross-validation invariants on arbitrary inputs.
+
+use goldfinger_datasets::cv::k_fold;
+use goldfinger_datasets::load::{read_movielens_dat, read_ratings_csv};
+use goldfinger_datasets::model::{BinaryDataset, Rating, RatingsDataset};
+use proptest::prelude::*;
+
+fn ratings() -> impl Strategy<Value = Vec<(u8, u8, f32)>> {
+    proptest::collection::vec(
+        (0u8..20, 0u8..50, prop_oneof![Just(0.5f32), Just(2.0), Just(3.0), Just(3.5), Just(5.0)]),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binarize_keeps_exactly_the_positive_ratings(rs in ratings()) {
+        let triples: Vec<Rating> = rs
+            .iter()
+            .map(|&(u, i, v)| Rating { user: u as u32, item: i as u32, value: v })
+            .collect();
+        let d = RatingsDataset::new("p", 20, 50, triples.clone());
+        let b = d.binarize(3.0);
+        // Every positive (user, item) pair appears; no negative pair does.
+        for r in &triples {
+            let has = b.profiles().items(r.user).contains(&r.item);
+            if r.value > 3.0 {
+                prop_assert!(has, "positive pair missing");
+            }
+        }
+        for u in 0..20u32 {
+            for &item in b.profiles().items(u) {
+                prop_assert!(
+                    triples.iter().any(|r| r.user == u && r.item == item && r.value > 3.0),
+                    "phantom item {item} for user {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_keeps_exactly_the_heavy_users(rs in ratings(), min in 1usize..10) {
+        let triples: Vec<Rating> = rs
+            .iter()
+            .map(|&(u, i, v)| Rating { user: u as u32, item: i as u32, value: v })
+            .collect();
+        let d = RatingsDataset::new("p", 20, 50, triples.clone());
+        let filtered = d.filter_min_ratings(min);
+        let mut counts = [0usize; 20];
+        for r in &triples {
+            counts[r.user as usize] += 1;
+        }
+        let expected_users = counts.iter().filter(|&&c| c >= min).count();
+        prop_assert_eq!(filtered.n_users(), expected_users);
+        prop_assert_eq!(
+            filtered.ratings().len(),
+            triples
+                .iter()
+                .filter(|r| counts[r.user as usize] >= min)
+                .count()
+        );
+    }
+
+    #[test]
+    fn movielens_roundtrip_preserves_every_rating(rs in ratings()) {
+        let text: String = rs
+            .iter()
+            .map(|&(u, i, v)| format!("{u}::{i}::{v}::0\n"))
+            .collect();
+        let d = read_movielens_dat(text.as_bytes(), "t").unwrap();
+        prop_assert_eq!(d.ratings().len(), rs.len());
+        // Values survive verbatim.
+        for (r, &(_, _, v)) in d.ratings().iter().zip(&rs) {
+            prop_assert_eq!(r.value, v);
+        }
+    }
+
+    #[test]
+    fn csv_and_dat_agree(rs in ratings()) {
+        let dat: String = rs.iter().map(|&(u, i, v)| format!("{u}::{i}::{v}::0\n")).collect();
+        let csv: String = rs.iter().map(|&(u, i, v)| format!("{u},{i},{v}\n")).collect();
+        let a = read_movielens_dat(dat.as_bytes(), "t").unwrap();
+        let b = read_ratings_csv(csv.as_bytes(), "t").unwrap();
+        prop_assert_eq!(a.n_users(), b.n_users());
+        prop_assert_eq!(a.ratings().len(), b.ratings().len());
+        for (x, y) in a.ratings().iter().zip(b.ratings()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn k_fold_partitions_every_profile(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..100, 0..30),
+            1..15,
+        ),
+        folds in 2usize..6,
+        seed in 0u64..10,
+    ) {
+        let data = BinaryDataset::from_positive_lists("p", 100, lists);
+        let splits = k_fold(&data, folds, seed);
+        prop_assert_eq!(splits.len(), folds);
+        for u in 0..data.n_users() as u32 {
+            let original: Vec<u32> = data.profiles().items(u).to_vec();
+            // Union of hidden items across folds = the full profile.
+            let mut hidden: Vec<u32> = splits
+                .iter()
+                .flat_map(|s| s.test[u as usize].iter().copied())
+                .collect();
+            hidden.sort_unstable();
+            prop_assert_eq!(&hidden, &original);
+            // In each fold, train ∪ test = profile and train ∩ test = ∅.
+            for s in &splits {
+                let train = s.train.profiles().items(u);
+                let test = &s.test[u as usize];
+                prop_assert_eq!(train.len() + test.len(), original.len());
+                for t in test {
+                    prop_assert!(!train.contains(t));
+                }
+            }
+            // Fold sizes are balanced within one item.
+            let sizes: Vec<usize> = splits.iter().map(|s| s.test[u as usize].len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            prop_assert!(hi - lo <= 1, "unbalanced folds {sizes:?}");
+        }
+    }
+}

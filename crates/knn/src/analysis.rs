@@ -1,0 +1,187 @@
+//! Structural analyses of KNN graphs.
+//!
+//! Tools the KNN-graph literature (including the paper's own Figures
+//! 11–12 discussion of "similarity topology") routinely needs: the reverse
+//! graph (who points at me — NNDescent's search widener), in-degree
+//! distributions (hub detection: fingerprint distortion inflates hubs),
+//! and edge-set overlap between two graphs (a stricter cousin of
+//! [`crate::metrics::edge_recall`], symmetric in its arguments).
+
+use crate::graph::KnnGraph;
+
+/// The reverse adjacency of a KNN graph: `reverse[v]` lists every user `u`
+/// with `v ∈ knn(u)`, in increasing order of `u`.
+pub fn reverse_graph(graph: &KnnGraph) -> Vec<Vec<u32>> {
+    let mut reverse = vec![Vec::new(); graph.n_users()];
+    for (u, v, _) in graph.edges() {
+        reverse[v as usize].push(u);
+    }
+    reverse
+}
+
+/// In-degree of every user (how many KNN lists contain it).
+pub fn in_degrees(graph: &KnnGraph) -> Vec<u32> {
+    let mut deg = vec![0u32; graph.n_users()];
+    for (_, v, _) in graph.edges() {
+        deg[v as usize] += 1;
+    }
+    deg
+}
+
+/// Summary of an in-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Mean in-degree (= mean out-degree = mean list length).
+    pub mean: f64,
+    /// Maximum in-degree (hubs).
+    pub max: u32,
+    /// Number of users with in-degree 0 (unreachable through the graph).
+    pub orphans: usize,
+    /// Gini coefficient of the in-degree distribution (0 = perfectly even,
+    /// → 1 = one hub absorbs everything).
+    pub gini: f64,
+}
+
+/// Computes in-degree statistics.
+pub fn degree_stats(graph: &KnnGraph) -> DegreeStats {
+    let mut deg = in_degrees(graph);
+    let n = deg.len();
+    if n == 0 {
+        return DegreeStats {
+            mean: 0.0,
+            max: 0,
+            orphans: 0,
+            gini: 0.0,
+        };
+    }
+    let total: u64 = deg.iter().map(|&d| d as u64).sum();
+    let mean = total as f64 / n as f64;
+    let max = deg.iter().copied().max().unwrap_or(0);
+    let orphans = deg.iter().filter(|&&d| d == 0).count();
+    // Gini via the sorted formula: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n.
+    deg.sort_unstable();
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let weighted: f64 = deg
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    };
+    DegreeStats {
+        mean,
+        max,
+        orphans,
+        gini,
+    }
+}
+
+/// Jaccard overlap of the two graphs' directed edge sets (ignoring
+/// similarity values). 1 when they are identical, 0 when disjoint.
+///
+/// # Panics
+/// Panics if the graphs cover different populations.
+pub fn edge_overlap(a: &KnnGraph, b: &KnnGraph) -> f64 {
+    assert_eq!(a.n_users(), b.n_users(), "graphs cover different populations");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for u in 0..a.n_users() as u32 {
+        let ea: Vec<u32> = a.neighbors(u).iter().map(|s| s.user).collect();
+        let eb: Vec<u32> = b.neighbors(u).iter().map(|s| s.user).collect();
+        let shared = ea.iter().filter(|v| eb.contains(v)).count();
+        inter += shared;
+        union += ea.len() + eb.len() - shared;
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::topk::Scored;
+
+    fn s(sim: f64, user: u32) -> Scored {
+        Scored { sim, user }
+    }
+
+    fn star_graph() -> KnnGraph {
+        // Users 1..=3 all point at user 0; user 0 points at 1.
+        KnnGraph::from_lists(
+            1,
+            vec![
+                vec![s(0.9, 1)],
+                vec![s(0.9, 0)],
+                vec![s(0.8, 0)],
+                vec![s(0.7, 0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn reverse_graph_inverts_edges() {
+        let rev = reverse_graph(&star_graph());
+        assert_eq!(rev[0], vec![1, 2, 3]);
+        assert_eq!(rev[1], vec![0]);
+        assert!(rev[2].is_empty());
+    }
+
+    #[test]
+    fn in_degrees_count_incoming_edges() {
+        let deg = in_degrees(&star_graph());
+        assert_eq!(deg, vec![3, 1, 0, 0]);
+    }
+
+    #[test]
+    fn degree_stats_detect_the_hub() {
+        let stats = degree_stats(&star_graph());
+        assert_eq!(stats.max, 3);
+        assert_eq!(stats.orphans, 2);
+        assert!((stats.mean - 1.0).abs() < 1e-12);
+        assert!(stats.gini > 0.5, "gini = {}", stats.gini);
+    }
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        // A ring: everyone has in-degree exactly 1.
+        let ring = KnnGraph::from_lists(
+            1,
+            (0..6u32).map(|u| vec![s(0.5, (u + 1) % 6)]).collect(),
+        );
+        let stats = degree_stats(&ring);
+        assert_eq!(stats.max, 1);
+        assert_eq!(stats.orphans, 0);
+        assert!(stats.gini.abs() < 1e-9, "gini = {}", stats.gini);
+    }
+
+    #[test]
+    fn edge_overlap_bounds() {
+        let g = star_graph();
+        assert!((edge_overlap(&g, &g) - 1.0).abs() < 1e-12);
+        let other = KnnGraph::from_lists(
+            1,
+            vec![
+                vec![s(0.9, 2)],
+                vec![s(0.9, 3)],
+                vec![s(0.8, 3)],
+                vec![s(0.7, 2)],
+            ],
+        );
+        assert_eq!(edge_overlap(&g, &other), 0.0);
+    }
+
+    #[test]
+    fn empty_graphs_overlap_fully() {
+        let a = KnnGraph::from_lists(2, vec![vec![], vec![]]);
+        let b = KnnGraph::from_lists(2, vec![vec![], vec![]]);
+        assert_eq!(edge_overlap(&a, &b), 1.0);
+        let stats = degree_stats(&a);
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.gini, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Exact KNN graph construction by exhaustive pairwise comparison.
+
+use crate::graph::{BuildStats, KnnGraph, KnnResult};
+use goldfinger_core::parallel::par_map_indexed;
+use goldfinger_core::similarity::Similarity;
+use goldfinger_core::topk::TopK;
+use std::time::Instant;
+
+/// Brute-force builder: computes all `n(n−1)/2` similarities and keeps the
+/// top `k` per user. Exact (up to estimator error of the provider), and the
+/// reference point of every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForce {
+    /// Number of worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for BruteForce {
+    fn default() -> Self {
+        BruteForce { threads: 1 }
+    }
+}
+
+impl BruteForce {
+    /// Builds the exact KNN graph for the given provider.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn build<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+        assert!(k > 0, "k must be positive");
+        let n = sim.n_users();
+        let start = Instant::now();
+        // Each user's top-k scan is independent: embarrassingly parallel.
+        let neighbors = par_map_indexed(n, self.threads, |u| {
+            let mut top = TopK::new(k);
+            for v in 0..n {
+                if v == u {
+                    continue;
+                }
+                top.offer(sim.similarity(u as u32, v as u32), v as u32);
+            }
+            top.into_sorted()
+        });
+        // Each ordered pair is evaluated once per side in the parallel scan.
+        let evals = (n as u64) * (n as u64).saturating_sub(1);
+        KnnResult {
+            graph: KnnGraph::from_lists(k, neighbors),
+            stats: BuildStats {
+                similarity_evals: evals,
+                iterations: 1,
+                wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::profile::ProfileStore;
+    use goldfinger_core::similarity::ExplicitJaccard;
+
+    fn store() -> ProfileStore {
+        ProfileStore::from_item_lists(vec![
+            vec![1, 2, 3, 4],   // 0
+            vec![1, 2, 3],      // 1: J(0,1)=3/4
+            vec![3, 4],         // 2: J(0,2)=2/4
+            vec![100, 101],     // 3: J(0,3)=0
+        ])
+    }
+
+    #[test]
+    fn finds_the_true_neighbors() {
+        let profiles = store();
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = BruteForce::default().build(&sim, 2);
+        let n0: Vec<u32> = result.graph.neighbors(0).iter().map(|s| s.user).collect();
+        assert_eq!(n0, vec![1, 2]);
+        assert!((result.graph.neighbors(0)[0].sim - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_population_returns_everyone() {
+        let profiles = store();
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = BruteForce::default().build(&sim, 10);
+        assert_eq!(result.graph.neighbors(0).len(), 3);
+    }
+
+    #[test]
+    fn eval_count_is_exact() {
+        let profiles = store();
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = BruteForce::default().build(&sim, 2);
+        assert_eq!(result.stats.similarity_evals, 4 * 3);
+        assert_eq!(result.stats.iterations, 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let profiles = store();
+        let sim = ExplicitJaccard::new(&profiles);
+        let seq = BruteForce { threads: 1 }.build(&sim, 2);
+        let par = BruteForce { threads: 4 }.build(&sim, 2);
+        for u in 0..4u32 {
+            assert_eq!(seq.graph.neighbors(u), par.graph.neighbors(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let profiles = store();
+        let sim = ExplicitJaccard::new(&profiles);
+        let _ = BruteForce::default().build(&sim, 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Local KNN-graph maintenance under profile updates.
+//!
+//! The paper's motivation (§1.2) includes "web real-time" services that
+//! must refresh suggestions on fresh data at short intervals. Rebuilding
+//! the whole graph for one changed profile is wasteful; this module repairs
+//! a graph *locally*: when user `u`'s profile (or fingerprint) changes,
+//! re-score `u` against a Hyrec-style candidate set — its current
+//! neighbours, their neighbours, and its reverse neighbours — updating both
+//! sides. One repair touches `O(k²)` similarities instead of `O(n·k)`-plus
+//! for a full rebuild.
+
+use crate::graph::KnnGraph;
+use crate::neighborlist::NeighborList;
+use goldfinger_core::similarity::Similarity;
+use goldfinger_core::topk::Scored;
+
+/// A KNN graph in mutable form, supporting local repairs.
+///
+/// ```
+/// use goldfinger_core::profile::ProfileStore;
+/// use goldfinger_core::similarity::ExplicitJaccard;
+/// use goldfinger_knn::brute::BruteForce;
+/// use goldfinger_knn::dynamic::DynamicKnn;
+///
+/// let profiles = ProfileStore::from_item_lists(vec![
+///     (0..20).collect(), (5..25).collect(), (10..30).collect(),
+/// ]);
+/// let sim = ExplicitJaccard::new(&profiles);
+/// let graph = BruteForce::default().build(&sim, 2).graph;
+///
+/// let mut dynamic = DynamicKnn::from_graph(&graph);
+/// let evals = dynamic.repair_user(0, &sim); // local, not O(n)
+/// assert!(evals < 9);
+/// assert_eq!(dynamic.into_graph().neighbors(0), graph.neighbors(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicKnn {
+    k: usize,
+    lists: Vec<NeighborList>,
+}
+
+impl DynamicKnn {
+    /// Adopts a built graph.
+    pub fn from_graph(graph: &KnnGraph) -> Self {
+        let lists = (0..graph.n_users() as u32)
+            .map(|u| {
+                let mut list = NeighborList::new(graph.k());
+                for s in graph.neighbors(u) {
+                    list.insert(s.user, s.sim);
+                }
+                list
+            })
+            .collect();
+        DynamicKnn {
+            k: graph.k(),
+            lists,
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current neighbours of `u`, sorted by decreasing similarity.
+    pub fn neighbors(&self, u: u32) -> Vec<Scored> {
+        self.lists[u as usize].to_sorted()
+    }
+
+    /// Repairs the graph after user `u`'s profile changed: rebuilds `u`'s
+    /// scores and offers `u` to the candidates' lists. Returns the number
+    /// of similarity evaluations spent.
+    ///
+    /// The provider must already reflect the update (e.g. call
+    /// `ShfStore::set_fingerprint` first). Purely local: if the user's
+    /// tastes migrated *entirely* out of its old neighbourhood, use
+    /// [`DynamicKnn::repair_user_with_probes`] so random exploration can
+    /// escape the stale cluster.
+    pub fn repair_user<S: Similarity>(&mut self, u: u32, sim: &S) -> u64 {
+        self.repair_user_with_probes(u, sim, 0, 0)
+    }
+
+    /// Like [`DynamicKnn::repair_user`], but additionally scores `probes`
+    /// uniformly random users — the greedy-plus-exploration recipe of
+    /// NNDescent-style maintenance, needed when an update invalidates the
+    /// whole old neighbourhood.
+    pub fn repair_user_with_probes<S: Similarity>(
+        &mut self,
+        u: u32,
+        sim: &S,
+        probes: usize,
+        seed: u64,
+    ) -> u64 {
+        let mut candidates = self.candidate_set(u);
+        if probes > 0 && self.lists.len() > 1 {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed ^ u as u64);
+            let n = self.lists.len();
+            for _ in 0..probes {
+                let v = rng.gen_range(0..n) as u32;
+                if v != u {
+                    candidates.push(v);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+        // Rebuild u's list from scratch: old similarities are stale.
+        let mut fresh = NeighborList::new(self.k);
+        let mut evals = 0u64;
+        for &v in &candidates {
+            evals += 1;
+            let s = sim.similarity(u, v);
+            fresh.insert(v, s);
+            // Symmetric offer: v may now like the updated u better. Its
+            // other entries are still valid (only u changed).
+            self.remove_entry(v, u);
+            self.lists[v as usize].insert(u, s);
+        }
+        self.lists[u as usize] = fresh;
+        evals
+    }
+
+    /// Inserts a brand-new user at the end of the population and wires it
+    /// into the graph via the provider (scans `seeds` plus their
+    /// neighbours). Returns the new user's id.
+    ///
+    /// The provider must already cover the new user (its `n_users()` must
+    /// equal the graph's new population).
+    pub fn add_user<S: Similarity>(&mut self, sim: &S, seeds: &[u32]) -> u32 {
+        let u = self.lists.len() as u32;
+        self.lists.push(NeighborList::new(self.k));
+        assert_eq!(
+            sim.n_users(),
+            self.lists.len(),
+            "provider does not cover the new user"
+        );
+        let mut candidates: Vec<u32> = Vec::new();
+        for &s in seeds {
+            candidates.push(s);
+            candidates.extend(self.lists[s as usize].users());
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&v| v != u);
+        for v in candidates {
+            let s = sim.similarity(u, v);
+            self.lists[u as usize].insert(v, s);
+            self.lists[v as usize].insert(u, s);
+        }
+        u
+    }
+
+    /// Freezes back into an immutable graph.
+    pub fn into_graph(self) -> KnnGraph {
+        let lists = self.lists.iter().map(NeighborList::to_sorted).collect();
+        KnnGraph::from_lists(self.k, lists)
+    }
+
+    /// Hyrec-style candidate set for `u`: neighbours, their neighbours,
+    /// and reverse neighbours.
+    fn candidate_set(&self, u: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for v in self.lists[u as usize].users() {
+            out.push(v);
+            out.extend(self.lists[v as usize].users());
+        }
+        for (w, list) in self.lists.iter().enumerate() {
+            if list.contains(u) {
+                out.push(w as u32);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&v| v != u);
+        out
+    }
+
+    fn remove_entry(&mut self, owner: u32, neighbor: u32) {
+        let list = &mut self.lists[owner as usize];
+        if list.contains(neighbor) {
+            let kept: Vec<(u32, f64)> = list
+                .entries()
+                .iter()
+                .filter(|e| e.user != neighbor)
+                .map(|e| (e.user, e.sim))
+                .collect();
+            let mut rebuilt = NeighborList::new(list.k());
+            for (user, sim) in kept {
+                rebuilt.insert(user, sim);
+            }
+            *list = rebuilt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use goldfinger_core::profile::ProfileStore;
+    use goldfinger_core::shf::ShfParams;
+    use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
+
+    /// Two clusters of 6 users over disjoint item ranges.
+    fn profiles() -> Vec<Vec<u32>> {
+        let mut lists = Vec::new();
+        for u in 0..6u32 {
+            let mut items: Vec<u32> = (0..15).collect();
+            items.push(100 + u);
+            lists.push(items);
+        }
+        for u in 0..6u32 {
+            let mut items: Vec<u32> = (50..65).collect();
+            items.push(200 + u);
+            lists.push(items);
+        }
+        lists
+    }
+
+    #[test]
+    fn adoption_roundtrips() {
+        let store = ProfileStore::from_item_lists(profiles());
+        let sim = ExplicitJaccard::new(&store);
+        let graph = BruteForce::default().build(&sim, 3).graph;
+        let dynamic = DynamicKnn::from_graph(&graph);
+        let back = dynamic.into_graph();
+        for u in 0..12u32 {
+            assert_eq!(back.neighbors(u), graph.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn repair_moves_a_migrated_user_to_its_new_cluster() {
+        let mut lists = profiles();
+        let store = ProfileStore::from_item_lists(lists.clone());
+        let sim = ExplicitJaccard::new(&store);
+        let graph = BruteForce::default().build(&sim, 3).graph;
+        // User 0's old neighbours are in cluster A.
+        assert!(graph.neighbors(0).iter().all(|s| s.user < 6));
+
+        // User 0 switches tastes entirely to cluster B's items.
+        lists[0] = (50..66).collect();
+        let updated = ProfileStore::from_item_lists(lists);
+        let new_sim = ExplicitJaccard::new(&updated);
+
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+        // A purely local repair cannot escape the stale cluster: random
+        // probes provide the exploration, then a second (probe-free)
+        // repair walks the freshly found cluster via neighbours-of-
+        // neighbours.
+        let evals1 = dynamic.repair_user_with_probes(0, &new_sim, 8, 42);
+        assert!(evals1 > 0);
+        let _ = dynamic.repair_user(0, &new_sim);
+        let repaired = dynamic.into_graph();
+        assert!(
+            repaired.neighbors(0).iter().all(|s| s.user >= 6),
+            "user 0 should now neighbour cluster B: {:?}",
+            repaired.neighbors(0)
+        );
+        // And B-users adopted user 0 where it beats their old worst.
+        let adopted = (6..12u32)
+            .filter(|&v| repaired.neighbors(v).iter().any(|s| s.user == 0))
+            .count();
+        assert!(adopted > 0, "no B-user adopted the migrated user");
+    }
+
+    #[test]
+    fn repair_with_fingerprints_tracks_the_update() {
+        let mut lists = profiles();
+        let params = ShfParams::new(1024, goldfinger_core::hash::DynHasher::default());
+        let store = ProfileStore::from_item_lists(lists.clone());
+        let mut fps = params.fingerprint_store(&store);
+        let graph = {
+            let sim = ShfJaccard::new(&fps);
+            BruteForce::default().build(&sim, 3).graph
+        };
+        // Fold cluster-B items into user 0's fingerprint incrementally.
+        lists[0].extend(50..65);
+        let mut shf = fps.get(0);
+        for item in 50..65u32 {
+            shf.insert_item(item, params.hasher());
+        }
+        fps.set_fingerprint(0, &shf);
+
+        let sim = ShfJaccard::new(&fps);
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+        dynamic.repair_user(0, &sim);
+        // The candidate set only covers the old neighbourhood, but the
+        // rescored similarities must now match the updated fingerprint.
+        let repaired = dynamic.into_graph();
+        for s in repaired.neighbors(0) {
+            assert!((s.sim - sim.similarity(0, s.user)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_user_wires_into_existing_cluster() {
+        let mut lists = profiles();
+        let store = ProfileStore::from_item_lists(lists.clone());
+        let sim = ExplicitJaccard::new(&store);
+        let graph = BruteForce::default().build(&sim, 3).graph;
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+
+        // New user with cluster-A tastes; provider must cover them.
+        lists.push((0..15).collect());
+        let grown = ProfileStore::from_item_lists(lists);
+        let new_sim = ExplicitJaccard::new(&grown);
+        let id = dynamic.add_user(&new_sim, &[0]);
+        assert_eq!(id, 12);
+        let graph = dynamic.into_graph();
+        assert!(!graph.neighbors(12).is_empty());
+        assert!(graph.neighbors(12).iter().all(|s| s.user < 6));
+        // Existing cluster-A users may adopt the newcomer.
+        assert!(graph.n_users() == 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn add_user_requires_matching_provider() {
+        let store = ProfileStore::from_item_lists(profiles());
+        let sim = ExplicitJaccard::new(&store);
+        let graph = BruteForce::default().build(&sim, 3).graph;
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+        let _ = dynamic.add_user(&sim, &[0]); // provider still has 12 users
+    }
+
+    #[test]
+    fn repair_cost_is_local() {
+        let store = ProfileStore::from_item_lists(profiles());
+        let sim = ExplicitJaccard::new(&store);
+        let graph = BruteForce::default().build(&sim, 3).graph;
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+        let evals = dynamic.repair_user(0, &sim);
+        // Candidate set ≤ k + k² + reverse ≈ well below n·(n−1).
+        assert!(evals <= (3 + 9 + 12) as u64);
+    }
+}

@@ -1,0 +1,168 @@
+//! KNN graph representation and build statistics.
+
+use goldfinger_core::topk::Scored;
+use std::time::Duration;
+
+/// A directed K-nearest-neighbour graph: each user points to (up to) `k`
+/// neighbours sorted by decreasing similarity.
+#[derive(Debug, Clone)]
+pub struct KnnGraph {
+    k: usize,
+    neighbors: Vec<Vec<Scored>>,
+}
+
+impl KnnGraph {
+    /// Wraps per-user neighbour lists (each sorted by decreasing
+    /// similarity; ties by increasing user id).
+    ///
+    /// # Panics
+    /// Panics in debug builds if a list exceeds `k`, contains the owner,
+    /// contains duplicates, or is mis-sorted.
+    pub fn from_lists(k: usize, neighbors: Vec<Vec<Scored>>) -> Self {
+        #[cfg(debug_assertions)]
+        for (u, list) in neighbors.iter().enumerate() {
+            debug_assert!(list.len() <= k, "user {u} has more than k neighbours");
+            debug_assert!(
+                list.iter().all(|s| s.user as usize != u),
+                "user {u} is its own neighbour"
+            );
+            debug_assert!(
+                list.windows(2).all(|w| {
+                    w[0].sim > w[1].sim || (w[0].sim == w[1].sim && w[0].user < w[1].user)
+                }),
+                "user {u} has a mis-sorted neighbour list"
+            );
+        }
+        KnnGraph { k, neighbors }
+    }
+
+    /// Neighbourhood size parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbours of `u`, most similar first.
+    pub fn neighbors(&self, u: u32) -> &[Scored] {
+        &self.neighbors[u as usize]
+    }
+
+    /// Iterates all directed edges `(u, v, sim)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.neighbors
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().map(move |s| (u as u32, s.user, s.sim)))
+    }
+
+    /// Total number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum()
+    }
+
+    /// Mean stored similarity over all edges (0 for an edgeless graph).
+    ///
+    /// Note: these are the similarities *as seen by the builder* (estimates
+    /// for GoldFinger graphs). For the paper's quality metric, re-evaluate
+    /// edges against the exact provider with
+    /// [`crate::metrics::average_similarity`].
+    pub fn mean_stored_similarity(&self) -> f64 {
+        let n = self.n_edges();
+        if n == 0 {
+            return 0.0;
+        }
+        self.edges().map(|(_, _, s)| s).sum::<f64>() / n as f64
+    }
+}
+
+/// Counters describing one KNN construction run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildStats {
+    /// Number of similarity evaluations performed.
+    pub similarity_evals: u64,
+    /// Number of refinement iterations (1 for one-shot algorithms).
+    pub iterations: u32,
+    /// Wall-clock construction time (excludes dataset preparation, as in
+    /// the paper).
+    pub wall: Duration,
+}
+
+impl BuildStats {
+    /// Scanrate: performed similarity evaluations divided by the
+    /// `n(n-1)/2` a brute-force pass needs (Fig. 12 of the paper).
+    pub fn scanrate(&self, n_users: usize) -> f64 {
+        if n_users < 2 {
+            return 0.0;
+        }
+        let brute = (n_users as f64) * (n_users as f64 - 1.0) / 2.0;
+        self.similarity_evals as f64 / brute
+    }
+}
+
+/// A constructed graph together with its build statistics.
+#[derive(Debug, Clone)]
+pub struct KnnResult {
+    /// The (approximate) KNN graph.
+    pub graph: KnnGraph,
+    /// Build counters.
+    pub stats: BuildStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(sim: f64, user: u32) -> Scored {
+        Scored { sim, user }
+    }
+
+    #[test]
+    fn graph_accessors() {
+        let g = KnnGraph::from_lists(
+            2,
+            vec![vec![s(0.9, 1), s(0.5, 2)], vec![s(0.9, 0)], vec![]],
+        );
+        assert_eq!(g.k(), 2);
+        assert_eq!(g.n_users(), 3);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbors(0)[0].user, 1);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!((g.mean_stored_similarity() - (0.9 + 0.5 + 0.9) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_mean_is_zero() {
+        let g = KnnGraph::from_lists(3, vec![vec![], vec![]]);
+        assert_eq!(g.mean_stored_similarity(), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "own neighbour")]
+    fn self_loop_is_rejected() {
+        let _ = KnnGraph::from_lists(2, vec![vec![s(1.0, 0)]]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "mis-sorted")]
+    fn missorted_list_is_rejected() {
+        let _ = KnnGraph::from_lists(2, vec![vec![s(0.1, 1), s(0.9, 2)], vec![]]);
+    }
+
+    #[test]
+    fn scanrate_of_brute_force_is_one() {
+        let stats = BuildStats {
+            similarity_evals: 45, // 10 users: 10*9/2
+            iterations: 1,
+            wall: Duration::ZERO,
+        };
+        assert!((stats.scanrate(10) - 1.0).abs() < 1e-12);
+        assert_eq!(stats.scanrate(1), 0.0);
+    }
+}

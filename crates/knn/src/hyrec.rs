@@ -1,0 +1,315 @@
+//! Hyrec (Boutet, Frey, Guerraoui, Kermarrec & Patra, Middleware 2014).
+//!
+//! Like NNDescent, Hyrec refines a random graph with the
+//! neighbour-of-a-neighbour heuristic, but iterates differently: at each
+//! iteration, every user `u` is compared against its neighbours' neighbours
+//! (rather than joining pairs among `u`'s neighbours), and the current graph
+//! is *not* reversed. Terminates when fewer than `δ·k·n` updates occur or
+//! after `max_iterations`.
+
+use crate::graph::{BuildStats, KnnGraph, KnnResult};
+use crate::neighborlist::{random_lists, NeighborList};
+use goldfinger_core::similarity::Similarity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Hyrec parameters. Defaults follow the paper's evaluation (§3.3):
+/// `δ = 0.001`, at most 30 iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct Hyrec {
+    /// Termination threshold: stop when an iteration performs fewer than
+    /// `delta · k · n` list updates.
+    pub delta: f64,
+    /// Hard cap on refinement iterations.
+    pub max_iterations: u32,
+    /// RNG seed for the initial random graph.
+    pub seed: u64,
+    /// Worker threads for the candidate scans (1 = sequential and fully
+    /// deterministic; >1 matches the paper's multi-threaded runs but makes
+    /// the update interleaving — and thus tie outcomes — nondeterministic).
+    pub threads: usize,
+}
+
+impl Default for Hyrec {
+    fn default() -> Self {
+        Hyrec {
+            delta: 0.001,
+            max_iterations: 30,
+            seed: 0x4E_C0,
+            threads: 1,
+        }
+    }
+}
+
+impl Hyrec {
+    /// Builds an approximate KNN graph over the provider.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `delta` is negative.
+    pub fn build<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+        if self.threads > 1 {
+            return self.build_parallel(sim, k);
+        }
+        assert!(k > 0, "k must be positive");
+        assert!(self.delta >= 0.0, "delta must be non-negative");
+        let n = sim.n_users();
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evals = 0u64;
+        let mut lists = random_lists(sim, k, &mut rng, &mut evals);
+        let mut iterations = 0u32;
+
+        // Visited stamps avoid repeated similarity computations within one
+        // user's candidate scan without clearing a bitmap every time.
+        let mut stamp = vec![0u32; n];
+        let mut round = 0u32;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let mut updates = 0u64;
+
+            // Snapshot the neighbour ids: Hyrec explores the graph as it
+            // stood at the start of the iteration.
+            let snapshot: Vec<Vec<u32>> =
+                lists.iter().map(|l| l.users().collect()).collect();
+
+            for u in 0..n {
+                round += 1;
+                stamp[u] = round; // never compare u with itself
+                for &v in &snapshot[u] {
+                    stamp[v as usize] = round; // already a neighbour: skip
+                }
+                for &v in &snapshot[u] {
+                    for &w in &snapshot[v as usize] {
+                        let w_us = w as usize;
+                        if stamp[w_us] == round {
+                            continue;
+                        }
+                        stamp[w_us] = round;
+                        evals += 1;
+                        let s = sim.similarity(u as u32, w);
+                        if lists[u].insert(w, s) {
+                            updates += 1;
+                        }
+                        if lists[w_us].insert(u as u32, s) {
+                            updates += 1;
+                        }
+                    }
+                }
+            }
+
+            if (updates as f64) < self.delta * k as f64 * n as f64 {
+                break;
+            }
+        }
+
+        let neighbors = lists.iter().map(NeighborList::to_sorted).collect();
+        KnnResult {
+            graph: KnnGraph::from_lists(k, neighbors),
+            stats: BuildStats {
+                similarity_evals: evals,
+                iterations,
+                wall: start.elapsed(),
+            },
+        }
+    }
+
+    /// Multi-threaded variant: pivots are scanned in parallel, neighbour
+    /// lists are guarded by per-node locks (one lock held at a time — no
+    /// nesting, no deadlock). The resulting graph is equivalent in quality
+    /// but not bit-identical across runs, since update interleaving is
+    /// scheduler-dependent.
+    fn build_parallel<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+        use goldfinger_core::parallel::par_for_each_range;
+        use parking_lot::Mutex;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        assert!(k > 0, "k must be positive");
+        assert!(self.delta >= 0.0, "delta must be non-negative");
+        let n = sim.n_users();
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut init_evals = 0u64;
+        let lists = random_lists(sim, k, &mut rng, &mut init_evals);
+        let locks: Vec<Mutex<NeighborList>> = lists.into_iter().map(Mutex::new).collect();
+        let evals = AtomicU64::new(init_evals);
+        let mut iterations = 0u32;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let snapshot: Vec<Vec<u32>> = locks
+                .iter()
+                .map(|l| l.lock().users().collect())
+                .collect();
+            let updates = AtomicU64::new(0);
+            par_for_each_range(n, self.threads, |_, lo, hi| {
+                // Per-thread visited stamps.
+                let mut stamp = vec![0u32; n];
+                let mut round = 0u32;
+                for u in lo..hi {
+                    round += 1;
+                    stamp[u] = round;
+                    for &v in &snapshot[u] {
+                        stamp[v as usize] = round;
+                    }
+                    for &v in &snapshot[u] {
+                        for &w in &snapshot[v as usize] {
+                            let w_us = w as usize;
+                            if stamp[w_us] == round {
+                                continue;
+                            }
+                            stamp[w_us] = round;
+                            evals.fetch_add(1, Ordering::Relaxed);
+                            let s = sim.similarity(u as u32, w);
+                            let mut changed = 0u64;
+                            if locks[u].lock().insert(w, s) {
+                                changed += 1;
+                            }
+                            if locks[w_us].lock().insert(u as u32, s) {
+                                changed += 1;
+                            }
+                            if changed > 0 {
+                                updates.fetch_add(changed, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+            if (updates.load(Ordering::Relaxed) as f64) < self.delta * k as f64 * n as f64 {
+                break;
+            }
+        }
+
+        let neighbors = locks.iter().map(|l| l.lock().to_sorted()).collect();
+        KnnResult {
+            graph: KnnGraph::from_lists(k, neighbors),
+            stats: BuildStats {
+                similarity_evals: evals.load(Ordering::Relaxed),
+                iterations,
+                wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::profile::ProfileStore;
+    use goldfinger_core::similarity::ExplicitJaccard;
+
+    fn clustered(n_per: usize) -> ProfileStore {
+        let mut lists = Vec::new();
+        for u in 0..n_per {
+            let mut items: Vec<u32> = (0..20).collect();
+            items.push(200 + u as u32);
+            lists.push(items);
+        }
+        for u in 0..n_per {
+            let mut items: Vec<u32> = (100..120).collect();
+            items.push(300 + u as u32);
+            lists.push(items);
+        }
+        ProfileStore::from_item_lists(lists)
+    }
+
+    #[test]
+    fn recovers_cluster_structure() {
+        let profiles = clustered(10);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Hyrec::default().build(&sim, 5);
+        for u in 0..20u32 {
+            for s in result.graph.neighbors(u) {
+                assert_eq!(s.user < 10, u < 10, "user {u} -> {}", s.user);
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let profiles = clustered(8);
+        let sim = ExplicitJaccard::new(&profiles);
+        let a = Hyrec::default().build(&sim, 4);
+        let b = Hyrec::default().build(&sim, 4);
+        for u in 0..16u32 {
+            assert_eq!(a.graph.neighbors(u), b.graph.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn scans_less_than_brute_force_on_larger_inputs() {
+        // Greedy search only pays off when n ≫ k²: 800 users, k = 5.
+        let mut lists = Vec::new();
+        for c in 0..40u32 {
+            for u in 0..20u32 {
+                let mut items: Vec<u32> = (c * 50..c * 50 + 15).collect();
+                items.push(10_000 + c * 100 + u);
+                lists.push(items);
+            }
+        }
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Hyrec::default().build(&sim, 5);
+        let brute = 800u64 * 799 / 2;
+        assert!(
+            result.stats.similarity_evals < brute,
+            "{} vs {}",
+            result.stats.similarity_evals,
+            brute
+        );
+    }
+
+    #[test]
+    fn quality_close_to_exact_on_clusters() {
+        use crate::brute::BruteForce;
+        use crate::metrics::average_similarity;
+        let profiles = clustered(12);
+        let sim = ExplicitJaccard::new(&profiles);
+        let exact = BruteForce::default().build(&sim, 5);
+        let approx = Hyrec::default().build(&sim, 5);
+        let q = average_similarity(&approx.graph, &sim)
+            / average_similarity(&exact.graph, &sim);
+        assert!(q > 0.9, "quality = {q}");
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_quality() {
+        use crate::brute::BruteForce;
+        use crate::metrics::quality;
+        let profiles = clustered(15);
+        let sim = ExplicitJaccard::new(&profiles);
+        let exact = BruteForce::default().build(&sim, 5);
+        let seq = Hyrec::default().build(&sim, 5);
+        let par = Hyrec {
+            threads: 4,
+            ..Hyrec::default()
+        }
+        .build(&sim, 5);
+        let q_seq = quality(&seq.graph, &exact.graph, &sim);
+        let q_par = quality(&par.graph, &exact.graph, &sim);
+        assert!(q_par > q_seq - 0.05, "parallel {q_par} vs sequential {q_seq}");
+        // Structural invariants hold under concurrency.
+        for u in 0..par.graph.n_users() as u32 {
+            let neigh = par.graph.neighbors(u);
+            assert!(neigh.len() <= 5);
+            assert!(neigh.iter().all(|s| s.user != u));
+            let mut ids: Vec<u32> = neigh.iter().map(|s| s.user).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), neigh.len());
+        }
+    }
+
+    #[test]
+    fn max_iterations_respected() {
+        let profiles = clustered(10);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Hyrec {
+            max_iterations: 2,
+            ..Hyrec::default()
+        }
+        .build(&sim, 5);
+        assert!(result.stats.iterations <= 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! KIFF (Boutet, Kermarrec, Mittal & Taïani, ICDE 2016): KNN construction
+//! that exploits the bipartite user–item structure.
+//!
+//! Discussed in the paper's related work (§6): instead of comparing
+//! arbitrary user pairs, KIFF only considers pairs that *share at least one
+//! item*, discovered through an inverted item→users index, and ranks
+//! candidates by their co-rating count before spending exact similarity
+//! evaluations on the most promising ones. This "works particularly well on
+//! sparse datasets but has more difficulties with denser ones" — popular
+//! items blow up the candidate lists, which the `max_item_degree` cap
+//! mitigates.
+//!
+//! Like every other algorithm in this crate, the candidate *scoring* goes
+//! through a [`Similarity`] provider, so KIFF too is GoldFinger-ready.
+
+use crate::graph::{BuildStats, KnnGraph, KnnResult};
+use goldfinger_core::profile::ProfileStore;
+use goldfinger_core::similarity::Similarity;
+use goldfinger_core::topk::TopK;
+use std::time::Instant;
+
+/// KIFF parameters.
+///
+/// ```
+/// use goldfinger_core::profile::ProfileStore;
+/// use goldfinger_core::similarity::ExplicitJaccard;
+/// use goldfinger_knn::kiff::Kiff;
+///
+/// let profiles = ProfileStore::from_item_lists(vec![
+///     vec![1, 2, 3], vec![2, 3, 4], vec![100, 101, 102],
+/// ]);
+/// let sim = ExplicitJaccard::new(&profiles);
+/// let result = Kiff::default().build(&profiles, &sim, 2);
+/// // Users 0 and 1 co-rate items 2–3; user 2 shares nothing and is
+/// // never even considered as a candidate.
+/// assert_eq!(result.graph.neighbors(0)[0].user, 1);
+/// assert!(result.graph.neighbors(2).is_empty());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Kiff {
+    /// Evaluate the top `candidate_factor · k` candidates by co-rating
+    /// count for each user.
+    pub candidate_factor: usize,
+    /// Ignore items rated by more than this many users when generating
+    /// candidates (`None` = no cap). Blockbusters connect everyone and add
+    /// little signal — this is the sparse-vs-dense lever of the paper's
+    /// related-work discussion.
+    pub max_item_degree: Option<usize>,
+}
+
+impl Default for Kiff {
+    fn default() -> Self {
+        Kiff {
+            candidate_factor: 4,
+            max_item_degree: None,
+        }
+    }
+}
+
+impl Kiff {
+    /// Builds an approximate KNN graph.
+    ///
+    /// `profiles` provides the bipartite structure (inverted index);
+    /// `sim` scores the candidates (explicit = native, SHF = GoldFinger).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `candidate_factor == 0`, or the populations
+    /// disagree.
+    pub fn build<S: Similarity>(&self, profiles: &ProfileStore, sim: &S, k: usize) -> KnnResult {
+        assert!(k > 0, "k must be positive");
+        assert!(self.candidate_factor > 0, "candidate_factor must be positive");
+        assert_eq!(
+            profiles.n_users(),
+            sim.n_users(),
+            "profile store and similarity provider disagree on population"
+        );
+        let n = profiles.n_users();
+        let start = Instant::now();
+
+        // Inverted index: item → users having it (users arrive in id order).
+        let bound = profiles.item_universe_bound() as usize;
+        let mut index: Vec<Vec<u32>> = vec![Vec::new(); bound];
+        for (u, items) in profiles.iter() {
+            for &i in items {
+                index[i as usize].push(u);
+            }
+        }
+
+        let degree_cap = self.max_item_degree.unwrap_or(usize::MAX);
+        let budget = self.candidate_factor * k;
+        let mut evals = 0u64;
+
+        // Per-user scratch: co-rating counts with stamp-based reset.
+        let mut count = vec![0u32; n];
+        let mut stamp = vec![0u32; n];
+        let mut round = 0u32;
+        let mut neighbors = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            round += 1;
+            stamp[u as usize] = round;
+            let mut touched: Vec<u32> = Vec::new();
+            for &i in profiles.items(u) {
+                let raters = &index[i as usize];
+                if raters.len() > degree_cap {
+                    continue;
+                }
+                for &v in raters {
+                    if v == u {
+                        continue;
+                    }
+                    if stamp[v as usize] != round {
+                        stamp[v as usize] = round;
+                        count[v as usize] = 0;
+                        touched.push(v);
+                    }
+                    count[v as usize] += 1;
+                }
+            }
+            // Rank candidates by co-rating count (ties: lower id first) and
+            // spend similarity evaluations on the best `budget`.
+            touched.sort_unstable_by(|&a, &b| {
+                count[b as usize]
+                    .cmp(&count[a as usize])
+                    .then(a.cmp(&b))
+            });
+            touched.truncate(budget);
+            let mut top = TopK::new(k);
+            for &v in &touched {
+                evals += 1;
+                top.offer(sim.similarity(u, v), v);
+            }
+            neighbors.push(top.into_sorted());
+        }
+
+        KnnResult {
+            graph: KnnGraph::from_lists(k, neighbors),
+            stats: BuildStats {
+                similarity_evals: evals,
+                iterations: 1,
+                wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use crate::metrics::quality;
+    use goldfinger_core::similarity::ExplicitJaccard;
+
+    fn clustered() -> ProfileStore {
+        let mut lists = Vec::new();
+        for c in 0..4u32 {
+            for u in 0..8u32 {
+                let mut items: Vec<u32> = (c * 100..c * 100 + 15).collect();
+                items.push(1_000 + c * 10 + u);
+                lists.push(items);
+            }
+        }
+        ProfileStore::from_item_lists(lists)
+    }
+
+    #[test]
+    fn finds_cluster_neighbors() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Kiff::default().build(&profiles, &sim, 4);
+        for u in 0..32u32 {
+            for s in result.graph.neighbors(u) {
+                assert_eq!(s.user / 8, u / 8, "user {u} got {}", s.user);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_matches_brute_force_on_sparse_clusters() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let exact = BruteForce::default().build(&sim, 4);
+        let kiff = Kiff::default().build(&profiles, &sim, 4);
+        let q = quality(&kiff.graph, &exact.graph, &sim);
+        assert!(q > 0.99, "quality {q}");
+        // And it needed far fewer evaluations: candidates only come from
+        // co-rated items.
+        assert!(kiff.stats.similarity_evals < exact.stats.similarity_evals);
+    }
+
+    #[test]
+    fn users_sharing_no_item_are_never_candidates() {
+        let profiles = ProfileStore::from_item_lists(vec![
+            vec![1, 2],
+            vec![1, 3],
+            vec![100, 101], // disconnected
+        ]);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Kiff::default().build(&profiles, &sim, 2);
+        assert_eq!(result.graph.neighbors(0).len(), 1);
+        assert_eq!(result.graph.neighbors(0)[0].user, 1);
+        assert!(result.graph.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn degree_cap_skips_blockbusters() {
+        // Item 0 is shared by everyone; capping it disconnects the users.
+        let profiles = ProfileStore::from_item_lists(vec![
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 3],
+        ]);
+        let sim = ExplicitJaccard::new(&profiles);
+        let uncapped = Kiff::default().build(&profiles, &sim, 2);
+        assert_eq!(uncapped.graph.neighbors(0).len(), 2);
+        let capped = Kiff {
+            max_item_degree: Some(2),
+            ..Kiff::default()
+        }
+        .build(&profiles, &sim, 2);
+        assert!(capped.graph.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn budget_limits_evaluations() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let tight = Kiff {
+            candidate_factor: 1,
+            ..Kiff::default()
+        }
+        .build(&profiles, &sim, 2);
+        // At most candidate_factor·k evaluations per user.
+        assert!(tight.stats.similarity_evals <= 32 * 2);
+    }
+
+    #[test]
+    fn empty_profiles_are_isolated_but_present() {
+        let profiles = ProfileStore::from_item_lists(vec![vec![], vec![1], vec![1]]);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Kiff::default().build(&profiles, &sim, 2);
+        assert_eq!(result.graph.n_users(), 3);
+        assert!(result.graph.neighbors(0).is_empty());
+        assert_eq!(result.graph.neighbors(1)[0].user, 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # goldfinger-knn
+//!
+//! KNN graph construction algorithms, generic over
+//! [`goldfinger_core::similarity::Similarity`] providers. Running any
+//! algorithm with the explicit provider reproduces the paper's *native*
+//! baselines; swapping in the SHF provider turns the same algorithm into its
+//! *GoldFinger* variant — no other change required, which is the paper's
+//! genericity claim.
+//!
+//! | Algorithm | Module | Character |
+//! |-----------|--------|-----------|
+//! | Brute Force | [`brute`] | exact, `n(n−1)/2` comparisons |
+//! | NNDescent | [`nndescent`] | greedy local joins + reverse graph |
+//! | Hyrec | [`hyrec`] | greedy neighbours-of-neighbours |
+//! | LSH | [`lsh`] | MinHash bucketing, in-bucket scans |
+//!
+//! ```
+//! use goldfinger_core::shf::ShfParams;
+//! use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
+//! use goldfinger_core::profile::ProfileStore;
+//! use goldfinger_knn::brute::BruteForce;
+//!
+//! let profiles = ProfileStore::from_item_lists(vec![
+//!     (0..40).collect(), (20..60).collect(), (100..140).collect(),
+//! ]);
+//! // Native…
+//! let exact = BruteForce::default().build(&ExplicitJaccard::new(&profiles), 2);
+//! // …and GoldFinger, same algorithm:
+//! let fps = ShfParams::default().fingerprint_store(&profiles);
+//! let approx = BruteForce::default().build(&ShfJaccard::new(&fps), 2);
+//! assert_eq!(exact.graph.neighbors(0)[0].user, approx.graph.neighbors(0)[0].user);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod brute;
+pub mod dynamic;
+pub mod graph;
+pub mod hyrec;
+pub mod instrument;
+pub mod kiff;
+pub mod lsh;
+pub mod metrics;
+pub mod neighborlist;
+pub mod nndescent;
+pub mod serial;
+
+pub use analysis::{degree_stats, edge_overlap, in_degrees, reverse_graph, DegreeStats};
+pub use brute::BruteForce;
+pub use dynamic::DynamicKnn;
+pub use graph::{BuildStats, KnnGraph, KnnResult};
+pub use hyrec::Hyrec;
+pub use instrument::{CountingSimilarity, MemoryTraffic};
+pub use kiff::Kiff;
+pub use lsh::Lsh;
+pub use metrics::{average_similarity, edge_recall, quality};
+pub use nndescent::NNDescent;
+pub use serial::{read_knn_graph, write_knn_graph};

@@ -1,0 +1,121 @@
+//! Graph quality metrics (§2.1 of the paper).
+
+use crate::graph::KnnGraph;
+use goldfinger_core::similarity::Similarity;
+
+/// Average *exact* similarity over the directed edges of a graph (Eq. 2).
+///
+/// Pass the explicit provider here even for GoldFinger-built graphs: the
+/// paper evaluates approximate graphs against ground-truth similarities,
+/// not against the estimates the builder saw.
+pub fn average_similarity<S: Similarity>(graph: &KnnGraph, exact: &S) -> f64 {
+    let mut total = 0.0f64;
+    let mut edges = 0usize;
+    for (u, v, _) in graph.edges() {
+        total += exact.similarity(u, v);
+        edges += 1;
+    }
+    if edges == 0 {
+        0.0
+    } else {
+        total / edges as f64
+    }
+}
+
+/// KNN quality (Eq. 3): the graph's average exact similarity divided by the
+/// exact graph's. 1.0 means the approximation is as good as exact
+/// neighbourhoods; values slightly above 1.0 can occur when the approximate
+/// graph has fewer (but better) edges.
+pub fn quality<S: Similarity>(graph: &KnnGraph, exact_graph: &KnnGraph, exact: &S) -> f64 {
+    let reference = average_similarity(exact_graph, exact);
+    if reference == 0.0 {
+        return if average_similarity(graph, exact) == 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    average_similarity(graph, exact) / reference
+}
+
+/// Fraction of the exact graph's directed edges recovered by the
+/// approximate graph (a stricter, identity-based measure the paper's
+/// quality metric deliberately relaxes).
+pub fn edge_recall(approx: &KnnGraph, exact: &KnnGraph) -> f64 {
+    assert_eq!(
+        approx.n_users(),
+        exact.n_users(),
+        "graphs cover different populations"
+    );
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for u in 0..exact.n_users() as u32 {
+        let approx_users: Vec<u32> = approx.neighbors(u).iter().map(|s| s.user).collect();
+        for s in exact.neighbors(u) {
+            total += 1;
+            if approx_users.contains(&s.user) {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use goldfinger_core::profile::ProfileStore;
+    use goldfinger_core::similarity::ExplicitJaccard;
+    use goldfinger_core::topk::Scored;
+
+    fn profiles() -> ProfileStore {
+        ProfileStore::from_item_lists(vec![
+            (0..10).collect(),
+            (0..8).collect(),
+            (5..15).collect(),
+            (100..110).collect(),
+        ])
+    }
+
+    #[test]
+    fn exact_graph_has_quality_one() {
+        let p = profiles();
+        let sim = ExplicitJaccard::new(&p);
+        let exact = BruteForce::default().build(&sim, 2).graph;
+        assert!((quality(&exact, &exact, &sim) - 1.0).abs() < 1e-12);
+        assert!((edge_recall(&exact, &exact) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_graph_has_lower_quality() {
+        let p = profiles();
+        let sim = ExplicitJaccard::new(&p);
+        let exact = BruteForce::default().build(&sim, 2).graph;
+        // Degrade user 0's neighbourhood: point it at the unrelated user 3.
+        let mut lists: Vec<Vec<Scored>> = (0..4u32)
+            .map(|u| exact.neighbors(u).to_vec())
+            .collect();
+        lists[0] = vec![Scored { sim: 0.0, user: 3 }];
+        let worse = KnnGraph::from_lists(2, lists);
+        assert!(quality(&worse, &exact, &sim) < 1.0);
+        assert!(edge_recall(&worse, &exact) < 1.0);
+    }
+
+    #[test]
+    fn empty_graph_average_is_zero() {
+        let p = profiles();
+        let sim = ExplicitJaccard::new(&p);
+        let g = KnnGraph::from_lists(2, vec![vec![]; 4]);
+        assert_eq!(average_similarity(&g, &sim), 0.0);
+    }
+
+    #[test]
+    fn quality_handles_zero_reference() {
+        let p = ProfileStore::from_item_lists(vec![vec![1], vec![2]]);
+        let sim = ExplicitJaccard::new(&p);
+        let exact = BruteForce::default().build(&sim, 1).graph;
+        // All similarities are 0: a matching graph still scores 1.
+        assert_eq!(quality(&exact, &exact, &sim), 1.0);
+    }
+}

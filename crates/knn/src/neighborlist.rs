@@ -1,0 +1,260 @@
+//! The mutable k-bounded neighbour lists greedy algorithms refine.
+
+use goldfinger_core::topk::Scored;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One candidate neighbour inside a [`NeighborList`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborEntry {
+    /// Similarity to the list's owner.
+    pub sim: f64,
+    /// Neighbour user id.
+    pub user: u32,
+    /// NNDescent's "new" flag: set when the entry has not yet taken part in
+    /// a local join.
+    pub is_new: bool,
+}
+
+/// A capacity-`k` neighbour list with duplicate rejection and
+/// replace-the-worst updates — the building block of NNDescent and Hyrec.
+///
+/// Determinism: ties on similarity are broken towards lower user ids, so a
+/// fixed seed yields bit-identical graphs across runs.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    k: usize,
+    entries: Vec<NeighborEntry>,
+}
+
+impl NeighborList {
+    /// Creates an empty list of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        NeighborList {
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
+    /// Capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `user` is already a neighbour.
+    pub fn contains(&self, user: u32) -> bool {
+        self.entries.iter().any(|e| e.user == user)
+    }
+
+    /// Offers `(user, sim)`; returns `true` if the list changed.
+    ///
+    /// Rejects duplicates; when full, replaces the worst entry if the
+    /// candidate is strictly better (ties towards lower user id). Inserted
+    /// entries carry `is_new = true`.
+    pub fn insert(&mut self, user: u32, sim: f64) -> bool {
+        debug_assert!(!sim.is_nan(), "similarity must not be NaN");
+        if self.contains(user) {
+            return false;
+        }
+        let entry = NeighborEntry {
+            sim,
+            user,
+            is_new: true,
+        };
+        if self.entries.len() < self.k {
+            self.entries.push(entry);
+            return true;
+        }
+        let worst = self.worst_index();
+        let w = self.entries[worst];
+        if sim > w.sim || (sim == w.sim && user < w.user) {
+            self.entries[worst] = entry;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Similarity of the worst entry (`-inf` when empty, so any candidate
+    /// can pass a `sim > worst` pre-check).
+    pub fn worst_sim(&self) -> f64 {
+        if self.entries.len() < self.k {
+            f64::NEG_INFINITY
+        } else {
+            self.entries[self.worst_index()].sim
+        }
+    }
+
+    /// Entries, unsorted.
+    pub fn entries(&self) -> &[NeighborEntry] {
+        &self.entries
+    }
+
+    /// Mutable entries (for flag bookkeeping).
+    pub fn entries_mut(&mut self) -> &mut [NeighborEntry] {
+        &mut self.entries
+    }
+
+    /// Neighbour ids, unsorted.
+    pub fn users(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|e| e.user)
+    }
+
+    /// Converts to a sorted [`Scored`] list (descending similarity, ties by
+    /// ascending user id).
+    pub fn to_sorted(&self) -> Vec<Scored> {
+        let mut out: Vec<Scored> = self
+            .entries
+            .iter()
+            .map(|e| Scored {
+                sim: e.sim,
+                user: e.user,
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.sim
+                .partial_cmp(&a.sim)
+                .expect("similarities are not NaN")
+                .then(a.user.cmp(&b.user))
+        });
+        out
+    }
+
+    fn worst_index(&self) -> usize {
+        let mut worst = 0usize;
+        for (i, e) in self.entries.iter().enumerate().skip(1) {
+            let w = &self.entries[worst];
+            if e.sim < w.sim || (e.sim == w.sim && e.user > w.user) {
+                worst = i;
+            }
+        }
+        worst
+    }
+}
+
+/// Initialises one random neighbour list per user: `k` distinct random
+/// neighbours (≠ owner), scored with the provider. Counts the similarity
+/// evaluations it performs into `evals`.
+pub fn random_lists<S: goldfinger_core::similarity::Similarity>(
+    sim: &S,
+    k: usize,
+    rng: &mut StdRng,
+    evals: &mut u64,
+) -> Vec<NeighborList> {
+    let n = sim.n_users();
+    (0..n)
+        .map(|u| {
+            let mut list = NeighborList::new(k);
+            let wanted = k.min(n.saturating_sub(1));
+            let mut guard = 0usize;
+            while list.len() < wanted && guard < 20 * k + 100 {
+                guard += 1;
+                let v = rng.gen_range(0..n) as u32;
+                if v as usize == u || list.contains(v) {
+                    continue;
+                }
+                *evals += 1;
+                list.insert(v, sim.similarity(u as u32, v));
+            }
+            list
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::profile::ProfileStore;
+    use goldfinger_core::similarity::ExplicitJaccard;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_dedups_and_replaces_worst() {
+        let mut l = NeighborList::new(2);
+        assert!(l.insert(1, 0.5));
+        assert!(!l.insert(1, 0.5), "duplicate must be rejected");
+        assert!(l.insert(2, 0.3));
+        assert_eq!(l.worst_sim(), 0.3);
+        assert!(l.insert(3, 0.4)); // replaces user 2
+        assert!(!l.contains(2));
+        assert!(!l.insert(4, 0.1));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn ties_replace_towards_lower_ids() {
+        let mut l = NeighborList::new(1);
+        l.insert(9, 0.5);
+        assert!(l.insert(3, 0.5), "equal sim but lower id should replace");
+        assert!(!l.insert(7, 0.5), "equal sim but higher id should not");
+        assert!(l.contains(3));
+    }
+
+    #[test]
+    fn to_sorted_orders_descending() {
+        let mut l = NeighborList::new(3);
+        l.insert(5, 0.2);
+        l.insert(6, 0.9);
+        l.insert(7, 0.2);
+        let sorted = l.to_sorted();
+        assert_eq!(
+            sorted.iter().map(|s| s.user).collect::<Vec<_>>(),
+            vec![6, 5, 7]
+        );
+    }
+
+    #[test]
+    fn new_flag_set_on_insert() {
+        let mut l = NeighborList::new(2);
+        l.insert(1, 0.5);
+        assert!(l.entries()[0].is_new);
+        l.entries_mut()[0].is_new = false;
+        assert!(!l.entries()[0].is_new);
+    }
+
+    #[test]
+    fn random_lists_have_k_distinct_non_self_entries() {
+        let profiles = ProfileStore::from_item_lists(
+            (0..20).map(|i| vec![i as u32, i as u32 + 1]).collect(),
+        );
+        let sim = ExplicitJaccard::new(&profiles);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut evals = 0u64;
+        let lists = random_lists(&sim, 5, &mut rng, &mut evals);
+        assert_eq!(lists.len(), 20);
+        assert!(evals >= 5 * 20);
+        for (u, l) in lists.iter().enumerate() {
+            assert_eq!(l.len(), 5);
+            assert!(!l.contains(u as u32));
+            let mut ids: Vec<u32> = l.users().collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 5);
+        }
+    }
+
+    #[test]
+    fn random_lists_handle_tiny_populations() {
+        let profiles = ProfileStore::from_item_lists(vec![vec![1], vec![2]]);
+        let sim = ExplicitJaccard::new(&profiles);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut evals = 0u64;
+        let lists = random_lists(&sim, 30, &mut rng, &mut evals);
+        assert_eq!(lists[0].len(), 1);
+        assert_eq!(lists[1].len(), 1);
+    }
+}

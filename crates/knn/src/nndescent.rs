@@ -1,0 +1,467 @@
+//! NNDescent (Dong, Moses & Li, WWW 2011).
+//!
+//! Starts from a random graph and iteratively applies *local joins*: for
+//! every user, pairs of its (direct and reverse) neighbours are compared and
+//! both sides' lists updated — "a neighbour of a neighbour is likely a
+//! neighbour". Update flags avoid re-comparing pairs that were already
+//! joined, and the reverse graph widens the search. Converges when fewer
+//! than `δ·k·n` updates happen in an iteration, or after `max_iterations`.
+
+use crate::graph::{BuildStats, KnnGraph, KnnResult};
+use crate::neighborlist::{random_lists, NeighborList};
+use goldfinger_core::similarity::Similarity;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// NNDescent parameters. Defaults follow the paper's evaluation (§3.3):
+/// `δ = 0.001`, at most 30 iterations, full sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct NNDescent {
+    /// Termination threshold: stop when an iteration performs fewer than
+    /// `delta · k · n` list updates.
+    pub delta: f64,
+    /// Hard cap on refinement iterations.
+    pub max_iterations: u32,
+    /// Fraction of new/reverse neighbours sampled into each local join
+    /// (ρ of the original paper; 1.0 = use them all).
+    pub sample_rate: f64,
+    /// RNG seed for the initial random graph and sampling.
+    pub seed: u64,
+    /// Worker threads for the local joins (1 = sequential and fully
+    /// deterministic; >1 parallelises the join phase with per-node locks,
+    /// as the paper's multi-threaded runs do — candidate sampling stays
+    /// sequential and seeded, only the update interleaving varies).
+    pub threads: usize,
+}
+
+impl Default for NNDescent {
+    fn default() -> Self {
+        NNDescent {
+            delta: 0.001,
+            max_iterations: 30,
+            sample_rate: 1.0,
+            seed: 0xD0_0D,
+            threads: 1,
+        }
+    }
+}
+
+impl NNDescent {
+    /// Builds an approximate KNN graph over the provider.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the parameters are out of range.
+    pub fn build<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+        if self.threads > 1 {
+            return self.build_parallel(sim, k);
+        }
+        assert!(k > 0, "k must be positive");
+        assert!(self.delta >= 0.0, "delta must be non-negative");
+        assert!(
+            self.sample_rate > 0.0 && self.sample_rate <= 1.0,
+            "sample_rate must be in (0, 1]"
+        );
+        let n = sim.n_users();
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evals = 0u64;
+        let mut lists = random_lists(sim, k, &mut rng, &mut evals);
+        let sample_cap = ((k as f64 * self.sample_rate).ceil() as usize).max(1);
+        let mut iterations = 0u32;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+
+            // Phase 1: split each list into sampled-new and old, flag the
+            // sampled entries as no-longer-new (they join this round).
+            let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut old_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (u, list) in lists.iter_mut().enumerate() {
+                let mut fresh: Vec<usize> = list
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.is_new)
+                    .map(|(i, _)| i)
+                    .collect();
+                fresh.shuffle(&mut rng);
+                fresh.truncate(sample_cap);
+                for &i in &fresh {
+                    let e = &mut list.entries_mut()[i];
+                    e.is_new = false;
+                    new_fwd[u].push(e.user);
+                }
+                for e in list.entries() {
+                    if !new_fwd[u].contains(&e.user) {
+                        old_fwd[u].push(e.user);
+                    }
+                }
+            }
+
+            // Phase 2: reverse lists.
+            let mut new_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut old_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for u in 0..n {
+                for &v in &new_fwd[u] {
+                    new_rev[v as usize].push(u as u32);
+                }
+                for &v in &old_fwd[u] {
+                    old_rev[v as usize].push(u as u32);
+                }
+            }
+
+            // Phase 3: local joins.
+            let mut updates = 0u64;
+            for u in 0..n {
+                let mut new_set = new_fwd[u].clone();
+                {
+                    let rev = &mut new_rev[u];
+                    rev.shuffle(&mut rng);
+                    rev.truncate(sample_cap);
+                    new_set.extend_from_slice(rev);
+                }
+                new_set.sort_unstable();
+                new_set.dedup();
+
+                let mut old_set = old_fwd[u].clone();
+                {
+                    let rev = &mut old_rev[u];
+                    rev.shuffle(&mut rng);
+                    rev.truncate(sample_cap);
+                    old_set.extend_from_slice(rev);
+                }
+                old_set.sort_unstable();
+                old_set.dedup();
+
+                // new × new (exploit id order to join each pair once) …
+                for (i, &a) in new_set.iter().enumerate() {
+                    for &b in &new_set[i + 1..] {
+                        updates += self.join(sim, &mut lists, a, b, &mut evals);
+                    }
+                }
+                // … and new × old.
+                for &a in &new_set {
+                    for &b in &old_set {
+                        if a != b {
+                            updates += self.join(sim, &mut lists, a, b, &mut evals);
+                        }
+                    }
+                }
+            }
+
+            if (updates as f64) < self.delta * k as f64 * n as f64 {
+                break;
+            }
+        }
+
+        let neighbors = lists.iter().map(NeighborList::to_sorted).collect();
+        KnnResult {
+            graph: KnnGraph::from_lists(k, neighbors),
+            stats: BuildStats {
+                similarity_evals: evals,
+                iterations,
+                wall: start.elapsed(),
+            },
+        }
+    }
+
+    /// Multi-threaded variant: candidate sampling (phases 1–2) stays
+    /// sequential and seeded; the local-join phase runs across threads with
+    /// per-node locks (one at a time — no deadlock). Quality-equivalent but
+    /// not bit-identical across runs.
+    fn build_parallel<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+        use goldfinger_core::parallel::par_for_each_range;
+        use parking_lot::Mutex;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        assert!(k > 0, "k must be positive");
+        assert!(self.delta >= 0.0, "delta must be non-negative");
+        assert!(
+            self.sample_rate > 0.0 && self.sample_rate <= 1.0,
+            "sample_rate must be in (0, 1]"
+        );
+        let n = sim.n_users();
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut init_evals = 0u64;
+        let lists = random_lists(sim, k, &mut rng, &mut init_evals);
+        let locks: Vec<Mutex<NeighborList>> = lists.into_iter().map(Mutex::new).collect();
+        let evals = AtomicU64::new(init_evals);
+        let sample_cap = ((k as f64 * self.sample_rate).ceil() as usize).max(1);
+        let mut iterations = 0u32;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+
+            // Phases 1–2 (sequential): flag sampling + reverse lists.
+            let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut old_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (u, lock) in locks.iter().enumerate() {
+                let mut list = lock.lock();
+                let mut fresh: Vec<usize> = list
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.is_new)
+                    .map(|(i, _)| i)
+                    .collect();
+                fresh.shuffle(&mut rng);
+                fresh.truncate(sample_cap);
+                for &i in &fresh {
+                    let e = &mut list.entries_mut()[i];
+                    e.is_new = false;
+                    new_fwd[u].push(e.user);
+                }
+                for e in list.entries() {
+                    if !new_fwd[u].contains(&e.user) {
+                        old_fwd[u].push(e.user);
+                    }
+                }
+            }
+            let mut new_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut old_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for u in 0..n {
+                for &v in &new_fwd[u] {
+                    new_rev[v as usize].push(u as u32);
+                }
+                for &v in &old_fwd[u] {
+                    old_rev[v as usize].push(u as u32);
+                }
+            }
+            let mut new_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
+            let mut old_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
+            for u in 0..n {
+                let mut new_set = new_fwd[u].clone();
+                new_rev[u].shuffle(&mut rng);
+                new_rev[u].truncate(sample_cap);
+                new_set.extend_from_slice(&new_rev[u]);
+                new_set.sort_unstable();
+                new_set.dedup();
+                new_sets.push(new_set);
+
+                let mut old_set = old_fwd[u].clone();
+                old_rev[u].shuffle(&mut rng);
+                old_rev[u].truncate(sample_cap);
+                old_set.extend_from_slice(&old_rev[u]);
+                old_set.sort_unstable();
+                old_set.dedup();
+                old_sets.push(old_set);
+            }
+
+            // Phase 3 (parallel): local joins with per-node locks.
+            let updates = AtomicU64::new(0);
+            par_for_each_range(n, self.threads, |_, lo, hi| {
+                let join = |a: u32, b: u32| {
+                    evals.fetch_add(1, Ordering::Relaxed);
+                    let s = sim.similarity(a, b);
+                    let mut changed = 0u64;
+                    if locks[a as usize].lock().insert(b, s) {
+                        changed += 1;
+                    }
+                    if locks[b as usize].lock().insert(a, s) {
+                        changed += 1;
+                    }
+                    if changed > 0 {
+                        updates.fetch_add(changed, Ordering::Relaxed);
+                    }
+                };
+                for u in lo..hi {
+                    let new_set = &new_sets[u];
+                    let old_set = &old_sets[u];
+                    for (i, &a) in new_set.iter().enumerate() {
+                        for &b in &new_set[i + 1..] {
+                            join(a, b);
+                        }
+                    }
+                    for &a in new_set {
+                        for &b in old_set {
+                            if a != b {
+                                join(a, b);
+                            }
+                        }
+                    }
+                }
+            });
+            if (updates.load(Ordering::Relaxed) as f64) < self.delta * k as f64 * n as f64 {
+                break;
+            }
+        }
+
+        let neighbors = locks.iter().map(|l| l.lock().to_sorted()).collect();
+        KnnResult {
+            graph: KnnGraph::from_lists(k, neighbors),
+            stats: BuildStats {
+                similarity_evals: evals.load(Ordering::Relaxed),
+                iterations,
+                wall: start.elapsed(),
+            },
+        }
+    }
+
+    #[inline]
+    fn join<S: Similarity>(
+        &self,
+        sim: &S,
+        lists: &mut [NeighborList],
+        a: u32,
+        b: u32,
+        evals: &mut u64,
+    ) -> u64 {
+        // Cheap pre-check: if the similarity cannot enter either list, the
+        // estimator call is still needed to know that — but both inserts can
+        // be gated on a single evaluation.
+        *evals += 1;
+        let s = sim.similarity(a, b);
+        let mut updates = 0u64;
+        if lists[a as usize].insert(b, s) {
+            updates += 1;
+        }
+        if lists[b as usize].insert(a, s) {
+            updates += 1;
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::profile::ProfileStore;
+    use goldfinger_core::similarity::ExplicitJaccard;
+
+    /// Clustered profiles: users 0–9 share items 0–19, users 10–19 share
+    /// items 100–119, with per-user noise.
+    fn clustered(n_per: usize) -> ProfileStore {
+        let mut lists = Vec::new();
+        for u in 0..n_per {
+            let mut items: Vec<u32> = (0..20).collect();
+            items.push(200 + u as u32);
+            lists.push(items);
+        }
+        for u in 0..n_per {
+            let mut items: Vec<u32> = (100..120).collect();
+            items.push(300 + u as u32);
+            lists.push(items);
+        }
+        ProfileStore::from_item_lists(lists)
+    }
+
+    #[test]
+    fn recovers_cluster_structure() {
+        let profiles = clustered(10);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = NNDescent::default().build(&sim, 5);
+        // Every user's neighbours must come from its own cluster.
+        for u in 0..20u32 {
+            for s in result.graph.neighbors(u) {
+                assert_eq!(
+                    s.user < 10,
+                    u < 10,
+                    "user {u} got cross-cluster neighbour {}",
+                    s.user
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn performs_fewer_evals_than_brute_force_on_larger_inputs() {
+        // Greedy search only pays off when n ≫ k²: 800 users, k = 5.
+        let mut lists = Vec::new();
+        for c in 0..40u32 {
+            for u in 0..20u32 {
+                let mut items: Vec<u32> = (c * 50..c * 50 + 15).collect();
+                items.push(10_000 + c * 100 + u);
+                lists.push(items);
+            }
+        }
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = NNDescent::default().build(&sim, 5);
+        let brute = 800u64 * 799 / 2;
+        assert!(
+            result.stats.similarity_evals < brute,
+            "{} evals vs brute {}",
+            result.stats.similarity_evals,
+            brute
+        );
+        assert!(result.stats.iterations >= 1);
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let profiles = clustered(8);
+        let sim = ExplicitJaccard::new(&profiles);
+        let a = NNDescent::default().build(&sim, 4);
+        let b = NNDescent::default().build(&sim, 4);
+        for u in 0..16u32 {
+            assert_eq!(a.graph.neighbors(u), b.graph.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn max_iterations_caps_work() {
+        let profiles = clustered(10);
+        let sim = ExplicitJaccard::new(&profiles);
+        let nnd = NNDescent {
+            max_iterations: 1,
+            ..NNDescent::default()
+        };
+        let result = nnd.build(&sim, 5);
+        assert_eq!(result.stats.iterations, 1);
+    }
+
+    #[test]
+    fn sample_rate_reduces_eval_count() {
+        let profiles = clustered(15);
+        let sim = ExplicitJaccard::new(&profiles);
+        let full = NNDescent::default().build(&sim, 8);
+        let half = NNDescent {
+            sample_rate: 0.5,
+            ..NNDescent::default()
+        }
+        .build(&sim, 8);
+        assert!(half.stats.similarity_evals < full.stats.similarity_evals);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_quality() {
+        use crate::brute::BruteForce;
+        use crate::metrics::quality;
+        let profiles = clustered(15);
+        let sim = ExplicitJaccard::new(&profiles);
+        let exact = BruteForce::default().build(&sim, 5);
+        let seq = NNDescent::default().build(&sim, 5);
+        let par = NNDescent {
+            threads: 4,
+            ..NNDescent::default()
+        }
+        .build(&sim, 5);
+        let q_seq = quality(&seq.graph, &exact.graph, &sim);
+        let q_par = quality(&par.graph, &exact.graph, &sim);
+        assert!(q_par > q_seq - 0.05, "parallel {q_par} vs sequential {q_seq}");
+        for u in 0..par.graph.n_users() as u32 {
+            let neigh = par.graph.neighbors(u);
+            assert!(neigh.len() <= 5);
+            assert!(neigh.iter().all(|s| s.user != u));
+            let mut ids: Vec<u32> = neigh.iter().map(|s| s.user).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), neigh.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_rate")]
+    fn invalid_sample_rate_panics() {
+        let profiles = clustered(2);
+        let sim = ExplicitJaccard::new(&profiles);
+        let _ = NNDescent {
+            sample_rate: 0.0,
+            ..NNDescent::default()
+        }
+        .build(&sim, 2);
+    }
+}

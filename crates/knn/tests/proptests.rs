@@ -1,0 +1,121 @@
+//! Property-based tests: structural invariants every KNN builder must
+//! uphold, on arbitrary profile sets.
+
+use goldfinger_core::profile::ProfileStore;
+use goldfinger_core::similarity::{ExplicitJaccard, Similarity};
+use goldfinger_knn::brute::BruteForce;
+use goldfinger_knn::graph::KnnGraph;
+use goldfinger_knn::hyrec::Hyrec;
+use goldfinger_knn::lsh::Lsh;
+use goldfinger_knn::metrics::{average_similarity, edge_recall};
+use goldfinger_knn::nndescent::NNDescent;
+use proptest::prelude::*;
+
+/// Arbitrary small populations: 3–25 users with 0–40 items each from a
+/// 200-item universe (dense enough for structure, small enough to be fast).
+fn population() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..200, 0..40), 3..25)
+}
+
+/// Checks the invariants shared by every KNN graph.
+fn assert_graph_invariants(graph: &KnnGraph, n: usize, k: usize) {
+    assert_eq!(graph.n_users(), n);
+    for u in 0..n as u32 {
+        let neigh = graph.neighbors(u);
+        assert!(neigh.len() <= k, "user {u} has more than k neighbours");
+        assert!(neigh.len() < n);
+        // No self-loops.
+        assert!(neigh.iter().all(|s| s.user != u));
+        // Unique neighbours.
+        let mut ids: Vec<u32> = neigh.iter().map(|s| s.user).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), neigh.len(), "user {u} has duplicate neighbours");
+        // Sorted by decreasing similarity.
+        assert!(neigh
+            .windows(2)
+            .all(|w| w[0].sim >= w[1].sim), "user {u} mis-sorted");
+        // Similarities in range.
+        assert!(neigh.iter().all(|s| (0.0..=1.0).contains(&s.sim)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn brute_force_graph_invariants(lists in population(), k in 1usize..8) {
+        let n = lists.len();
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let g = BruteForce::default().build(&sim, k).graph;
+        assert_graph_invariants(&g, n, k);
+        // Brute force keeps everyone when k ≥ n − 1.
+        if k >= n - 1 {
+            for u in 0..n as u32 {
+                prop_assert_eq!(g.neighbors(u).len(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_stored_sims_are_exact(lists in population()) {
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let g = BruteForce::default().build(&sim, 3).graph;
+        for (u, v, s) in g.edges() {
+            prop_assert!((s - sim.similarity(u, v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_builders_respect_invariants(lists in population(), k in 1usize..6) {
+        let n = lists.len();
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        assert_graph_invariants(&Hyrec::default().build(&sim, k).graph, n, k);
+        assert_graph_invariants(&NNDescent::default().build(&sim, k).graph, n, k);
+        assert_graph_invariants(&Lsh::default().build(&profiles, &sim, k).graph, n, k);
+    }
+
+    #[test]
+    fn greedy_average_similarity_never_beats_exact(lists in population(), k in 1usize..5) {
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let exact = BruteForce::default().build(&sim, k).graph;
+        let exact_avg = average_similarity(&exact, &sim);
+        for approx in [
+            Hyrec::default().build(&sim, k).graph,
+            NNDescent::default().build(&sim, k).graph,
+        ] {
+            // Brute force maximises per-user neighbourhood similarity, so
+            // its per-edge average over FULL neighbourhoods is maximal; a
+            // greedy result with the same edge count can't beat it.
+            if approx.n_edges() == exact.n_edges() {
+                prop_assert!(average_similarity(&approx, &sim) <= exact_avg + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_recall_is_within_bounds(lists in population(), k in 1usize..5) {
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let exact = BruteForce::default().build(&sim, k).graph;
+        let approx = Hyrec::default().build(&sim, k).graph;
+        let r = edge_recall(&approx, &exact);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((edge_recall(&exact, &exact) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_are_seed_deterministic(lists in population(), seed in 0u64..50) {
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let a = NNDescent { seed, ..NNDescent::default() }.build(&sim, 3).graph;
+        let b = NNDescent { seed, ..NNDescent::default() }.build(&sim, 3).graph;
+        for u in 0..a.n_users() as u32 {
+            prop_assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Recall evaluation of recommendations under cross-validation (§3.4, §4.3).
+//!
+//! A recommendation is *successful* when the user positively rated that item
+//! in the hidden test fold; recall is successes divided by the number of
+//! hidden positive items.
+
+use crate::scoring::recommend_all;
+use goldfinger_datasets::cv::FoldSplit;
+use goldfinger_knn::graph::KnnGraph;
+
+/// Recall counters for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecallStats {
+    /// Recommendations that matched a hidden positive item.
+    pub successes: usize,
+    /// Total hidden positive items.
+    pub hidden: usize,
+    /// Total recommendations issued.
+    pub issued: usize,
+}
+
+impl RecallStats {
+    /// Recall = successes / hidden (0 when nothing was hidden).
+    pub fn recall(&self) -> f64 {
+        if self.hidden == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.hidden as f64
+        }
+    }
+
+    /// Precision = successes / issued (0 when nothing was issued).
+    pub fn precision(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.issued as f64
+        }
+    }
+
+    /// Merges counters (e.g. across folds).
+    pub fn merge(&mut self, other: RecallStats) {
+        self.successes += other.successes;
+        self.hidden += other.hidden;
+        self.issued += other.issued;
+    }
+}
+
+/// Evaluates `n` recommendations per user on one train/test fold, given a
+/// KNN graph built on the fold's training data.
+///
+/// # Panics
+/// Panics if the graph population differs from the fold's.
+pub fn evaluate_fold(graph: &KnnGraph, fold: &FoldSplit, n: usize) -> RecallStats {
+    assert_eq!(
+        graph.n_users(),
+        fold.train.n_users(),
+        "graph and fold cover different populations"
+    );
+    let recs = recommend_all(graph, &fold.train, n);
+    let mut stats = RecallStats::default();
+    for (u, user_recs) in recs.iter().enumerate() {
+        let test = &fold.test[u];
+        stats.hidden += test.len();
+        stats.issued += user_recs.len();
+        stats.successes += user_recs
+            .iter()
+            .filter(|r| test.binary_search(&r.item).is_ok())
+            .count();
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::similarity::ExplicitJaccard;
+    use goldfinger_datasets::cv::five_fold;
+    use goldfinger_datasets::model::BinaryDataset;
+    use goldfinger_knn::brute::BruteForce;
+
+    /// Two taste clusters over disjoint item ranges; within a cluster every
+    /// user rates a random-ish 80% of the cluster's 30 items, so hidden
+    /// items are recoverable from neighbours.
+    fn clustered() -> BinaryDataset {
+        let mut lists = Vec::new();
+        for u in 0..12u32 {
+            let base = if u < 6 { 0u32 } else { 100 };
+            let items: Vec<u32> = (0..30u32)
+                .filter(|i| (i + u) % 5 != 0) // drop a different 20% per user
+                .map(|i| base + i)
+                .collect();
+            lists.push(items);
+        }
+        BinaryDataset::from_positive_lists("clusters", 200, lists)
+    }
+
+    #[test]
+    fn knn_recommender_achieves_high_recall_on_clusters() {
+        let data = clustered();
+        let mut total = RecallStats::default();
+        for fold in five_fold(&data, 4) {
+            let sim = ExplicitJaccard::new(fold.train.profiles());
+            let graph = BruteForce::default().build(&sim, 4).graph;
+            total.merge(evaluate_fold(&graph, &fold, 30));
+        }
+        assert!(total.hidden > 0);
+        assert!(
+            total.recall() > 0.5,
+            "recall = {} ({}/{})",
+            total.recall(),
+            total.successes,
+            total.hidden
+        );
+    }
+
+    #[test]
+    fn recall_of_empty_graph_is_zero() {
+        let data = clustered();
+        let fold = &five_fold(&data, 1)[0];
+        let graph = goldfinger_knn::graph::KnnGraph::from_lists(3, vec![vec![]; 12]);
+        let stats = evaluate_fold(&graph, fold, 30);
+        assert_eq!(stats.successes, 0);
+        assert_eq!(stats.recall(), 0.0);
+        assert_eq!(stats.precision(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RecallStats {
+            successes: 2,
+            hidden: 10,
+            issued: 5,
+        };
+        a.merge(RecallStats {
+            successes: 3,
+            hidden: 10,
+            issued: 5,
+        });
+        assert_eq!(a.successes, 5);
+        assert!((a.recall() - 0.25).abs() < 1e-12);
+        assert!((a.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different populations")]
+    fn population_mismatch_panics() {
+        let data = clustered();
+        let fold = &five_fold(&data, 1)[0];
+        let graph = goldfinger_knn::graph::KnnGraph::from_lists(3, vec![vec![]; 3]);
+        let _ = evaluate_fold(&graph, fold, 30);
+    }
+}

@@ -1,0 +1,158 @@
+//! KNN-based item recommendation (§4.3 of the paper).
+//!
+//! For a user `u` and each item `i` present in `u`'s KNN neighbourhood but
+//! unknown to `u`, the score is the similarity-weighted average of the
+//! neighbours' ratings:
+//!
+//! ```text
+//! score(u, i) = Σ_{v ∈ knn(u), i ∈ P_v} r(v, i) · sim(u, v)
+//!               ─────────────────────────────────────────
+//!               Σ_{v ∈ knn(u)} sim(u, v)
+//! ```
+//!
+//! The top `n` items by score are recommended.
+
+use goldfinger_core::profile::ItemId;
+use goldfinger_datasets::model::BinaryDataset;
+use goldfinger_knn::graph::KnnGraph;
+use std::collections::HashMap;
+
+/// One recommended item with its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// Recommended item.
+    pub item: ItemId,
+    /// Weighted-average score.
+    pub score: f64,
+}
+
+/// Recommends up to `n` items for user `u` from its KNN neighbourhood.
+///
+/// Items the user already rated (positively, i.e. items in the training
+/// profile) are excluded. Ties are broken towards lower item ids so output
+/// is deterministic.
+pub fn recommend_for_user(
+    graph: &KnnGraph,
+    train: &BinaryDataset,
+    u: u32,
+    n: usize,
+) -> Vec<Recommendation> {
+    let neighbors = graph.neighbors(u);
+    if neighbors.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let sim_total: f64 = neighbors.iter().map(|s| s.sim).sum();
+    if sim_total <= 0.0 {
+        return Vec::new();
+    }
+    let mut weighted: HashMap<ItemId, f64> = HashMap::new();
+    for s in neighbors {
+        for &(item, rating) in train.rated_items(s.user) {
+            if !train.profiles().items(u).contains(&item) {
+                *weighted.entry(item).or_insert(0.0) += rating as f64 * s.sim;
+            }
+        }
+    }
+    let mut recs: Vec<Recommendation> = weighted
+        .into_iter()
+        .map(|(item, w)| Recommendation {
+            item,
+            score: w / sim_total,
+        })
+        .collect();
+    recs.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are not NaN")
+            .then(a.item.cmp(&b.item))
+    });
+    recs.truncate(n);
+    recs
+}
+
+/// Recommends for every user; index `u` holds user `u`'s recommendations.
+pub fn recommend_all(graph: &KnnGraph, train: &BinaryDataset, n: usize) -> Vec<Vec<Recommendation>> {
+    (0..graph.n_users() as u32)
+        .map(|u| recommend_for_user(graph, train, u, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::topk::Scored;
+
+    /// Three users: 0 and 1 are similar; 1 likes item 7 that 0 hasn't seen.
+    fn setup() -> (KnnGraph, BinaryDataset) {
+        let train = BinaryDataset::from_positive_lists(
+            "t",
+            10,
+            vec![vec![1, 2, 3], vec![1, 2, 7], vec![8, 9]],
+        );
+        let graph = KnnGraph::from_lists(
+            2,
+            vec![
+                vec![Scored { sim: 0.5, user: 1 }, Scored { sim: 0.1, user: 2 }],
+                vec![Scored { sim: 0.5, user: 0 }],
+                vec![],
+            ],
+        );
+        (graph, train)
+    }
+
+    #[test]
+    fn recommends_unseen_items_from_neighbors() {
+        let (graph, train) = setup();
+        let recs = recommend_for_user(&graph, &train, 0, 5);
+        let items: Vec<u32> = recs.iter().map(|r| r.item).collect();
+        assert!(items.contains(&7), "item 7 should be recommended: {items:?}");
+        // Items 1..3 are already rated by user 0 — never recommended.
+        assert!(!items.iter().any(|i| [1, 2, 3].contains(i)));
+    }
+
+    #[test]
+    fn scores_are_weighted_by_similarity() {
+        let (graph, train) = setup();
+        let recs = recommend_for_user(&graph, &train, 0, 5);
+        let seven = recs.iter().find(|r| r.item == 7).unwrap();
+        // score(0,7) = 5.0·0.5 / (0.5 + 0.1)
+        assert!((seven.score - 2.5 / 0.6).abs() < 1e-12);
+        // Items 8,9 come from the weaker neighbour — lower scores.
+        let eight = recs.iter().find(|r| r.item == 8).unwrap();
+        assert!(seven.score > eight.score);
+    }
+
+    #[test]
+    fn user_with_no_neighbors_gets_nothing() {
+        let (graph, train) = setup();
+        assert!(recommend_for_user(&graph, &train, 2, 5).is_empty());
+    }
+
+    #[test]
+    fn n_truncates_deterministically() {
+        let (graph, train) = setup();
+        let one = recommend_for_user(&graph, &train, 0, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].item, 7);
+        assert!(recommend_for_user(&graph, &train, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn recommend_all_covers_every_user() {
+        let (graph, train) = setup();
+        let all = recommend_all(&graph, &train, 3);
+        assert_eq!(all.len(), 3);
+        assert!(!all[0].is_empty());
+        assert!(all[2].is_empty());
+    }
+
+    #[test]
+    fn zero_similarity_neighborhood_is_skipped() {
+        let train = BinaryDataset::from_positive_lists("t", 5, vec![vec![0], vec![1]]);
+        let graph = KnnGraph::from_lists(
+            1,
+            vec![vec![Scored { sim: 0.0, user: 1 }], vec![]],
+        );
+        assert!(recommend_for_user(&graph, &train, 0, 3).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! First-order closed forms for the estimator's moments.
+//!
+//! The exact law of `Ĵ` ([`crate::occupancy`]) costs a dynamic program; for
+//! sweeps and quick diagnostics a delta-method approximation is enough.
+//! Writing `m(n) = b(1 − (1 − 1/b)^n)` for the expected occupancy of `n`
+//! balls in `b` bins:
+//!
+//! - `E[α̂] = m(α)`, `E[η̂1] ≈ m(α + γ1) − m(α)`, symmetrically for `η̂2`;
+//! - `E[β̂] ≈ E[η̂1]·E[η̂2] / (b − E[α̂])` (the two "new" bit sets collide
+//!   inside the `b − α̂` free bins roughly independently);
+//! - `Ĵ ≈ (E[α̂] + E[β̂]) / (E[α̂] + E[η̂1] + E[η̂2] − E[β̂])`.
+//!
+//! These match the exact DP to a few 10⁻³ across the paper's operating
+//! range (see tests) and explain the figures' qualitative behaviour: the
+//! upward bias is `β̂`-driven and grows as `b` shrinks.
+
+use crate::pair::ProfilePair;
+
+/// Expected number of occupied bins after throwing `n` balls into `b` bins.
+pub fn expected_occupancy(n: usize, b: u32) -> f64 {
+    let bf = b as f64;
+    bf * (1.0 - (1.0 - 1.0 / bf).powi(n as i32))
+}
+
+/// Variance of the occupancy count (exact closed form).
+pub fn occupancy_variance(n: usize, b: u32) -> f64 {
+    // Var = b(b−1)(1−2/b)^n + b(1−1/b)^n − b²(1−1/b)^{2n}
+    let bf = b as f64;
+    let p1 = (1.0 - 1.0 / bf).powi(n as i32);
+    let p2 = (1.0 - 2.0 / bf).powi(n as i32);
+    bf * (bf - 1.0) * p2 + bf * p1 - bf * bf * p1 * p1
+}
+
+/// First-order expectations of the quadruplet `(α̂, η̂1, η̂2, β̂)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpectedQuadruplet {
+    /// `E[α̂]` — occupied bins of the shared part.
+    pub alpha: f64,
+    /// `E[η̂1]` — new bins contributed by `P∆1`.
+    pub eta1: f64,
+    /// `E[η̂2]` — new bins contributed by `P∆2`.
+    pub eta2: f64,
+    /// `E[β̂]` — accidental overlap between the two new-bin sets.
+    pub beta: f64,
+}
+
+/// Computes the first-order expectations for a pair under `b`-bit
+/// fingerprints.
+pub fn expected_quadruplet(pair: ProfilePair, b: u32) -> ExpectedQuadruplet {
+    let alpha = expected_occupancy(pair.shared, b);
+    let eta1 = expected_occupancy(pair.shared + pair.only1, b) - alpha;
+    let eta2 = expected_occupancy(pair.shared + pair.only2, b) - alpha;
+    let free = (b as f64 - alpha).max(1.0);
+    let beta = eta1 * eta2 / free;
+    ExpectedQuadruplet {
+        alpha,
+        eta1,
+        eta2,
+        beta,
+    }
+}
+
+/// Delta-method approximation of `E[Ĵ]`.
+pub fn expected_estimate(pair: ProfilePair, b: u32) -> f64 {
+    let q = expected_quadruplet(pair, b);
+    let denom = q.alpha + q.eta1 + q.eta2 - q.beta;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (q.alpha + q.beta) / denom
+    }
+}
+
+/// Approximate upward bias `E[Ĵ] − J` of the raw estimator.
+pub fn expected_bias(pair: ProfilePair, b: u32) -> f64 {
+    expected_estimate(pair, b) - pair.true_jaccard()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::{exact_distribution, occupancy_distribution};
+
+    #[test]
+    fn expected_occupancy_matches_exact_distribution() {
+        for (n, b) in [(10usize, 64u32), (100, 256), (50, 1024)] {
+            let dist = occupancy_distribution(n, b);
+            let exact_mean: f64 = dist.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+            assert!(
+                (expected_occupancy(n, b) - exact_mean).abs() < 1e-9,
+                "n={n} b={b}"
+            );
+            let exact_var: f64 = dist
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| (k as f64 - exact_mean).powi(2) * p)
+                .sum();
+            assert!(
+                (occupancy_variance(n, b) - exact_var).abs() < 1e-6,
+                "var n={n} b={b}: {} vs {exact_var}",
+                occupancy_variance(n, b)
+            );
+        }
+    }
+
+    #[test]
+    fn delta_method_tracks_exact_mean() {
+        for (pair, b) in [
+            (ProfilePair { shared: 40, only1: 60, only2: 60 }, 1024u32),
+            (ProfilePair { shared: 40, only1: 60, only2: 60 }, 256),
+            (ProfilePair { shared: 10, only1: 30, only2: 90 }, 512),
+            (ProfilePair { shared: 0, only1: 50, only2: 50 }, 256),
+        ] {
+            let exact = exact_distribution(pair, b, 1e-13).mean();
+            let approx = expected_estimate(pair, b);
+            assert!(
+                (exact - approx).abs() < 0.01,
+                "pair {pair:?} b={b}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_is_positive_and_grows_as_b_shrinks() {
+        let pair = ProfilePair::from_sizes_and_jaccard(100, 100, 0.25);
+        let wide = expected_bias(pair, 4096);
+        let narrow = expected_bias(pair, 256);
+        assert!(wide >= 0.0);
+        assert!(narrow > wide);
+    }
+
+    #[test]
+    fn identical_profiles_have_estimate_one() {
+        let pair = ProfilePair { shared: 80, only1: 0, only2: 0 };
+        assert!((expected_estimate(pair, 1024) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pair_has_estimate_zero() {
+        let pair = ProfilePair { shared: 0, only1: 0, only2: 0 };
+        assert_eq!(expected_estimate(pair, 64), 0.0);
+    }
+
+    #[test]
+    fn figure3_operating_point() {
+        // Paper: E[Ĵ] ≈ 0.286 at J = 0.25, 100-item profiles, b = 1024.
+        let pair = ProfilePair::from_sizes_and_jaccard(100, 100, 0.25);
+        let e = expected_estimate(pair, 1024);
+        assert!((e - 0.286).abs() < 0.005, "e = {e}");
+    }
+}

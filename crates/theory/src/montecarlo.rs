@@ -1,0 +1,226 @@
+//! Monte Carlo sampling of the SHF Jaccard estimator's distribution.
+//!
+//! Samples the random quadruplet `(û, α̂, η̂1, η̂2)` of the paper's §2.4 by
+//! throwing the pair's items into `b` bins uniformly — exactly the law of a
+//! uniformly random hash function — and evaluates `Ĵ` on each draw. Used to
+//! regenerate Figures 3–5 at paper scale, and to cross-validate the exact
+//! dynamic program of [`crate::occupancy`].
+
+use crate::pair::ProfilePair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bit flags recording which sub-profile(s) touched a bin.
+const IN_SHARED: u8 = 1;
+const IN_ONLY1: u8 = 2;
+const IN_ONLY2: u8 = 4;
+
+/// Draws `samples` values of `Ĵ` for the pair under `b`-bit fingerprints.
+///
+/// # Panics
+/// Panics if `b == 0`.
+pub fn sample_estimates(pair: ProfilePair, b: u32, samples: usize, seed: u64) -> Vec<f64> {
+    assert!(b > 0, "fingerprint width must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Generation stamps: no per-sample clearing of the bin table.
+    let mut stamp = vec![0u32; b as usize];
+    let mut flags = vec![0u8; b as usize];
+    let mut out = Vec::with_capacity(samples);
+    for sample_idx in 0..samples {
+        let round = sample_idx as u32 + 1;
+        let mark = |bin: usize, flag: u8, stamp: &mut Vec<u32>, flags: &mut Vec<u8>| {
+            if stamp[bin] != round {
+                stamp[bin] = round;
+                flags[bin] = 0;
+            }
+            flags[bin] |= flag;
+        };
+        let mut touched: Vec<usize> = Vec::with_capacity(pair.total_items());
+        for _ in 0..pair.shared {
+            let bin = rng.gen_range(0..b) as usize;
+            mark(bin, IN_SHARED, &mut stamp, &mut flags);
+            touched.push(bin);
+        }
+        for _ in 0..pair.only1 {
+            let bin = rng.gen_range(0..b) as usize;
+            mark(bin, IN_ONLY1, &mut stamp, &mut flags);
+            touched.push(bin);
+        }
+        for _ in 0..pair.only2 {
+            let bin = rng.gen_range(0..b) as usize;
+            mark(bin, IN_ONLY2, &mut stamp, &mut flags);
+            touched.push(bin);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // B1 = bins with shared or only1; B2 = shared or only2.
+        let mut inter = 0u32;
+        let (mut c1, mut c2) = (0u32, 0u32);
+        for &bin in &touched {
+            let f = flags[bin];
+            let in1 = f & (IN_SHARED | IN_ONLY1) != 0;
+            let in2 = f & (IN_SHARED | IN_ONLY2) != 0;
+            c1 += u32::from(in1);
+            c2 += u32::from(in2);
+            inter += u32::from(in1 && in2);
+        }
+        let union = c1 + c2 - inter;
+        out.push(if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        });
+    }
+    out
+}
+
+/// Summary statistics of an estimator sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorSummary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// 1 % quantile (lower edge of the paper's interquantile band).
+    pub q01: f64,
+    /// Median.
+    pub q50: f64,
+    /// 99 % quantile.
+    pub q99: f64,
+}
+
+impl EstimatorSummary {
+    /// Summarises a non-empty sample.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("estimates are not NaN"));
+        let q = |p: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        EstimatorSummary {
+            mean,
+            std: var.sqrt(),
+            q01: q(0.01),
+            q50: q(0.50),
+            q99: q(0.99),
+        }
+    }
+}
+
+/// Bins samples into a normalised histogram over `[lo, hi]`; returns
+/// `(bin_center, mass)` pairs. Out-of-range samples clamp to the edge bins.
+///
+/// # Panics
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(samples: &[f64], bins: usize, lo: f64, hi: f64) -> Vec<(f64, f64)> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "invalid range");
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0u64; bins];
+    for &s in samples {
+        let idx = (((s - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    let total = samples.len().max(1) as f64;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (lo + (i as f64 + 0.5) * width, c as f64 / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_is_biased_upward_at_figure3_operating_point() {
+        // The paper reports E[Ĵ] ≈ 0.286 when J = 0.25, |P1|=|P2|=100,
+        // b = 1024 (Fig. 3).
+        let pair = ProfilePair::from_sizes_and_jaccard(100, 100, 0.25);
+        let samples = sample_estimates(pair, 1024, 20_000, 1);
+        let summary = EstimatorSummary::from_samples(&samples);
+        assert!(
+            (summary.mean - 0.286).abs() < 0.01,
+            "mean = {}",
+            summary.mean
+        );
+        assert!(summary.q01 > 0.24, "q01 = {}", summary.q01);
+    }
+
+    #[test]
+    fn identical_profiles_always_estimate_one() {
+        let pair = ProfilePair {
+            shared: 80,
+            only1: 0,
+            only2: 0,
+        };
+        let samples = sample_estimates(pair, 256, 500, 2);
+        assert!(samples.iter().all(|&s| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_pair_estimates_zero() {
+        let pair = ProfilePair {
+            shared: 0,
+            only1: 0,
+            only2: 0,
+        };
+        let samples = sample_estimates(pair, 64, 10, 3);
+        assert!(samples.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn smaller_b_spreads_the_estimator() {
+        // Figure 5: the spread grows as b shrinks.
+        let pair = ProfilePair::from_sizes_and_jaccard(100, 100, 0.25);
+        let wide = EstimatorSummary::from_samples(&sample_estimates(pair, 1024, 10_000, 4));
+        let narrow = EstimatorSummary::from_samples(&sample_estimates(pair, 256, 10_000, 4));
+        assert!(narrow.std > wide.std, "{} !> {}", narrow.std, wide.std);
+    }
+
+    #[test]
+    fn disjoint_profiles_estimate_near_zero_for_wide_b() {
+        let pair = ProfilePair {
+            shared: 0,
+            only1: 50,
+            only2: 50,
+        };
+        let samples = sample_estimates(pair, 8192, 2_000, 5);
+        let summary = EstimatorSummary::from_samples(&samples);
+        assert!(summary.mean < 0.02, "mean = {}", summary.mean);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let pair = ProfilePair::from_sizes_and_jaccard(50, 50, 0.2);
+        assert_eq!(
+            sample_estimates(pair, 512, 100, 7),
+            sample_estimates(pair, 512, 100, 7)
+        );
+    }
+
+    #[test]
+    fn histogram_masses_sum_to_one() {
+        let samples = vec![0.0, 0.1, 0.1, 0.5, 0.9, 1.5, -0.2];
+        let h = histogram(&samples, 10, 0.0, 1.0);
+        let total: f64 = h.iter().map(|&(_, m)| m).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(h.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_summary_panics() {
+        let _ = EstimatorSummary::from_samples(&[]);
+    }
+}

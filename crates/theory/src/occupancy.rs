@@ -1,0 +1,364 @@
+//! Exact distribution of the SHF Jaccard estimator via occupancy dynamics.
+//!
+//! The paper derives the law of the quadruplet `(û, α̂, η̂1, η̂2)` with a
+//! combinatorial counting argument (Theorem 1). This module computes the
+//! same law by a *sequential ball-in-bins dynamic program*, which is
+//! numerically robust (all transition probabilities are positive — no
+//! inclusion-exclusion cancellation) and fast enough for paper-scale
+//! parameters:
+//!
+//! 1. throw the `α` shared items: classic occupancy DP gives `P(α̂)`;
+//! 2. throw the `γ1` items of `P∆1`: conditioned on `α̂`, a ball either
+//!    lands on an occupied bin or founds a new one — gives `P(η̂1 | α̂)`;
+//! 3. throw the `γ2` items of `P∆2`: the 2-D state (new bins founded,
+//!    overlap with `η̂1`'s bins) gives `P(η̂2, β̂ | α̂, η̂1)`.
+//!
+//! The estimator value follows from Eq. 7: `Ĵ = (α̂ + β̂) / û` with
+//! `û = α̂ + η̂1 + η̂2 − β̂`.
+
+use crate::pair::ProfilePair;
+use std::collections::HashMap;
+
+/// A discrete distribution over estimator values.
+#[derive(Debug, Clone)]
+pub struct EstimatorDistribution {
+    /// `(value, probability)` sorted by value; probabilities sum to
+    /// [`EstimatorDistribution::total_mass`].
+    pub support: Vec<(f64, f64)>,
+}
+
+impl EstimatorDistribution {
+    /// Builds from unsorted `(value, prob)` pairs, merging equal values.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut v: Vec<(f64, f64)> = pairs.into_iter().collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("values are not NaN"));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(v.len());
+        for (x, p) in v {
+            match merged.last_mut() {
+                Some((lx, lp)) if (*lx - x).abs() < 1e-15 => *lp += p,
+                _ => merged.push((x, p)),
+            }
+        }
+        EstimatorDistribution { support: merged }
+    }
+
+    /// Total probability mass (1 minus whatever pruning removed).
+    pub fn total_mass(&self) -> f64 {
+        self.support.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Mean of the distribution (normalised by the captured mass).
+    pub fn mean(&self) -> f64 {
+        let mass = self.total_mass();
+        if mass == 0.0 {
+            return 0.0;
+        }
+        self.support.iter().map(|&(x, p)| x * p).sum::<f64>() / mass
+    }
+
+    /// Standard deviation.
+    pub fn std(&self) -> f64 {
+        let mean = self.mean();
+        let mass = self.total_mass();
+        if mass == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .support
+            .iter()
+            .map(|&(x, p)| (x - mean) * (x - mean) * p)
+            .sum::<f64>()
+            / mass;
+        var.sqrt()
+    }
+
+    /// Quantile `q ∈ [0, 1]` (smallest value with CDF ≥ q).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let target = q * self.total_mass();
+        let mut acc = 0.0;
+        for &(x, p) in &self.support {
+            acc += p;
+            if acc >= target {
+                return x;
+            }
+        }
+        self.support.last().map_or(0.0, |&(x, _)| x)
+    }
+
+    /// Probability that the estimator exceeds `x`.
+    pub fn prob_above(&self, x: f64) -> f64 {
+        self.support
+            .iter()
+            .filter(|&&(v, _)| v > x)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+}
+
+/// The joint law of `(û, α̂, η̂1, η̂2)` as `((u, a, e1, e2), prob)` entries.
+pub type JointDistribution = Vec<((u32, u32, u32, u32), f64)>;
+
+/// Computes the exact joint distribution of the paper's quadruplet for a
+/// profile pair under `b`-bit fingerprints.
+///
+/// `prune` drops intermediate states whose probability falls below it
+/// (`0.0` = exact; `1e-12` is plenty for plotting and loses ~1e-9 of mass).
+///
+/// # Panics
+/// Panics if `b == 0` or `prune` is negative.
+pub fn joint_distribution(pair: ProfilePair, b: u32, prune: f64) -> JointDistribution {
+    assert!(b > 0, "fingerprint width must be positive");
+    assert!(prune >= 0.0, "prune threshold must be non-negative");
+    let bf = b as f64;
+    let (alpha, g1, g2) = (pair.shared, pair.only1, pair.only2);
+
+    // Phase 1: P(α̂ = a) for a ∈ 0..=min(α, b).
+    let dist_a = occupancy_distribution(alpha, b);
+
+    let mut joint: HashMap<(u32, u32, u32, u32), f64> = HashMap::new();
+    for (a, &pa) in dist_a.iter().enumerate() {
+        if pa <= prune {
+            continue;
+        }
+        // Phase 2: P(η̂1 = e1 | α̂ = a): each of the γ1 balls hits an
+        // occupied bin (a + e1 so far) or founds a new one.
+        let mut dist_e1 = vec![0.0f64; g1 + 1];
+        dist_e1[0] = 1.0;
+        for _ in 0..g1 {
+            let mut next = vec![0.0f64; g1 + 1];
+            for (e1, &p) in dist_e1.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                let occupied = (a + e1) as f64;
+                next[e1] += p * (occupied / bf);
+                if e1 < g1 && occupied < bf {
+                    next[e1 + 1] += p * ((bf - occupied) / bf);
+                }
+            }
+            dist_e1 = next;
+        }
+
+        for (e1, &pe1) in dist_e1.iter().enumerate() {
+            let p_ae1 = pa * pe1;
+            if p_ae1 <= prune {
+                continue;
+            }
+            // Phase 3: γ2 balls; state (j2 = new bins from P∆2, m = those
+            // overlapping η̂1's bins).
+            let mut states: HashMap<(u32, u32), f64> = HashMap::new();
+            states.insert((0, 0), 1.0);
+            for _ in 0..g2 {
+                let mut next: HashMap<(u32, u32), f64> =
+                    HashMap::with_capacity(states.len() + 8);
+                for (&(j2, m), &p) in &states {
+                    if p <= prune * 1e-3 {
+                        continue; // micro-prune inside the ball loop
+                    }
+                    let stay = (a as f64 + j2 as f64) / bf;
+                    let grow_overlap = (e1 as f64 - m as f64) / bf;
+                    let grow_fresh =
+                        (bf - a as f64 - e1 as f64 - (j2 - m) as f64) / bf;
+                    if stay > 0.0 {
+                        *next.entry((j2, m)).or_insert(0.0) += p * stay;
+                    }
+                    if grow_overlap > 0.0 {
+                        *next.entry((j2 + 1, m + 1)).or_insert(0.0) += p * grow_overlap;
+                    }
+                    if grow_fresh > 0.0 {
+                        *next.entry((j2 + 1, m)).or_insert(0.0) += p * grow_fresh;
+                    }
+                }
+                states = next;
+            }
+            for (&(j2, m), &p) in &states {
+                let prob = p_ae1 * p;
+                if prob <= prune {
+                    continue;
+                }
+                let u = a as u32 + e1 as u32 + j2 - m;
+                *joint
+                    .entry((u, a as u32, e1 as u32, j2))
+                    .or_insert(0.0) += prob;
+            }
+        }
+    }
+    let mut out: JointDistribution = joint.into_iter().collect();
+    out.sort_by_key(|&(k, _)| k);
+    out
+}
+
+/// Exact distribution of `Ĵ` for a profile pair under `b`-bit fingerprints.
+///
+/// ```
+/// use goldfinger_theory::pair::ProfilePair;
+/// use goldfinger_theory::occupancy::exact_distribution;
+///
+/// // Two 40-item profiles with true Jaccard 0.25, 256-bit SHFs:
+/// let pair = ProfilePair::from_sizes_and_jaccard(40, 40, 0.25);
+/// let dist = exact_distribution(pair, 256, 1e-13);
+/// assert!((dist.total_mass() - 1.0).abs() < 1e-6);
+/// assert!(dist.mean() > 0.25);          // collision-driven upward bias
+/// assert!(dist.quantile(0.99) < 0.45);  // but tightly spread
+/// ```
+pub fn exact_distribution(pair: ProfilePair, b: u32, prune: f64) -> EstimatorDistribution {
+    let joint = joint_distribution(pair, b, prune);
+    EstimatorDistribution::from_pairs(joint.into_iter().map(|((u, a, e1, e2), p)| {
+        let value = if u == 0 {
+            0.0
+        } else {
+            // β̂ = α̂ + η̂1 + η̂2 − û;  Ĵ = (α̂ + β̂)/û (Eq. 7).
+            let beta = a + e1 + e2 - u;
+            (a + beta) as f64 / u as f64
+        };
+        (value, p)
+    }))
+}
+
+/// Classic occupancy: distribution of the number of occupied bins after
+/// throwing `balls` balls into `bins` bins uniformly.
+pub fn occupancy_distribution(balls: usize, bins: u32) -> Vec<f64> {
+    let bf = bins as f64;
+    let max = balls.min(bins as usize);
+    let mut dist = vec![0.0f64; max + 1];
+    dist[0] = 1.0;
+    for _ in 0..balls {
+        let mut next = vec![0.0f64; max + 1];
+        for (k, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            next[k] += p * (k as f64 / bf);
+            if k < max {
+                next[k + 1] += p * ((bf - k as f64) / bf);
+            }
+        }
+        dist = next;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::{sample_estimates, EstimatorSummary};
+
+    #[test]
+    fn occupancy_matches_closed_form_for_two_balls() {
+        // Two balls in b bins: P(1 occupied) = 1/b.
+        let d = occupancy_distribution(2, 10);
+        assert!((d[1] - 0.1).abs() < 1e-12);
+        assert!((d[2] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_mass_sums_to_one() {
+        for (balls, bins) in [(0usize, 5u32), (3, 5), (10, 4), (50, 64)] {
+            let d = occupancy_distribution(balls, bins);
+            let total: f64 = d.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "balls={balls} bins={bins}");
+        }
+    }
+
+    #[test]
+    fn joint_mass_sums_to_one_without_pruning() {
+        let pair = ProfilePair {
+            shared: 4,
+            only1: 3,
+            only2: 5,
+        };
+        let joint = joint_distribution(pair, 16, 0.0);
+        let total: f64 = joint.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn exact_matches_monte_carlo() {
+        let pair = ProfilePair {
+            shared: 10,
+            only1: 20,
+            only2: 20,
+        };
+        let exact = exact_distribution(pair, 128, 0.0);
+        assert!((exact.total_mass() - 1.0).abs() < 1e-9);
+        let mc = EstimatorSummary::from_samples(&sample_estimates(pair, 128, 40_000, 11));
+        assert!(
+            (exact.mean() - mc.mean).abs() < 0.005,
+            "exact {} vs mc {}",
+            exact.mean(),
+            mc.mean
+        );
+        assert!((exact.std() - mc.std).abs() < 0.01);
+    }
+
+    #[test]
+    fn estimator_is_exact_when_no_collisions_possible() {
+        // One item per side, disjoint, b large: Ĵ = 0 unless they collide
+        // (prob 1/b).
+        let pair = ProfilePair {
+            shared: 0,
+            only1: 1,
+            only2: 1,
+        };
+        let d = exact_distribution(pair, 100, 0.0);
+        // Support: 0 (no collision) and 1 (collision of the two items).
+        assert_eq!(d.support.len(), 2);
+        assert!((d.prob_above(0.5) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_profiles_give_point_mass_at_one() {
+        let pair = ProfilePair {
+            shared: 7,
+            only1: 0,
+            only2: 0,
+        };
+        let d = exact_distribution(pair, 32, 0.0);
+        assert_eq!(d.support.len(), 1);
+        assert!((d.support[0].0 - 1.0).abs() < 1e-12);
+        assert!((d.support[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pair_gives_point_mass_at_zero() {
+        let pair = ProfilePair {
+            shared: 0,
+            only1: 0,
+            only2: 0,
+        };
+        let d = exact_distribution(pair, 32, 0.0);
+        assert_eq!(d.support.len(), 1);
+        assert_eq!(d.support[0].0, 0.0);
+    }
+
+    #[test]
+    fn pruning_loses_little_mass() {
+        let pair = ProfilePair {
+            shared: 10,
+            only1: 30,
+            only2: 30,
+        };
+        let exact = exact_distribution(pair, 256, 0.0);
+        let pruned = exact_distribution(pair, 256, 1e-12);
+        assert!(pruned.total_mass() > 0.999_999);
+        assert!((exact.mean() - pruned.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_mean() {
+        let pair = ProfilePair::from_sizes_and_jaccard(40, 40, 0.25);
+        let d = exact_distribution(pair, 256, 1e-13);
+        assert!(d.quantile(0.01) <= d.mean());
+        assert!(d.quantile(0.99) >= d.mean());
+        assert!(d.quantile(0.01) <= d.quantile(0.5));
+    }
+
+    #[test]
+    fn estimator_bias_grows_as_b_shrinks() {
+        let pair = ProfilePair::from_sizes_and_jaccard(60, 60, 0.25);
+        let wide = exact_distribution(pair, 2048, 1e-13).mean();
+        let narrow = exact_distribution(pair, 128, 1e-13).mean();
+        assert!(narrow > wide, "narrow {narrow} !> wide {wide}");
+        assert!(wide >= pair.true_jaccard() - 1e-9);
+    }
+}

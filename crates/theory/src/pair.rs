@@ -1,0 +1,118 @@
+//! The parametrisation of a profile pair used throughout the analysis.
+
+/// A pair of profiles described by the three disjoint set sizes of the
+/// paper's Figure 2: `shared = |P∩|`, `only1 = |P∆1|`, `only2 = |P∆2|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfilePair {
+    /// Number of items in both profiles (`α`).
+    pub shared: usize,
+    /// Items only in profile 1 (`γ1`).
+    pub only1: usize,
+    /// Items only in profile 2 (`γ2`).
+    pub only2: usize,
+}
+
+impl ProfilePair {
+    /// Builds a pair from profile sizes and their true Jaccard index,
+    /// rounding the shared part: `|P∩| = J·|P1 ∪ P2|`.
+    ///
+    /// # Panics
+    /// Panics if `jaccard` is outside `[0, 1]` or implies a shared part
+    /// larger than either profile.
+    pub fn from_sizes_and_jaccard(len1: usize, len2: usize, jaccard: f64) -> Self {
+        assert!((0.0..=1.0).contains(&jaccard), "jaccard must be in [0,1]");
+        // J = α / (len1 + len2 − α)  ⇒  α = J (len1 + len2) / (1 + J).
+        let shared = (jaccard * (len1 + len2) as f64 / (1.0 + jaccard)).round() as usize;
+        assert!(
+            shared <= len1.min(len2),
+            "jaccard {jaccard} impossible for sizes {len1}/{len2}"
+        );
+        ProfilePair {
+            shared,
+            only1: len1 - shared,
+            only2: len2 - shared,
+        }
+    }
+
+    /// `|P1|`.
+    pub fn len1(&self) -> usize {
+        self.shared + self.only1
+    }
+
+    /// `|P2|`.
+    pub fn len2(&self) -> usize {
+        self.shared + self.only2
+    }
+
+    /// The exact Jaccard index of the pair (0 when both profiles are empty).
+    pub fn true_jaccard(&self) -> f64 {
+        let union = self.shared + self.only1 + self.only2;
+        if union == 0 {
+            0.0
+        } else {
+            self.shared as f64 / union as f64
+        }
+    }
+
+    /// Total number of distinct items hashed (`α + γ1 + γ2`).
+    pub fn total_items(&self) -> usize {
+        self.shared + self.only1 + self.only2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_of_explicit_sizes() {
+        let p = ProfilePair {
+            shared: 25,
+            only1: 75,
+            only2: 75,
+        };
+        assert!((p.true_jaccard() - 25.0 / 175.0).abs() < 1e-12);
+        assert_eq!(p.len1(), 100);
+        assert_eq!(p.len2(), 100);
+        assert_eq!(p.total_items(), 175);
+    }
+
+    #[test]
+    fn from_sizes_and_jaccard_roundtrips() {
+        let p = ProfilePair::from_sizes_and_jaccard(100, 100, 0.25);
+        assert_eq!(p.shared, 40); // 0.25·200/1.25
+        assert!((p.true_jaccard() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_jaccard_means_disjoint() {
+        let p = ProfilePair::from_sizes_and_jaccard(50, 30, 0.0);
+        assert_eq!(p.shared, 0);
+        assert_eq!(p.true_jaccard(), 0.0);
+    }
+
+    #[test]
+    fn full_jaccard_means_identical() {
+        let p = ProfilePair::from_sizes_and_jaccard(60, 60, 1.0);
+        assert_eq!(p.shared, 60);
+        assert_eq!(p.only1, 0);
+        assert!((p.true_jaccard() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn impossible_jaccard_panics() {
+        // J = 0.9 needs a shared part of 0.9·80/1.9 ≈ 38 > min(30, 50).
+        let _ = ProfilePair::from_sizes_and_jaccard(30, 50, 0.9);
+    }
+
+    #[test]
+    fn empty_pair_jaccard_is_zero() {
+        let p = ProfilePair {
+            shared: 0,
+            only1: 0,
+            only2: 0,
+        };
+        assert_eq!(p.true_jaccard(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Privacy guarantees of SHFs (§2.5 of the paper): k-anonymity (Theorem 2)
+//! and ℓ-diversity (Theorem 3), plus an empirical construction of
+//! indistinguishable profiles that *witnesses* both theorems on a concrete
+//! hash function.
+
+use goldfinger_core::hash::ItemHasher;
+use goldfinger_core::profile::ItemId;
+use goldfinger_core::shf::Shf;
+
+/// The analytic guarantees for a dataset/fingerprint configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyGuarantees {
+    /// `log2(k)` of the k-anonymity level: GoldFinger ensures
+    /// `(2^{m/b})^{c_u}`-anonymity (Theorem 2), i.e. `log2 k = c_u · m / b`.
+    pub anonymity_log2: f64,
+    /// The ℓ-diversity level: `m / b` (Theorem 3).
+    pub diversity: f64,
+}
+
+/// Computes the guarantees for an item universe of size `m`, fingerprints
+/// of `b` bits, and an observed SHF cardinality `cardinality`.
+///
+/// # Panics
+/// Panics if `b == 0`.
+pub fn guarantees(m: usize, b: u32, cardinality: u32) -> PrivacyGuarantees {
+    assert!(b > 0, "fingerprint width must be positive");
+    let per_bit = m as f64 / b as f64;
+    PrivacyGuarantees {
+        anonymity_log2: per_bit * cardinality as f64,
+        diversity: per_bit,
+    }
+}
+
+/// Partitions the item universe `0..m` into the preimages `H_x = h⁻¹(x)` of
+/// each bit position — the attacker's knowledge in the paper's threat model.
+pub fn preimage_partition<H: ItemHasher>(hasher: &H, m: usize, b: u32) -> Vec<Vec<ItemId>> {
+    let mut preimages = vec![Vec::new(); b as usize];
+    for item in 0..m as u32 {
+        preimages[hasher.bit_position(item as u64, b) as usize].push(item);
+    }
+    preimages
+}
+
+/// Constructs up to `count` pairwise-disjoint profiles that are
+/// indistinguishable from the fingerprinted one — the explicit witnesses of
+/// Theorem 3's ℓ-diversity argument: profile `Q_j` takes the `j`-th element
+/// of every set bit's preimage.
+///
+/// Returns fewer than `count` profiles when some preimage is too small
+/// (the theorem's `m/b` bound is an average).
+pub fn indistinguishable_profiles(
+    shf: &Shf,
+    preimages: &[Vec<ItemId>],
+    count: usize,
+) -> Vec<Vec<ItemId>> {
+    let set_bits: Vec<u32> = shf.bits().iter_ones().collect();
+    if set_bits.is_empty() {
+        return Vec::new();
+    }
+    let depth = set_bits
+        .iter()
+        .map(|&x| preimages[x as usize].len())
+        .min()
+        .unwrap_or(0);
+    (0..depth.min(count))
+        .map(|j| {
+            set_bits
+                .iter()
+                .map(|&x| preimages[x as usize][j])
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::hash::{DynHasher, HasherKind};
+    use goldfinger_core::shf::ShfParams;
+
+    #[test]
+    fn amazon_movies_numbers_from_the_paper() {
+        // §2.5.1: AmazonMovies has 171 356 items; with 1024-bit SHFs the
+        // paper reports 2^167-anonymity and 167-diversity.
+        let g = guarantees(171_356, 1024, 1);
+        assert!((g.anonymity_log2 - 167.0).abs() < 0.5, "{g:?}");
+        assert!((g.diversity - 167.0).abs() < 0.5);
+        // A cardinality-c_u SHF multiplies the exponent.
+        let g40 = guarantees(171_356, 1024, 40);
+        assert!((g40.anonymity_log2 - 40.0 * 167.34).abs() < 20.0);
+    }
+
+    #[test]
+    fn anonymity_shrinks_with_wider_fingerprints() {
+        let narrow = guarantees(100_000, 512, 10);
+        let wide = guarantees(100_000, 4096, 10);
+        assert!(narrow.anonymity_log2 > wide.anonymity_log2);
+        assert!(narrow.diversity > wide.diversity);
+    }
+
+    #[test]
+    fn preimages_partition_the_universe() {
+        let h = DynHasher::new(HasherKind::Jenkins, 3);
+        let pre = preimage_partition(&h, 5_000, 64);
+        let total: usize = pre.iter().map(Vec::len).sum();
+        assert_eq!(total, 5_000);
+        // Every item is in the preimage of its own bit.
+        for (x, items) in pre.iter().enumerate() {
+            for &i in items {
+                assert_eq!(h.bit_position(i as u64, 64), x as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_hash_to_the_same_fingerprint() {
+        let params = ShfParams::new(64, DynHasher::new(HasherKind::Jenkins, 3));
+        let profile: Vec<u32> = vec![17, 190, 2_044, 3_000];
+        let shf = params.fingerprint(&profile);
+        let pre = preimage_partition(params.hasher(), 5_000, 64);
+        let witnesses = indistinguishable_profiles(&shf, &pre, 8);
+        assert!(witnesses.len() >= 2, "got {} witnesses", witnesses.len());
+        for w in &witnesses {
+            let other = params.fingerprint(w);
+            assert_eq!(other.bits(), shf.bits(), "witness produced a different SHF");
+        }
+    }
+
+    #[test]
+    fn witnesses_are_pairwise_disjoint() {
+        let params = ShfParams::new(32, DynHasher::new(HasherKind::Jenkins, 5));
+        let shf = params.fingerprint(&[1, 100, 999]);
+        let pre = preimage_partition(params.hasher(), 2_000, 32);
+        let witnesses = indistinguishable_profiles(&shf, &pre, 10);
+        for (i, a) in witnesses.iter().enumerate() {
+            for b in &witnesses[i + 1..] {
+                assert!(a.iter().all(|x| !b.contains(x)), "witnesses overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fingerprint_has_no_witnesses() {
+        let params = ShfParams::new(32, DynHasher::default());
+        let shf = params.fingerprint(&[]);
+        let pre = preimage_partition(params.hasher(), 100, 32);
+        assert!(indistinguishable_profiles(&shf, &pre, 5).is_empty());
+    }
+
+    #[test]
+    fn witness_count_approaches_diversity_bound() {
+        // With m = 6400 and b = 64, each preimage holds ~100 items, so we
+        // should find close to min-preimage-size witnesses.
+        let params = ShfParams::new(64, DynHasher::new(HasherKind::Jenkins, 11));
+        let shf = params.fingerprint(&[5, 50, 500]);
+        let pre = preimage_partition(params.hasher(), 6_400, 64);
+        let witnesses = indistinguishable_profiles(&shf, &pre, usize::MAX);
+        let bound = guarantees(6_400, 64, shf.cardinality()).diversity;
+        assert!(
+            witnesses.len() as f64 > bound * 0.5,
+            "{} witnesses vs diversity bound {bound}",
+            witnesses.len()
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Misordering probabilities — the quantity behind Figure 3's
+//! "98 % separability" annotation.
+//!
+//! A KNN algorithm using `Ĵ` errs on a pair of candidates when the *less*
+//! similar one gets the *higher* estimate. For two independent profile
+//! pairs (each sharing profile `P1` but hashed into independent regions of
+//! the figure's analysis), the misordering probability is
+//!
+//! ```text
+//! P[ Ĵ_lo > Ĵ_hi ]  =  Σ_x P[Ĵ_lo = x] · P[Ĵ_hi < x]   (+ ½ ties)
+//! ```
+//!
+//! computed here by convolving two exact estimator distributions from
+//! [`crate::occupancy`].
+//!
+//! Strictly speaking `Ĵ(P1, P2)` and `Ĵ(P1, P2')` share the randomness of
+//! `h` on `P1`, so they are positively correlated and the independent
+//! convolution *over-estimates* misordering slightly — a conservative
+//! bound, which is the useful direction.
+
+use crate::occupancy::{exact_distribution, EstimatorDistribution};
+use crate::pair::ProfilePair;
+
+/// `P[lo > hi] + P[tie]/2`, treating
+/// the distributions as independent.
+pub fn misordering_probability(hi: &EstimatorDistribution, lo: &EstimatorDistribution) -> f64 {
+    // Walk `hi`'s support with a running CDF of `lo`.
+    let mut p = 0.0f64;
+    for &(x_hi, p_hi) in &hi.support {
+        let mut above = 0.0f64;
+        let mut tie = 0.0f64;
+        for &(x_lo, p_lo) in &lo.support {
+            if x_lo > x_hi + 1e-15 {
+                above += p_lo;
+            } else if (x_lo - x_hi).abs() <= 1e-15 {
+                tie = p_lo;
+            }
+        }
+        p += p_hi * (above + 0.5 * tie);
+    }
+    p
+}
+
+/// Convenience: misordering probability between a true-neighbour pair of
+/// Jaccard `j_hi` and a challenger of Jaccard `j_lo` (equal profile sizes),
+/// under `b`-bit fingerprints.
+///
+/// # Panics
+/// Panics if `j_lo > j_hi` or the configuration is infeasible.
+pub fn misordering_for_jaccards(
+    profile_len: usize,
+    j_hi: f64,
+    j_lo: f64,
+    b: u32,
+    prune: f64,
+) -> f64 {
+    assert!(j_lo <= j_hi, "j_lo must not exceed j_hi");
+    let hi = exact_distribution(
+        ProfilePair::from_sizes_and_jaccard(profile_len, profile_len, j_hi),
+        b,
+        prune,
+    );
+    let lo = exact_distribution(
+        ProfilePair::from_sizes_and_jaccard(profile_len, profile_len, j_lo),
+        b,
+        prune,
+    );
+    misordering_probability(&hi, &lo)
+}
+
+/// The separability gap: the largest `j_lo` (on a grid of `steps` values
+/// below `j_hi`) whose misordering probability is still at most `risk`.
+/// Returns `None` when even `j_lo = 0` misorders more often than `risk`.
+pub fn separability_threshold(
+    profile_len: usize,
+    j_hi: f64,
+    b: u32,
+    risk: f64,
+    steps: usize,
+) -> Option<f64> {
+    assert!(steps > 0, "need at least one step");
+    let hi = exact_distribution(
+        ProfilePair::from_sizes_and_jaccard(profile_len, profile_len, j_hi),
+        b,
+        1e-12,
+    );
+    let mut best = None;
+    for s in 0..=steps {
+        let j_lo = j_hi * s as f64 / steps as f64;
+        let lo = exact_distribution(
+            ProfilePair::from_sizes_and_jaccard(profile_len, profile_len, j_lo),
+            b,
+            1e-12,
+        );
+        if misordering_probability(&hi, &lo) <= risk {
+            best = Some(j_lo);
+        } else {
+            break; // misordering grows with j_lo; no point continuing
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_misorder_half_the_time() {
+        let d = exact_distribution(
+            ProfilePair::from_sizes_and_jaccard(40, 40, 0.2),
+            256,
+            1e-13,
+        );
+        let p = misordering_probability(&d, &d);
+        assert!((p - 0.5).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn well_separated_jaccards_rarely_misorder() {
+        // Paper's Figure 3 point (scaled to 40-item profiles for test
+        // speed): a challenger at J = 0.05 against a neighbour at J = 0.25
+        // almost never wins.
+        let p = misordering_for_jaccards(40, 0.25, 0.05, 1024, 1e-12);
+        assert!(p < 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn close_jaccards_misorder_often_at_small_b() {
+        let far_b = misordering_for_jaccards(40, 0.25, 0.20, 2048, 1e-12);
+        let near_b = misordering_for_jaccards(40, 0.25, 0.20, 128, 1e-12);
+        assert!(near_b > far_b, "{near_b} !> {far_b}");
+        assert!(near_b > 0.1, "near_b = {near_b}");
+    }
+
+    #[test]
+    fn paper_figure3_separability_point() {
+        // The paper: with b = 1024 and 100-item profiles, a challenger at
+        // J ≤ 0.17 misorders against J = 0.25 with probability < 2 %.
+        let p = misordering_for_jaccards(100, 0.25, 0.17, 1024, 1e-12);
+        assert!(p < 0.02, "p = {p}");
+        // And the 98 %-separability threshold sits near 0.17.
+        let thr = separability_threshold(100, 0.25, 1024, 0.02, 10).expect("threshold exists");
+        assert!((0.10..=0.20).contains(&thr), "thr = {thr}");
+    }
+
+    #[test]
+    fn zero_challenger_always_separable() {
+        let thr = separability_threshold(30, 0.3, 512, 0.05, 5);
+        assert!(thr.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "j_lo must not exceed")]
+    fn inverted_jaccards_panic() {
+        let _ = misordering_for_jaccards(20, 0.1, 0.2, 64, 0.0);
+    }
+}

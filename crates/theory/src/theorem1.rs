@@ -1,0 +1,302 @@
+//! Direct evaluation of the paper's Theorem 1 — the closed-form counting
+//! formula for `P(û, α̂, η̂1, η̂2 | α, γ1, γ2)`.
+//!
+//! The formula multiplies binomial coefficients, a Stirling-number surjection
+//! count, and two inclusion-exclusion counts `ξ`. All quantities are
+//! integers; as long as every intermediate stays below `2^53` (true for the
+//! small-parameter validation regime: `b ≤ 32`, profile sizes ≤ 10), `f64`
+//! arithmetic evaluates them *exactly*. For paper-scale parameters use the
+//! numerically robust dynamic program of [`crate::occupancy`] instead —
+//! the two are cross-validated in this module's tests.
+
+use crate::occupancy::JointDistribution;
+use crate::pair::ProfilePair;
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact below `2^53`).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc.round()
+}
+
+/// Stirling number of the second kind `S(n, k)`: partitions of an `n`-set
+/// into `k` non-empty blocks.
+pub fn stirling2(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if n == 0 {
+        return 1.0; // S(0,0) = 1
+    }
+    if k == 0 {
+        return 0.0;
+    }
+    // DP row by row; exact in f64 for the small regime.
+    let mut row = vec![0.0f64; k + 1];
+    row[0] = 1.0; // S(0,0)
+    for i in 1..=n {
+        // iterate k backwards so row[j-1] is still S(i-1, j-1)
+        let hi = k.min(i);
+        let mut next = vec![0.0f64; k + 1];
+        for j in 1..=hi {
+            next[j] = j as f64 * row[j] + row[j - 1];
+        }
+        row = next;
+    }
+    row[k]
+}
+
+/// `ξ(x, y, z)`: functions from an `x`-set into a `y`-set that are
+/// surjective onto a designated `z`-subset (inclusion-exclusion).
+pub fn xi(x: usize, y: usize, z: usize) -> f64 {
+    if z > y || z > x {
+        // Cannot cover z distinct targets with fewer than z items.
+        return if z == 0 { (y as f64).powi(x as i32) } else { 0.0 };
+    }
+    let mut total = 0.0f64;
+    for k in 0..=z {
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        total += sign * binomial(z as u64, k as u64) * ((y - k) as f64).powi(x as i32);
+    }
+    total.round()
+}
+
+/// `Card_h`: the number of hash functions producing the quadruplet
+/// `(û, α̂, η̂1, η̂2)` for a pair with parameters `(α, γ1, γ2)` and `b` bins
+/// (Theorem 1 of the paper).
+#[allow(clippy::too_many_arguments)]
+pub fn card_h(
+    u: u32,
+    a: u32,
+    e1: u32,
+    e2: u32,
+    alpha: usize,
+    gamma1: usize,
+    gamma2: usize,
+    b: u32,
+) -> f64 {
+    // β̂ is determined by the quadruplet.
+    let Some(beta) = (a + e1 + e2).checked_sub(u) else {
+        return 0.0;
+    };
+    if beta > e1.min(e2) || u > b || u != a + e1 + e2 - beta {
+        return 0.0;
+    }
+    // Choose the supporting bin sets…
+    let choose_bins = binomial(b as u64, u as u64)
+        * binomial(u as u64, a as u64)
+        * binomial((u - a) as u64, beta as u64)
+        * binomial((u - a - beta) as u64, (e1 - beta) as u64);
+    // …then the three piece-wise restrictions of h.
+    let factorial_a = (1..=a as u64).map(|i| i as f64).product::<f64>();
+    let h_shared = factorial_a * stirling2(alpha, a as usize);
+    let h_delta1 = xi(gamma1, (e1 + a) as usize, e1 as usize);
+    let h_delta2 = xi(gamma2, (e2 + a) as usize, e2 as usize);
+    choose_bins * h_shared * h_delta1 * h_delta2
+}
+
+/// Evaluates the full joint distribution of Theorem 1 by enumerating all
+/// feasible quadruplets.
+///
+/// # Panics
+/// Panics if `b == 0`.
+pub fn theorem1_distribution(pair: ProfilePair, b: u32) -> JointDistribution {
+    assert!(b > 0, "fingerprint width must be positive");
+    let (alpha, g1, g2) = (pair.shared, pair.only1, pair.only2);
+    let denom = (b as f64).powi(pair.total_items() as i32);
+    let mut out = Vec::new();
+    let a_max = alpha.min(b as usize) as u32;
+    let a_min = u32::from(alpha > 0);
+    for a in a_min..=a_max.max(a_min) {
+        if alpha == 0 && a > 0 {
+            break;
+        }
+        for e1 in 0..=g1 as u32 {
+            for e2 in 0..=g2 as u32 {
+                for beta in 0..=e1.min(e2) {
+                    let u = a + e1 + e2 - beta;
+                    if u > b {
+                        continue;
+                    }
+                    let count = card_h(u, a, e1, e2, alpha, g1, g2, b);
+                    if count > 0.0 {
+                        out.push(((u, a, e1, e2), count / denom));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|&(k, _)| k);
+    out
+}
+
+/// Brute-force ground truth: enumerates *all* `b^n` hash functions for a
+/// tiny pair and tallies the quadruplets. Exponential — test sizes only.
+///
+/// # Panics
+/// Panics if `b^n` exceeds 10 million (guard against accidental blow-up).
+pub fn enumerate_all_hash_functions(pair: ProfilePair, b: u32) -> JointDistribution {
+    let n = pair.total_items();
+    let total = (b as u64)
+        .checked_pow(n as u32)
+        .filter(|&t| t <= 10_000_000)
+        .expect("enumeration too large");
+    let mut tally: std::collections::HashMap<(u32, u32, u32, u32), u64> =
+        std::collections::HashMap::new();
+    let mut assignment = vec![0u32; n];
+    for idx in 0..total {
+        // Decode idx in base b.
+        let mut x = idx;
+        for slot in assignment.iter_mut() {
+            *slot = (x % b as u64) as u32;
+            x /= b as u64;
+        }
+        let shared = &assignment[..pair.shared];
+        let d1 = &assignment[pair.shared..pair.shared + pair.only1];
+        let d2 = &assignment[pair.shared + pair.only1..];
+        let mut b_shared: Vec<u32> = shared.to_vec();
+        b_shared.sort_unstable();
+        b_shared.dedup();
+        let mut bn1: Vec<u32> = d1
+            .iter()
+            .copied()
+            .filter(|x| !b_shared.contains(x))
+            .collect();
+        bn1.sort_unstable();
+        bn1.dedup();
+        let mut bn2: Vec<u32> = d2
+            .iter()
+            .copied()
+            .filter(|x| !b_shared.contains(x))
+            .collect();
+        bn2.sort_unstable();
+        bn2.dedup();
+        let beta = bn1.iter().filter(|x| bn2.contains(x)).count() as u32;
+        let (a, e1, e2) = (b_shared.len() as u32, bn1.len() as u32, bn2.len() as u32);
+        let u = a + e1 + e2 - beta;
+        *tally.entry((u, a, e1, e2)).or_insert(0) += 1;
+    }
+    let mut out: JointDistribution = tally
+        .into_iter()
+        .map(|(k, c)| (k, c as f64 / total as f64))
+        .collect();
+    out.sort_by_key(|&(k, _)| k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::joint_distribution;
+
+    fn assert_distributions_match(a: &JointDistribution, b: &JointDistribution, tol: f64) {
+        let to_map = |d: &JointDistribution| {
+            d.iter()
+                .filter(|&&(_, p)| p > 1e-15)
+                .map(|&(k, p)| (k, p))
+                .collect::<std::collections::HashMap<_, _>>()
+        };
+        let (ma, mb) = (to_map(a), to_map(b));
+        let keys: std::collections::HashSet<_> = ma.keys().chain(mb.keys()).collect();
+        for k in keys {
+            let pa = ma.get(k).copied().unwrap_or(0.0);
+            let pb = mb.get(k).copied().unwrap_or(0.0);
+            assert!(
+                (pa - pb).abs() < tol,
+                "quadruplet {k:?}: {pa} vs {pb}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomials_are_exact() {
+        assert_eq!(binomial(10, 3), 120.0);
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 6), 0.0);
+        assert_eq!(binomial(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn stirling_numbers_are_exact() {
+        assert_eq!(stirling2(0, 0), 1.0);
+        assert_eq!(stirling2(4, 2), 7.0);
+        assert_eq!(stirling2(5, 3), 25.0);
+        assert_eq!(stirling2(3, 0), 0.0);
+        assert_eq!(stirling2(3, 4), 0.0);
+        assert_eq!(stirling2(10, 10), 1.0);
+    }
+
+    #[test]
+    fn xi_counts_surjective_on_subset() {
+        // Functions {1,2} → {a,b} surjective on {a}: ab, ba, aa = 3.
+        assert_eq!(xi(2, 2, 1), 3.0);
+        // Surjective on both: 2! = 2.
+        assert_eq!(xi(2, 2, 2), 2.0);
+        // z = 0: all functions.
+        assert_eq!(xi(3, 4, 0), 64.0);
+        // Impossible coverage.
+        assert_eq!(xi(1, 3, 2), 0.0);
+    }
+
+    #[test]
+    fn theorem1_mass_sums_to_one() {
+        for pair in [
+            ProfilePair { shared: 2, only1: 2, only2: 2 },
+            ProfilePair { shared: 0, only1: 3, only2: 2 },
+            ProfilePair { shared: 4, only1: 0, only2: 0 },
+            ProfilePair { shared: 0, only1: 0, only2: 0 },
+        ] {
+            let d = theorem1_distribution(pair, 8);
+            let total: f64 = d.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "pair {pair:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn theorem1_matches_exhaustive_enumeration() {
+        for (pair, b) in [
+            (ProfilePair { shared: 1, only1: 2, only2: 2 }, 4u32),
+            (ProfilePair { shared: 2, only1: 1, only2: 2 }, 5),
+            (ProfilePair { shared: 0, only1: 3, only2: 2 }, 4),
+            (ProfilePair { shared: 3, only1: 1, only2: 1 }, 3),
+        ] {
+            let formula = theorem1_distribution(pair, b);
+            let truth = enumerate_all_hash_functions(pair, b);
+            assert_distributions_match(&formula, &truth, 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem1_matches_occupancy_dp() {
+        for (pair, b) in [
+            (ProfilePair { shared: 3, only1: 4, only2: 2 }, 16u32),
+            (ProfilePair { shared: 5, only1: 5, only2: 5 }, 32),
+            (ProfilePair { shared: 0, only1: 6, only2: 3 }, 16),
+        ] {
+            let formula = theorem1_distribution(pair, b);
+            let dp = joint_distribution(pair, b, 0.0);
+            assert_distributions_match(&formula, &dp, 1e-9);
+        }
+    }
+
+    #[test]
+    fn occupancy_dp_matches_enumeration() {
+        let pair = ProfilePair { shared: 2, only1: 2, only2: 1 };
+        let dp = joint_distribution(pair, 4, 0.0);
+        let truth = enumerate_all_hash_functions(pair, 4);
+        assert_distributions_match(&dp, &truth, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn enumeration_guard_trips() {
+        let pair = ProfilePair { shared: 10, only1: 10, only2: 10 };
+        let _ = enumerate_all_hash_functions(pair, 16);
+    }
+}

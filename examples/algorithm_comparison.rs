@@ -1,0 +1,76 @@
+//! Head-to-head: all four KNN construction algorithms, native vs
+//! GoldFinger, on one dataset — a miniature of the paper's Table 4.
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use goldfinger::knn::hyrec::Hyrec;
+use goldfinger::knn::lsh::Lsh;
+use goldfinger::knn::nndescent::NNDescent;
+use goldfinger::prelude::*;
+
+fn main() {
+    let data = SynthConfig::ml1m().scaled(0.15).generate().prepare();
+    let profiles = data.profiles();
+    let k = 30;
+    println!(
+        "dataset: {} users, mean profile {:.1}, k = {k}\n",
+        profiles.n_users(),
+        profiles.mean_profile_len()
+    );
+
+    let native = ExplicitJaccard::new(profiles);
+    let fingerprints = ShfParams::default().fingerprint_store(profiles);
+    let gf = ShfJaccard::new(&fingerprints);
+
+    // Ground truth for quality.
+    let exact = BruteForce::default().build(&native, k);
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "algorithm", "native", "goldfinger", "gain %", "q nat.", "q GolFi"
+    );
+    let runs: Vec<(&str, KnnResult, KnnResult)> = vec![
+        (
+            "BruteForce",
+            exact.clone(),
+            BruteForce::default().build(&gf, k),
+        ),
+        (
+            "Hyrec",
+            Hyrec::default().build(&native, k),
+            Hyrec::default().build(&gf, k),
+        ),
+        (
+            "NNDescent",
+            NNDescent::default().build(&native, k),
+            NNDescent::default().build(&gf, k),
+        ),
+        (
+            "LSH",
+            Lsh::default().build(profiles, &native, k),
+            Lsh::default().build(profiles, &gf, k),
+        ),
+    ];
+    for (name, nat, gold) in runs {
+        let t_nat = nat.stats.wall.as_secs_f64();
+        let t_gf = gold.stats.wall.as_secs_f64();
+        println!(
+            "{name:<12} {:>10.1}ms {:>10.1}ms {:>8.1} {:>8.2} {:>8.2}",
+            t_nat * 1e3,
+            t_gf * 1e3,
+            (1.0 - t_gf / t_nat) * 100.0,
+            quality(&nat.graph, &exact.graph, &native),
+            quality(&gold.graph, &exact.graph, &native),
+        );
+    }
+
+    println!(
+        "\nedge recall of GoldFinger brute force vs exact: {:.2}",
+        edge_recall(
+            &BruteForce::default().build(&gf, k).graph,
+            &exact.graph
+        )
+    );
+}

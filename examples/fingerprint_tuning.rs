@@ -1,0 +1,65 @@
+//! Tuning the fingerprint width: the compactness/accuracy trade-off.
+//!
+//! Sweeps b from 64 to 8192 bits on one dataset and reports construction
+//! time, per-similarity cost, KNN quality, and the privacy level — the
+//! knobs §5 of the paper explores (Figures 9–12).
+//!
+//! ```text
+//! cargo run --release --example fingerprint_tuning
+//! ```
+
+use goldfinger::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let data = SynthConfig::ml1m().scaled(0.1).generate().prepare();
+    let profiles = data.profiles();
+    let k = 10;
+    println!(
+        "dataset: {} users, {} items, mean profile {:.1}\n",
+        profiles.n_users(),
+        data.n_items(),
+        profiles.mean_profile_len()
+    );
+
+    let native = ExplicitJaccard::new(profiles);
+    let exact = BruteForce::default().build(&native, k);
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>9} {:>10} {:>12}",
+        "bits", "prep", "ns/sim", "quality", "bytes/user", "l-diversity"
+    );
+    for bits in [64u32, 128, 256, 512, 1024, 2048, 4096, 8192] {
+        let t0 = Instant::now();
+        let store = ShfParams::new(bits, DynHasher::default()).fingerprint_store(profiles);
+        let prep = t0.elapsed();
+
+        // Per-similarity cost.
+        let n = store.len() as u32;
+        let reps = 200_000u32;
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for i in 0..reps {
+            acc += store.jaccard(i % n, (i.wrapping_mul(31) + 7) % n);
+        }
+        std::hint::black_box(acc);
+        let ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+
+        let gf = ShfJaccard::new(&store);
+        let graph = BruteForce::default().build(&gf, k).graph;
+        let q = quality(&graph, &exact.graph, &native);
+        let g = guarantees(data.n_items(), bits, 40);
+        println!(
+            "{bits:>6} {:>9.1}ms {:>12.1} {:>9.3} {:>10} {:>12.1}",
+            prep.as_secs_f64() * 1e3,
+            ns,
+            q,
+            bits / 8,
+            g.diversity
+        );
+    }
+    println!(
+        "\nreading: pick the smallest b whose quality you can live with — the paper's default \
+         (1024) balances the two; privacy moves the other way."
+    );
+}

@@ -1,0 +1,85 @@
+//! Streaming updates: fold fresh activity into fingerprints in O(1) and
+//! repair the KNN graph locally instead of rebuilding it.
+//!
+//! This is the paper's "web real-time" motivation (§1.2) made concrete:
+//! a news service where users keep clicking, the graph must stay fresh,
+//! and a full rebuild per click is out of the question.
+//!
+//! ```text
+//! cargo run --release --example streaming_updates
+//! ```
+
+use goldfinger::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A small population with two interest clusters.
+    let data = SynthConfig::ml1m().scaled(0.08).with_seed(9).generate().prepare();
+    let profiles = data.profiles();
+    let n = profiles.n_users();
+    let k = 10;
+    println!("population: {n} users, k = {k}");
+
+    // Initial state: fingerprint everything, build the graph once.
+    let params = ShfParams::default();
+    let mut fingerprints = params.fingerprint_store(profiles);
+    let t0 = Instant::now();
+    let initial = {
+        let sim = ShfJaccard::new(&fingerprints);
+        BruteForce::default().build(&sim, k)
+    };
+    let full_build = t0.elapsed();
+    println!(
+        "initial build: {:?} ({} similarity evaluations)\n",
+        full_build, initial.stats.similarity_evals
+    );
+
+    let mut graph = DynamicKnn::from_graph(&initial.graph);
+
+    // Simulate a stream of activity: user 0 starts consuming the items of
+    // a completely different cluster (borrow another user's tastes).
+    let donor = (n - 1) as u32;
+    let new_items: Vec<u32> = profiles.items(donor).iter().copied().take(40).collect();
+    println!(
+        "user 0 clicks {} items from user {donor}'s cluster…",
+        new_items.len()
+    );
+
+    let t0 = Instant::now();
+    // O(1) per click: set one bit, bump the cardinality.
+    let mut shf = fingerprints.get(0);
+    let mut fresh_bits = 0;
+    for &item in &new_items {
+        fresh_bits += usize::from(shf.insert_item(item, params.hasher()));
+    }
+    fingerprints.set_fingerprint(0, &shf);
+    let fp_update = t0.elapsed();
+    println!(
+        "fingerprint update: {:?} ({fresh_bits} new bits, no re-fingerprinting)",
+        fp_update
+    );
+
+    // Local repair: random probes escape the stale neighbourhood, a second
+    // pass walks the discovered cluster.
+    let t0 = Instant::now();
+    let sim = ShfJaccard::new(&fingerprints);
+    let evals = graph.repair_user_with_probes(0, &sim, 16, 7)
+        + graph.repair_user(0, &sim);
+    let repair = t0.elapsed();
+    println!(
+        "local repair: {:?} ({evals} similarity evaluations vs {} for a rebuild)",
+        repair, initial.stats.similarity_evals
+    );
+
+    // Verify against a fresh brute-force build on the updated fingerprints.
+    let truth = BruteForce::default().build(&sim, k);
+    let repaired = graph.into_graph();
+    let repaired_ids: Vec<u32> = repaired.neighbors(0).iter().map(|s| s.user).collect();
+    let truth_ids: Vec<u32> = truth.graph.neighbors(0).iter().map(|s| s.user).collect();
+    let overlap = truth_ids.iter().filter(|u| repaired_ids.contains(u)).count();
+    println!(
+        "\nuser 0's repaired neighbourhood matches {overlap}/{} of a full rebuild's;",
+        truth_ids.len()
+    );
+    println!("donor-cluster users now dominate: {repaired_ids:?}");
+}

@@ -1,0 +1,288 @@
+//! `goldfinger` — command-line interface to the library.
+//!
+//! ```text
+//! goldfinger stats       --synth ml1m [--scale 0.1]
+//! goldfinger fingerprint --synth ml1m --bits 1024 --out fp.gfs
+//! goldfinger knn         --synth ml1m --algo hyrec --k 30 [--goldfinger] --out graph.gfg
+//! goldfinger recommend   --synth ml1m --algo brute --k 30 --user 0 --n 10
+//! goldfinger privacy     --items 171356 --bits 1024 --cardinality 56
+//! ```
+//!
+//! Datasets come either from `--synth {ml1m,ml10m,ml20m,am,dblp,gowalla}`
+//! (Table-2-calibrated generators) or from `--ratings FILE --format
+//! {dat,csv,edges}` (the original file formats).
+
+use goldfinger::datasets::load::{load_edge_list, load_movielens_dat, load_ratings_csv};
+use goldfinger::datasets::stats::DatasetStats;
+use goldfinger::knn::kiff::Kiff;
+use goldfinger::knn::serial::write_knn_graph;
+use goldfinger::prelude::*;
+use goldfinger::theory::privacy::guarantees;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Cli {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Cli {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Cli { values, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: goldfinger <stats|generate|fingerprint|knn|recommend|privacy> [options]\n\
+     \n\
+     dataset options (stats/fingerprint/knn/recommend):\n\
+       --synth ml1m|ml10m|ml20m|am|dblp|gowalla   synthetic dataset (default ml1m)\n\
+       --scale F                                  user-count scale (default 0.1)\n\
+       --ratings FILE --format dat|csv|edges      load a real ratings file instead\n\
+       --seed N                                   RNG seed (default 42)\n\
+     \n\
+     generate:    --out FILE [--format dat|csv|edges]   export the synthetic dataset\n\
+     fingerprint: --bits B (default 1024)  --out FILE (GFS1 format)\n\
+     knn:         --algo brute|hyrec|nndescent|lsh|kiff (default brute)\n\
+                  --k K (default 30)  --goldfinger [--bits B]  --out FILE (GFG1)\n\
+     recommend:   knn options plus --user U (default 0) --n N (default 10)\n\
+     privacy:     --items M --bits B --cardinality C"
+}
+
+fn load_dataset(cli: &Cli) -> Result<BinaryDataset, String> {
+    if let Some(path) = cli.get("ratings") {
+        let format = cli.get_or("format", "dat");
+        let raw = match format.as_str() {
+            "dat" => load_movielens_dat(path, path),
+            "csv" => load_ratings_csv(path, path),
+            "edges" => load_edge_list(path, path),
+            other => return Err(format!("unknown --format {other:?} (dat|csv|edges)")),
+        }
+        .map_err(|e| format!("loading {path}: {e}"))?;
+        return Ok(raw.prepare());
+    }
+    let preset = match cli.get_or("synth", "ml1m").to_lowercase().as_str() {
+        "ml1m" => SynthConfig::ml1m(),
+        "ml10m" => SynthConfig::ml10m(),
+        "ml20m" => SynthConfig::ml20m(),
+        "am" | "amazon" | "amazonmovies" => SynthConfig::amazon_movies(),
+        "dblp" => SynthConfig::dblp(),
+        "gowalla" | "gw" => SynthConfig::gowalla(),
+        other => return Err(format!("unknown --synth {other:?}")),
+    };
+    let scale: f64 = cli.parse_num("scale", 0.1)?;
+    let seed: u64 = cli.parse_num("seed", 42)?;
+    Ok(preset.scaled(scale).with_seed(seed).generate().prepare())
+}
+
+fn build_graph(cli: &Cli, data: &BinaryDataset) -> Result<(KnnResult, bool), String> {
+    let k: usize = cli.parse_num("k", 30)?;
+    let algo = cli.get_or("algo", "brute");
+    let use_gf = cli.has("goldfinger");
+    let bits: u32 = cli.parse_num("bits", 1024)?;
+    let profiles = data.profiles();
+
+    let result = if use_gf {
+        let store = ShfParams::new(bits, DynHasher::default()).fingerprint_store(profiles);
+        let sim = ShfJaccard::new(&store);
+        dispatch_algo(&algo, profiles, &sim, k)?
+    } else {
+        let sim = ExplicitJaccard::new(profiles);
+        dispatch_algo(&algo, profiles, &sim, k)?
+    };
+    Ok((result, use_gf))
+}
+
+fn dispatch_algo<S: Similarity>(
+    algo: &str,
+    profiles: &ProfileStore,
+    sim: &S,
+    k: usize,
+) -> Result<KnnResult, String> {
+    Ok(match algo {
+        "brute" | "bruteforce" => BruteForce::default().build(sim, k),
+        "hyrec" => Hyrec::default().build(sim, k),
+        "nndescent" => NNDescent::default().build(sim, k),
+        "lsh" => Lsh::default().build(profiles, sim, k),
+        "kiff" => Kiff::default().build(profiles, sim, k),
+        other => return Err(format!("unknown --algo {other:?}")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        return Err(usage().to_string());
+    };
+    let cli = Cli::parse(&args[1..]);
+
+    match command.as_str() {
+        "stats" => {
+            let data = load_dataset(&cli)?;
+            let s = DatasetStats::compute(&data);
+            println!("dataset        users    items   ratings>3    |Pu|    |Pi|  density");
+            println!("{}", s.table2_row());
+        }
+        "fingerprint" => {
+            let data = load_dataset(&cli)?;
+            let bits: u32 = cli.parse_num("bits", 1024)?;
+            let t0 = std::time::Instant::now();
+            let store =
+                ShfParams::new(bits, DynHasher::default()).fingerprint_store(data.profiles());
+            println!(
+                "fingerprinted {} profiles into {bits}-bit SHFs in {:?} ({} bytes/user)",
+                store.len(),
+                t0.elapsed(),
+                bits / 8 + 4
+            );
+            if let Some(out) = cli.get("out") {
+                let mut file = std::fs::File::create(out)
+                    .map_err(|e| format!("creating {out}: {e}"))?;
+                goldfinger::core::serial::write_shf_store(&store, &mut file)
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                println!("wrote {out}");
+            }
+        }
+        "knn" => {
+            let data = load_dataset(&cli)?;
+            let (result, used_gf) = build_graph(&cli, &data)?;
+            println!(
+                "{} graph over {} users: {} edges, {} similarity evals, {:?}{}",
+                cli.get_or("algo", "brute"),
+                result.graph.n_users(),
+                result.graph.n_edges(),
+                result.stats.similarity_evals,
+                result.stats.wall,
+                if used_gf { " (GoldFinger)" } else { " (native)" },
+            );
+            println!(
+                "mean stored similarity: {:.4}",
+                result.graph.mean_stored_similarity()
+            );
+            if let Some(out) = cli.get("out") {
+                let mut file = std::fs::File::create(out)
+                    .map_err(|e| format!("creating {out}: {e}"))?;
+                write_knn_graph(&result.graph, &mut file)
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                println!("wrote {out}");
+            }
+        }
+        "recommend" => {
+            let data = load_dataset(&cli)?;
+            let (result, _) = build_graph(&cli, &data)?;
+            let user: u32 = cli.parse_num("user", 0)?;
+            let n: usize = cli.parse_num("n", 10)?;
+            if user as usize >= data.n_users() {
+                return Err(format!(
+                    "--user {user} out of range (population {})",
+                    data.n_users()
+                ));
+            }
+            let recs = recommend_for_user(&result.graph, &data, user, n);
+            if recs.is_empty() {
+                println!("no recommendations for user {user} (empty neighbourhood?)");
+            }
+            for r in recs {
+                println!("item {:>8}  score {:.3}", r.item, r.score);
+            }
+        }
+        "generate" => {
+            // Export a synthetic dataset in a loadable format.
+            if cli.get("ratings").is_some() {
+                return Err("generate only works with --synth datasets".into());
+            }
+            let preset = cli.get_or("synth", "ml1m");
+            let scale: f64 = cli.parse_num("scale", 0.1)?;
+            let seed: u64 = cli.parse_num("seed", 42)?;
+            let raw = match preset.to_lowercase().as_str() {
+                "ml1m" => SynthConfig::ml1m(),
+                "ml10m" => SynthConfig::ml10m(),
+                "ml20m" => SynthConfig::ml20m(),
+                "am" | "amazon" | "amazonmovies" => SynthConfig::amazon_movies(),
+                "dblp" => SynthConfig::dblp(),
+                "gowalla" | "gw" => SynthConfig::gowalla(),
+                other => return Err(format!("unknown --synth {other:?}")),
+            }
+            .scaled(scale)
+            .with_seed(seed)
+            .generate();
+            let out = cli
+                .get("out")
+                .ok_or_else(|| "generate requires --out FILE".to_string())?;
+            let mut file =
+                std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+            match cli.get_or("format", "dat").as_str() {
+                "dat" => goldfinger::datasets::write::write_movielens_dat(&raw, &mut file),
+                "csv" => goldfinger::datasets::write::write_ratings_csv(&raw, &mut file),
+                "edges" => goldfinger::datasets::write::write_edge_list(&raw, &mut file),
+                other => return Err(format!("unknown --format {other:?} (dat|csv|edges)")),
+            }
+            .map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {} ratings for {} users to {out}",
+                raw.ratings().len(),
+                raw.n_users()
+            );
+        }
+        "privacy" => {
+            let items: usize = cli.parse_num("items", 171_356)?;
+            let bits: u32 = cli.parse_num("bits", 1024)?;
+            let card: u32 = cli.parse_num("cardinality", 56)?;
+            let g = guarantees(items, bits, card);
+            println!(
+                "m = {items}, b = {bits}, c_u = {card}:\n  k-anonymity: 2^{:.0}\n  l-diversity: {:.0}",
+                g.anonymity_log2, g.diversity
+            );
+        }
+        "help" | "--help" | "-h" => println!("{}", usage()),
+        other => return Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

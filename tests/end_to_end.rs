@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: the full GoldFinger pipeline from raw
+//! ratings to KNN graphs and recommendations.
+
+use goldfinger::prelude::*;
+use goldfinger::knn::hyrec::Hyrec;
+use goldfinger::knn::lsh::Lsh;
+use goldfinger::knn::nndescent::NNDescent;
+use goldfinger::recommend::evaluate_fold;
+
+fn dataset() -> BinaryDataset {
+    SynthConfig::ml1m().scaled(0.05).with_seed(11).generate().prepare()
+}
+
+#[test]
+fn raw_ratings_to_prepared_profiles() {
+    let raw = SynthConfig::ml1m().scaled(0.05).with_seed(11).generate();
+    let prepared = raw.prepare();
+    // Binarisation keeps only ratings > 3.
+    assert!(prepared.n_positive() < raw.ratings().len());
+    // Every kept user had at least 20 raw ratings.
+    assert!(prepared.n_users() > 0);
+    assert!(prepared.n_users() <= raw.n_users());
+    // Profiles are sorted and deduplicated.
+    for (_, items) in prepared.profiles().iter() {
+        assert!(items.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+#[test]
+fn goldfinger_pipeline_tracks_native_pipeline() {
+    let data = dataset();
+    let profiles = data.profiles();
+    let k = 10;
+
+    let native = ExplicitJaccard::new(profiles);
+    let exact = BruteForce::default().build(&native, k);
+
+    let store = ShfParams::default().fingerprint_store(profiles);
+    let gf = ShfJaccard::new(&store);
+    let approx = BruteForce::default().build(&gf, k);
+
+    let q = quality(&approx.graph, &exact.graph, &native);
+    assert!(q > 0.85, "GoldFinger brute-force quality {q}");
+
+    // The estimator orders *unrelated vs related* users reliably: edge
+    // recall well above chance (k / n ≈ 0.03).
+    let recall = edge_recall(&approx.graph, &exact.graph);
+    assert!(recall > 0.3, "edge recall {recall}");
+}
+
+#[test]
+fn greedy_algorithms_approach_brute_force_on_both_providers() {
+    let data = dataset();
+    let profiles = data.profiles();
+    let k = 10;
+    let native = ExplicitJaccard::new(profiles);
+    let exact = BruteForce::default().build(&native, k);
+
+    let store = ShfParams::default().fingerprint_store(profiles);
+    let gf = ShfJaccard::new(&store);
+
+    for (name, nat_graph, gf_graph) in [
+        (
+            "hyrec",
+            Hyrec::default().build(&native, k).graph,
+            Hyrec::default().build(&gf, k).graph,
+        ),
+        (
+            "nndescent",
+            NNDescent::default().build(&native, k).graph,
+            NNDescent::default().build(&gf, k).graph,
+        ),
+        (
+            "lsh",
+            Lsh::default().build(profiles, &native, k).graph,
+            Lsh::default().build(profiles, &gf, k).graph,
+        ),
+    ] {
+        let q_nat = quality(&nat_graph, &exact.graph, &native);
+        let q_gf = quality(&gf_graph, &exact.graph, &native);
+        assert!(q_nat > 0.7, "{name} native quality {q_nat}");
+        assert!(q_gf > 0.6, "{name} goldfinger quality {q_gf}");
+    }
+}
+
+#[test]
+fn recommendations_survive_fingerprinting() {
+    let data = SynthConfig::ml1m().scaled(0.04).with_seed(3).generate().prepare();
+    let folds = five_fold(&data, 5);
+    let k = 15;
+
+    let mut native_total = RecallStats::default();
+    let mut gf_total = RecallStats::default();
+    for fold in &folds {
+        let profiles = fold.train.profiles();
+        let native = ExplicitJaccard::new(profiles);
+        let g_nat = BruteForce::default().build(&native, k).graph;
+        native_total.merge(evaluate_fold(&g_nat, fold, 30));
+
+        let store = ShfParams::default().fingerprint_store(profiles);
+        let gf = ShfJaccard::new(&store);
+        let g_gf = BruteForce::default().build(&gf, k).graph;
+        gf_total.merge(evaluate_fold(&g_gf, fold, 30));
+    }
+    assert!(native_total.recall() > 0.05, "native recall {}", native_total.recall());
+    // GoldFinger recall within 40% (relative) of native — the paper finds
+    // the loss negligible at full scale; small samples are noisier.
+    assert!(
+        gf_total.recall() > native_total.recall() * 0.6,
+        "gf {} vs native {}",
+        gf_total.recall(),
+        native_total.recall()
+    );
+}
+
+#[test]
+fn minhash_baseline_agrees_with_goldfinger_on_ordering() {
+    use goldfinger::minhash::{BbitParams, BbitStore, MinHashParams, PermutationStrategy};
+    // Controlled overlaps: user u shares 100 − 4u items with user 0, so
+    // J(0, u) decreases monotonically and triples are well separated.
+    let lists: Vec<Vec<u32>> = (0..20u32)
+        .map(|u| {
+            let shift = u * 4;
+            (shift..shift + 100).collect()
+        })
+        .collect();
+    let profiles = ProfileStore::from_item_lists(lists);
+    let store = ShfParams::default().fingerprint_store(&profiles);
+    let sketches = BbitStore::build(
+        BbitParams {
+            minhash: MinHashParams {
+                permutations: 256,
+                strategy: PermutationStrategy::Hashed,
+                seed: 1,
+            },
+            bits: 4,
+        },
+        &profiles,
+    );
+    // On clearly-separated pairs the two estimators must order identically.
+    let mut agreements = 0usize;
+    let mut checked = 0usize;
+    let n = profiles.n_users() as u32;
+    for u in 0..20u32.min(n) {
+        for v in (u + 1)..20u32.min(n) {
+            for w in (v + 1)..20u32.min(n) {
+                let (e1, e2) = (profiles.jaccard(u, v), profiles.jaccard(u, w));
+                if (e1 - e2).abs() < 0.15 {
+                    continue; // only check well-separated pairs
+                }
+                checked += 1;
+                let gf_order = store.jaccard(u, v) > store.jaccard(u, w);
+                let mh_order = sketches.jaccard(u, v) > sketches.jaccard(u, w);
+                let true_order = e1 > e2;
+                if gf_order == true_order && mh_order == true_order {
+                    agreements += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 10, "not enough separated triples ({checked})");
+    assert!(
+        agreements as f64 / checked as f64 > 0.9,
+        "{agreements}/{checked} agreements"
+    );
+}
+
+#[test]
+fn theory_predicts_observed_estimator_bias() {
+    use goldfinger::theory::occupancy::exact_distribution;
+    // Build many profile pairs with J = 1/3 (100 items each, 50 shared) and
+    // compare the empirical mean estimate with the exact theory.
+    let b = 512u32;
+    let params = ShfParams::new(b, DynHasher::new(HasherKind::Jenkins, 0));
+    let mut total = 0.0;
+    let trials = 300;
+    for t in 0..trials {
+        let base = t * 1_000;
+        let a: Vec<u32> = (base..base + 100).collect();
+        let bpro: Vec<u32> = (base + 50..base + 150).collect();
+        total += params.fingerprint(&a).jaccard(&params.fingerprint(&bpro));
+    }
+    let empirical = total / trials as f64;
+    let pair = ProfilePair {
+        shared: 50,
+        only1: 50,
+        only2: 50,
+    };
+    let theory = exact_distribution(pair, b, 1e-12).mean();
+    assert!(
+        (empirical - theory).abs() < 0.02,
+        "empirical {empirical} vs theory {theory}"
+    );
+}
+
+#[test]
+fn privacy_witnesses_work_on_real_dataset_profiles() {
+    use goldfinger::theory::privacy::{indistinguishable_profiles, preimage_partition};
+    let data = dataset();
+    let bits = 128u32;
+    let params = ShfParams::new(bits, DynHasher::new(HasherKind::Jenkins, 0));
+    let profile = data.profiles().items(0);
+    let shf = params.fingerprint(profile);
+    let pre = preimage_partition(params.hasher(), data.n_items(), bits);
+    let witnesses = indistinguishable_profiles(&shf, &pre, 3);
+    assert!(!witnesses.is_empty());
+    for w in &witnesses {
+        assert_eq!(params.fingerprint(w).bits(), shf.bits());
+        // Witnesses are decoys, not the original profile.
+        assert_ne!(w.as_slice(), profile);
+    }
+}

@@ -2,9 +2,9 @@
 //! 64–4096 bits, against the explicit 80-item baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfinger_core::hash::{DynHasher, HasherKind};
 use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::shf::ShfParams;
-use goldfinger_core::hash::{DynHasher, HasherKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

@@ -31,11 +31,22 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation — raw (Eq. 4) vs collision-corrected Jaccard estimator, Brute Force",
-        &["bits", "quality raw", "quality corrected", "time raw (s)", "time corrected (s)"],
+        &[
+            "bits",
+            "quality raw",
+            "quality corrected",
+            "time raw (s)",
+            "time corrected (s)",
+        ],
     );
     for bits in args.get_u32_list("bits", &[64, 128, 256, 512, 1024]) {
         let (store, _) = fingerprint(&cfg, bits, profiles);
-        let raw = dispatch(&cfg, AlgoKind::BruteForce, profiles, &ShfJaccard::new(&store));
+        let raw = dispatch(
+            &cfg,
+            AlgoKind::BruteForce,
+            profiles,
+            &ShfJaccard::new(&store),
+        );
         let corrected = dispatch(
             &cfg,
             AlgoKind::BruteForce,
@@ -45,7 +56,10 @@ fn main() {
         table.push(vec![
             bits.to_string(),
             format!("{:.3}", quality(&raw.graph, &exact.graph, &native_sim)),
-            format!("{:.3}", quality(&corrected.graph, &exact.graph, &native_sim)),
+            format!(
+                "{:.3}",
+                quality(&corrected.graph, &exact.graph, &native_sim)
+            ),
             format!("{:.3}", raw.stats.wall.as_secs_f64()),
             format!("{:.3}", corrected.stats.wall.as_secs_f64()),
         ]);

@@ -8,7 +8,9 @@
 //! ```
 
 use goldfinger_bench::workloads::build_dataset;
-use goldfinger_bench::{dispatch, fingerprint, fmt_duration, AlgoKind, Args, ExperimentConfig, Table};
+use goldfinger_bench::{
+    dispatch, fingerprint, fmt_duration, AlgoKind, Args, ExperimentConfig, Table,
+};
 use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
 use goldfinger_datasets::sample::sample_least_popular;
 use goldfinger_datasets::synth::SynthConfig;
@@ -29,7 +31,10 @@ fn main() {
     let exact = dispatch(&cfg, AlgoKind::BruteForce, profiles, &native_sim);
 
     let mut table = Table::new(
-        format!("Ablation — compaction strategies under Brute Force, k = {}", cfg.k),
+        format!(
+            "Ablation — compaction strategies under Brute Force, k = {}",
+            cfg.k
+        ),
         &["strategy", "build time", "quality"],
     );
     table.push(vec![
@@ -51,7 +56,12 @@ fn main() {
 
     for bits in [256u32, 1024] {
         let (store, _) = fingerprint(&cfg, bits, profiles);
-        let out = dispatch(&cfg, AlgoKind::BruteForce, profiles, &ShfJaccard::new(&store));
+        let out = dispatch(
+            &cfg,
+            AlgoKind::BruteForce,
+            profiles,
+            &ShfJaccard::new(&store),
+        );
         table.push(vec![
             format!("GoldFinger b = {bits}"),
             fmt_duration(out.stats.wall),

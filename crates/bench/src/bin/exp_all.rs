@@ -75,9 +75,16 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments completed; reports in {out_dir}/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments completed; reports in {out_dir}/",
+            EXPERIMENTS.len()
+        );
     } else {
-        println!("\n{} experiment(s) failed: {}", failures.len(), failures.join(", "));
+        println!(
+            "\n{} experiment(s) failed: {}",
+            failures.len(),
+            failures.join(", ")
+        );
         std::process::exit(1);
     }
 }

@@ -24,11 +24,18 @@ fn main() {
     let native_sim = ExplicitJaccard::new(profiles);
     let exact = dispatch(&cfg, AlgoKind::BruteForce, profiles, &native_sim);
     let (store, _) = fingerprint(&cfg, cfg.bits, profiles);
-    let noiseless = dispatch(&cfg, AlgoKind::BruteForce, profiles, &ShfJaccard::new(&store));
+    let noiseless = dispatch(
+        &cfg,
+        AlgoKind::BruteForce,
+        profiles,
+        &ShfJaccard::new(&store),
+    );
     let q_plain = quality(&noiseless.graph, &exact.graph, &native_sim);
 
     let mut table = Table::new(
-        format!("BLIP extension — KNN quality vs privacy budget ε (plain SHF quality: {q_plain:.3})"),
+        format!(
+            "BLIP extension — KNN quality vs privacy budget ε (plain SHF quality: {q_plain:.3})"
+        ),
         &["epsilon", "flip prob", "quality"],
     );
     for &eps_tenths in &[5u32, 10, 20, 30, 40, 60, 80] {
@@ -38,7 +45,12 @@ fn main() {
             seed: cfg.seed,
         };
         let noisy = BlipStore::from_shf_store(&store, params);
-        let out = dispatch(&cfg, AlgoKind::BruteForce, profiles, &BlipJaccard::new(&noisy));
+        let out = dispatch(
+            &cfg,
+            AlgoKind::BruteForce,
+            profiles,
+            &BlipJaccard::new(&noisy),
+        );
         table.push(vec![
             format!("{epsilon:.1}"),
             format!("{:.3}", params.flip_probability()),

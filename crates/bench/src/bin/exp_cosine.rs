@@ -19,17 +19,28 @@ fn main() {
     let cfg = ExperimentConfig::from_args(&args);
 
     let mut table = Table::new(
-        format!("Cosine genericity — Brute Force, k = {}, b = {}", cfg.k, cfg.bits),
+        format!(
+            "Cosine genericity — Brute Force, k = {}, b = {}",
+            cfg.k, cfg.bits
+        ),
         &["dataset", "t nat.", "t GolFi", "gain %", "quality GolFi"],
     );
     for data in build_datasets(&cfg, args.get("datasets")) {
         let profiles = data.profiles();
         let native = ExplicitCosine::new(profiles);
-        let exact = BruteForce { threads: 1 }.build(&native, cfg.k);
+        let exact = BruteForce {
+            threads: 1,
+            ..BruteForce::default()
+        }
+        .build(&native, cfg.k);
 
         let (store, _) = fingerprint(&cfg, cfg.bits, profiles);
         let gf = ShfCosine::new(&store);
-        let approx = BruteForce { threads: 1 }.build(&gf, cfg.k);
+        let approx = BruteForce {
+            threads: 1,
+            ..BruteForce::default()
+        }
+        .build(&gf, cfg.k);
 
         table.push(vec![
             data.name().to_string(),

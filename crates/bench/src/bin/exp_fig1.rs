@@ -52,6 +52,77 @@ fn main() {
         table.push(vec![size.to_string(), format!("{ns:.1}")]);
     }
     table.print();
+
+    // Counterpoint: the fingerprint scan kernels are constant-cost in
+    // profile size. Compare one query ANDed against a block of fingerprints
+    // pairwise vs with the fused batch kernel (the tiled brute-force scan's
+    // inner loop).
+    let mut kernels = Table::new(
+        "Scan kernels — AND+popcount, one query vs a 128-fingerprint block",
+        &["bits", "per-pair ns", "batch ns", "speedup"],
+    );
+    for bits in [64u32, 128, 256, 1024] {
+        use goldfinger_core::bits::{and_count_words, and_count_words_batch, BitArray};
+        let block_len = 128usize;
+        let mk = |seed: u64| {
+            let positions: Vec<u32> = (0..bits)
+                .filter(|&p| {
+                    (p as u64 ^ seed)
+                        .wrapping_mul(0x9E37_79B9)
+                        .is_multiple_of(3)
+                })
+                .collect();
+            BitArray::from_positions(bits, positions)
+        };
+        let query = mk(1);
+        let fps: Vec<BitArray> = (0..block_len as u64).map(|s| mk(s + 2)).collect();
+        let block: Vec<u64> = fps.iter().flat_map(|f| f.words().iter().copied()).collect();
+        let kernel_reps = (reps / block_len).clamp(1000, 20_000);
+        let mut counts = vec![0u32; block_len];
+
+        // Interleave several rounds of each kernel and keep the best: on a
+        // shared machine the minimum is the stable estimate of the kernel's
+        // intrinsic cost.
+        let mut best_pair = f64::INFINITY;
+        let mut best_batch = f64::INFINITY;
+        for round in 0..8 {
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..kernel_reps {
+                for fp in &fps {
+                    acc += and_count_words(query.words(), fp.words()) as u64;
+                }
+            }
+            black_box(acc);
+            let ns_pair = t0.elapsed().as_nanos() as f64 / (kernel_reps * block_len) as f64;
+
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..kernel_reps {
+                and_count_words_batch(query.words(), &block, &mut counts);
+                acc += counts.iter().map(|&c| c as u64).sum::<u64>();
+            }
+            black_box(acc);
+            let ns_batch = t0.elapsed().as_nanos() as f64 / (kernel_reps * block_len) as f64;
+
+            // Round 0 is the warm-up (pages the block in, trains the
+            // branch predictor) and is discarded.
+            if round > 0 {
+                best_pair = best_pair.min(ns_pair);
+                best_batch = best_batch.min(ns_batch);
+            }
+        }
+        let (ns_pair, ns_batch) = (best_pair, best_batch);
+
+        kernels.push(vec![
+            bits.to_string(),
+            format!("{ns_pair:.2}"),
+            format!("{ns_batch:.2}"),
+            format!("{:.2}x", ns_pair / ns_batch),
+        ]);
+    }
+    kernels.print();
+
     if let Some(out) = args.get("csv") {
         table.write_csv(out).expect("write CSV");
         println!("wrote {out}");

@@ -59,7 +59,11 @@ fn main() {
         );
         // Print a coarse 5×5 view (the CSV keeps the 20×20 grid).
         for coarse_y in (0..5).rev() {
-            let mut row = vec![format!("{:.1}-{:.1}", coarse_y as f64 * 0.2, coarse_y as f64 * 0.2 + 0.2)];
+            let mut row = vec![format!(
+                "{:.1}-{:.1}",
+                coarse_y as f64 * 0.2,
+                coarse_y as f64 * 0.2 + 0.2
+            )];
             for coarse_x in 0..5 {
                 let sum: u64 = grid[coarse_y * 4..(coarse_y + 1) * 4]
                     .iter()
@@ -73,7 +77,10 @@ fn main() {
 
         println!("pairs within Δ of the diagonal (paper @b=1024: 52/75/94/99%):");
         for (count, delta) in within.iter().zip([0.01, 0.02, 0.05, 0.1]) {
-            println!("  Δ = {delta:<5}: {:.1}%", *count as f64 / total as f64 * 100.0);
+            println!(
+                "  Δ = {delta:<5}: {:.1}%",
+                *count as f64 / total as f64 * 100.0
+            );
         }
         if low_real > 0 {
             println!(

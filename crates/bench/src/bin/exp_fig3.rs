@@ -23,8 +23,14 @@ fn main() {
     let use_exact = args.has_flag("exact");
 
     let mut table = Table::new(
-        format!("Figure 3 — Ĵ vs J for |P1| = {len1}, b = {bits} ({} per point)",
-            if use_exact { "exact DP".to_string() } else { format!("{samples} MC samples") }),
+        format!(
+            "Figure 3 — Ĵ vs J for |P1| = {len1}, b = {bits} ({} per point)",
+            if use_exact {
+                "exact DP".to_string()
+            } else {
+                format!("{samples} MC samples")
+            }
+        ),
         &["|P2|", "J", "mean Ĵ", "q01", "q99"],
     );
     for len2 in [25usize, 100, 300] {

@@ -44,12 +44,7 @@ fn main() {
 
     // Misordering probability: P[Ĵ(P1,P2') > Ĵ(P1,P2)] with independent
     // draws — the quantity the paper bounds below 2 %.
-    let mis = s_near
-        .iter()
-        .zip(&s_far)
-        .filter(|&(&n, &f)| f > n)
-        .count() as f64
-        / samples as f64;
+    let mis = s_near.iter().zip(&s_far).filter(|&(&n, &f)| f > n).count() as f64 / samples as f64;
     println!(
         "P[misordering J=0.17 above J=0.25] = {:.3}% (paper: < 2%).",
         mis * 100.0

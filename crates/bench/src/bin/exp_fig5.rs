@@ -49,7 +49,10 @@ fn main() {
     println!("spread (std) by width:");
     for (b, s) in &all {
         let summary = EstimatorSummary::from_samples(s);
-        println!("  b = {b:>5}: mean = {:.3}, std = {:.4}", summary.mean, summary.std);
+        println!(
+            "  b = {b:>5}: mean = {:.3}, std = {:.4}",
+            summary.mean, summary.std
+        );
     }
     println!("Paper's shape: the spread grows as b shrinks (more frequent misordering).");
 }

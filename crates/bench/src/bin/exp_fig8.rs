@@ -24,7 +24,10 @@ fn main() {
     let n_recs = args.get_usize("recs", 30);
 
     let mut table = Table::new(
-        format!("Figure 8 — recommendation recall ({n_recs} recs/user, 5-fold CV, b = {})", cfg.bits),
+        format!(
+            "Figure 8 — recommendation recall ({n_recs} recs/user, 5-fold CV, b = {})",
+            cfg.bits
+        ),
         &["dataset", "algo", "recall nat.", "recall GolFi", "delta"],
     );
     for data in build_datasets(&cfg, args.get("datasets")) {
@@ -57,5 +60,7 @@ fn main() {
         table.write_csv(out).expect("write CSV");
         println!("wrote {out}");
     }
-    println!("Paper's shape: GoldFinger's recall loss is negligible across datasets and algorithms.");
+    println!(
+        "Paper's shape: GoldFinger's recall loss is negligible across datasets and algorithms."
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
     // Analytic guarantees use the FULL item universes of the paper's
     // datasets (privacy depends on m, not on the user sample).
     let mut table = Table::new(
-        format!("Theorems 2–3 — privacy guarantees with b = {} bit SHFs", cfg.bits),
+        format!(
+            "Theorems 2–3 — privacy guarantees with b = {} bit SHFs",
+            cfg.bits
+        ),
         &[
             "dataset",
             "items m",

@@ -68,7 +68,10 @@ fn main() {
             fmt_duration(native),
             fmt_duration(minhash),
             fmt_duration(goldfinger),
-            format!("{:.1}", minhash.as_secs_f64() / goldfinger.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}",
+                minhash.as_secs_f64() / goldfinger.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     table.print();

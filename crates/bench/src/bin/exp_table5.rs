@@ -34,7 +34,14 @@ fn main() {
     let mut table = Table::new(
         "Table 5 — similarity-path memory traffic (bytes read by similarity kernels; \
          substitute for perf L1 counters)",
-        &["algo", "evals nat.", "MB nat.", "evals GolFi", "MB GolFi", "gain %"],
+        &[
+            "algo",
+            "evals nat.",
+            "MB nat.",
+            "evals GolFi",
+            "MB GolFi",
+            "gain %",
+        ],
     );
     for kind in AlgoKind::all() {
         let native = ExplicitJaccard::new(profiles);

@@ -164,7 +164,11 @@ pub struct RunOutcome {
 }
 
 /// Fingerprints a profile store, timing the preparation.
-pub fn fingerprint(cfg: &ExperimentConfig, bits: u32, profiles: &ProfileStore) -> (ShfStore, Duration) {
+pub fn fingerprint(
+    cfg: &ExperimentConfig,
+    bits: u32,
+    profiles: &ProfileStore,
+) -> (ShfStore, Duration) {
     let t0 = Instant::now();
     let store = cfg.shf_params(bits).fingerprint_store(profiles);
     (store, t0.elapsed())
@@ -206,7 +210,11 @@ pub fn dispatch<S: Similarity>(
     sim: &S,
 ) -> KnnResult {
     match kind {
-        AlgoKind::BruteForce => BruteForce { threads: 1 }.build(sim, cfg.k),
+        AlgoKind::BruteForce => BruteForce {
+            threads: 1,
+            ..BruteForce::default()
+        }
+        .build(sim, cfg.k),
         AlgoKind::Hyrec => Hyrec {
             delta: 0.001,
             max_iterations: 30,
@@ -249,7 +257,11 @@ mod tests {
         let cfg = small_cfg();
         let data = build_dataset(&cfg, SynthConfig::ml1m());
         // prepare() drops some sub-20-rating users; stay in the ballpark.
-        assert!(data.n_users() > 80 && data.n_users() <= 160, "{}", data.n_users());
+        assert!(
+            data.n_users() > 80 && data.n_users() <= 160,
+            "{}",
+            data.n_users()
+        );
     }
 
     #[test]
@@ -271,12 +283,7 @@ mod tests {
                 let out = run(&cfg, kind, &data, provider);
                 assert_eq!(out.result.graph.n_users(), data.n_users());
                 let q = quality(&out.result.graph, &exact.result.graph, &native_sim);
-                assert!(
-                    q > 0.5,
-                    "{} / {:?}: quality {q}",
-                    kind.name(),
-                    provider
-                );
+                assert!(q > 0.5, "{} / {:?}: quality {q}", kind.name(), provider);
                 if let ProviderKind::GoldFinger(_) = provider {
                     assert!(out.prep > Duration::ZERO);
                 }

@@ -8,8 +8,6 @@
 //! Unused bits in the last word are kept at zero as an internal invariant,
 //! so population counts never need masking.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of bits per storage word.
 pub const WORD_BITS: u32 = 64;
 
@@ -18,7 +16,7 @@ pub const WORD_BITS: u32 = 64;
 /// The length is fixed at construction time; all binary operations require
 /// both operands to have the same length and panic otherwise (mismatched
 /// fingerprint widths are a programming error, not a recoverable condition).
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitArray {
     words: Vec<u64>,
     /// Length in bits. May be any positive value, not only multiples of 64.
@@ -75,7 +73,11 @@ impl BitArray {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set(&mut self, i: u32) {
-        assert!(i < self.bits, "bit index {i} out of range for {} bits", self.bits);
+        assert!(
+            i < self.bits,
+            "bit index {i} out of range for {} bits",
+            self.bits
+        );
         self.words[(i / WORD_BITS) as usize] |= 1u64 << (i % WORD_BITS);
     }
 
@@ -85,7 +87,11 @@ impl BitArray {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn clear(&mut self, i: u32) {
-        assert!(i < self.bits, "bit index {i} out of range for {} bits", self.bits);
+        assert!(
+            i < self.bits,
+            "bit index {i} out of range for {} bits",
+            self.bits
+        );
         self.words[(i / WORD_BITS) as usize] &= !(1u64 << (i % WORD_BITS));
     }
 
@@ -95,7 +101,11 @@ impl BitArray {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn test(&self, i: u32) -> bool {
-        assert!(i < self.bits, "bit index {i} out of range for {} bits", self.bits);
+        assert!(
+            i < self.bits,
+            "bit index {i} out of range for {} bits",
+            self.bits
+        );
         (self.words[(i / WORD_BITS) as usize] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -112,11 +122,7 @@ impl BitArray {
     #[inline]
     pub fn and_count(&self, other: &Self) -> u32 {
         self.check_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones())
-            .sum()
+        and_count_words(&self.words, &other.words)
     }
 
     /// `popcount(self OR other)`.
@@ -195,7 +201,12 @@ impl BitArray {
 
 impl std::fmt::Debug for BitArray {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BitArray({} bits, {} ones)", self.bits, self.count_ones())
+        write!(
+            f,
+            "BitArray({} bits, {} ones)",
+            self.bits,
+            self.count_ones()
+        )
     }
 }
 
@@ -224,10 +235,91 @@ impl Iterator for BitIter {
 /// Used by packed fingerprint stores where fingerprints live in one large
 /// allocation; equivalent to [`BitArray::and_count`] without constructing
 /// `BitArray` values.
+///
+/// The loop is 4-way unrolled into independent accumulators: popcounts of
+/// consecutive words have no data dependency on each other, so splitting
+/// the running sum across four registers lets the CPU retire several
+/// `AND`+`POPCNT` pairs per cycle instead of serialising on one
+/// accumulator (see DESIGN.md §7).
 #[inline]
 pub fn and_count_words(a: &[u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+    let mut acc = [0u32; 4];
+    let mut wa = a.chunks_exact(4);
+    let mut wb = b.chunks_exact(4);
+    for (ca, cb) in (&mut wa).zip(&mut wb) {
+        acc[0] += (ca[0] & cb[0]).count_ones();
+        acc[1] += (ca[1] & cb[1]).count_ones();
+        acc[2] += (ca[2] & cb[2]).count_ones();
+        acc[3] += (ca[3] & cb[3]).count_ones();
+    }
+    let tail: u32 = wa
+        .remainder()
+        .iter()
+        .zip(wb.remainder())
+        .map(|(x, y)| (x & y).count_ones())
+        .sum();
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Fused batch kernel: `popcount(query AND fp_i)` for every fingerprint in
+/// a contiguous block, one count per fingerprint.
+///
+/// `block` holds `counts.len()` fingerprints of `query.len()` words each,
+/// back to back — the layout of `ShfStore`. Keeping the query slice hot
+/// across the whole block amortises its loads over many comparisons, which
+/// is what makes tiled brute-force scans cache-friendly: the inner loop
+/// touches `query` (L1-resident) plus one streaming pass over the block.
+///
+/// # Panics
+/// Panics (debug) if `block.len() != query.len() * counts.len()`.
+pub fn and_count_words_batch(query: &[u64], block: &[u64], counts: &mut [u32]) {
+    let w = query.len();
+    debug_assert_eq!(block.len(), w * counts.len());
+    if w == 0 {
+        counts.fill(0);
+        return;
+    }
+    // Wide fingerprints are popcount/bandwidth-bound and prefetch best as a
+    // single stream; fusing two streams only pays while both rows of the
+    // pair fit comfortably alongside the query in L1.
+    if w > 4 {
+        for (fp, out) in block.chunks_exact(w).zip(counts.iter_mut()) {
+            *out = and_count_words(query, fp);
+        }
+        return;
+    }
+    // Two fingerprints per pass: each query word is loaded once for two
+    // comparisons, and the two popcount chains are independent (ILP).
+    let mut fps = block.chunks_exact(2 * w);
+    let mut outs = counts.chunks_exact_mut(2);
+    for (pair, out) in (&mut fps).zip(&mut outs) {
+        let (f0, f1) = pair.split_at(w);
+        let mut acc = [0u32; 4];
+        let mut wq = query.chunks_exact(2);
+        let mut w0 = f0.chunks_exact(2);
+        let mut w1 = f1.chunks_exact(2);
+        for ((cq, c0), c1) in (&mut wq).zip(&mut w0).zip(&mut w1) {
+            acc[0] += (cq[0] & c0[0]).count_ones();
+            acc[1] += (cq[1] & c0[1]).count_ones();
+            acc[2] += (cq[0] & c1[0]).count_ones();
+            acc[3] += (cq[1] & c1[1]).count_ones();
+        }
+        for ((&q, &x0), &x1) in wq
+            .remainder()
+            .iter()
+            .zip(w0.remainder())
+            .zip(w1.remainder())
+        {
+            acc[0] += (q & x0).count_ones();
+            acc[2] += (q & x1).count_ones();
+        }
+        out[0] = acc[0] + acc[1];
+        out[1] = acc[2] + acc[3];
+    }
+    for (fp, out) in fps.remainder().chunks_exact(w).zip(outs.into_remainder()) {
+        *out = and_count_words(query, fp);
+    }
 }
 
 /// `popcount(a OR b)` over raw word slices.
@@ -344,10 +436,42 @@ mod tests {
     fn lut_popcount_matches_hw_popcount() {
         let a = BitArray::from_positions(256, (0..256).step_by(3));
         let b = BitArray::from_positions(256, (0..256).step_by(5));
-        assert_eq!(
-            and_count_words_lut(a.words(), b.words()),
-            a.and_count(&b)
-        );
+        assert_eq!(and_count_words_lut(a.words(), b.words()), a.and_count(&b));
+    }
+
+    #[test]
+    fn unrolled_kernel_matches_lut_on_all_alignments() {
+        // Word counts 1..=9 cover every position relative to the 4-way
+        // unroll (0–1 full blocks plus 0–3 remainder words).
+        for words in 1usize..=9 {
+            let bits = words as u32 * 64;
+            let a = BitArray::from_positions(bits, (0..bits).step_by(3));
+            let b = BitArray::from_positions(bits, (0..bits).step_by(7));
+            assert_eq!(
+                and_count_words(a.words(), b.words()),
+                and_count_words_lut(a.words(), b.words()),
+                "words = {words}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_kernel_matches_pairwise_kernel() {
+        let w = 5usize; // non-multiple of the unroll factor
+        let bits = w as u32 * 64;
+        let query = BitArray::from_positions(bits, (0..bits).step_by(2));
+        let fps: Vec<BitArray> = (0..7)
+            .map(|i| BitArray::from_positions(bits, (i..bits).step_by(3 + i as usize)))
+            .collect();
+        let mut block = Vec::new();
+        for fp in &fps {
+            block.extend_from_slice(fp.words());
+        }
+        let mut counts = vec![0u32; fps.len()];
+        and_count_words_batch(query.words(), &block, &mut counts);
+        for (fp, &got) in fps.iter().zip(&counts) {
+            assert_eq!(got, query.and_count(fp));
+        }
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl BlipStore {
             let mut card = 0u32;
             for (wi, &w) in words.iter().enumerate() {
                 // Flip mask: bit set with probability p.
-                let live = if wi == words_per_fp - 1 { tail_bits } else { 64 };
+                let live = if wi == words_per_fp - 1 {
+                    tail_bits
+                } else {
+                    64
+                };
                 let mut mask = 0u64;
                 for bit in 0..live {
                     if rng.gen::<f64>() < p {
@@ -206,8 +210,16 @@ mod tests {
 
     #[test]
     fn flip_probability_shrinks_with_epsilon() {
-        let lo = BlipParams { epsilon: 0.5, seed: 0 }.flip_probability();
-        let hi = BlipParams { epsilon: 5.0, seed: 0 }.flip_probability();
+        let lo = BlipParams {
+            epsilon: 0.5,
+            seed: 0,
+        }
+        .flip_probability();
+        let hi = BlipParams {
+            epsilon: 5.0,
+            seed: 0,
+        }
+        .flip_probability();
         assert!(lo > hi);
         assert!(lo < 0.5);
         assert!(hi > 0.0);
@@ -216,12 +228,16 @@ mod tests {
     #[test]
     fn high_epsilon_approaches_plain_estimator() {
         let store = shf_store(2048);
-        let noisy = BlipStore::from_shf_store(&store, BlipParams { epsilon: 12.0, seed: 3 });
+        let noisy = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 12.0,
+                seed: 3,
+            },
+        );
         // At ε = 12, p ≈ 6e-6: essentially no flips on 2048 bits.
         assert!((noisy.jaccard(0, 1) - store.jaccard(0, 1)).abs() < 0.02);
-        assert!(
-            (noisy.estimated_cardinality(0) - store.cardinality(0) as f64).abs() < 1.0
-        );
+        assert!((noisy.estimated_cardinality(0) - store.cardinality(0) as f64).abs() < 1.0);
     }
 
     #[test]
@@ -242,7 +258,13 @@ mod tests {
     #[test]
     fn heavy_noise_destroys_similarity_signal() {
         let store = shf_store(1024);
-        let noisy = BlipStore::from_shf_store(&store, BlipParams { epsilon: 0.05, seed: 4 });
+        let noisy = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 0.05,
+                seed: 4,
+            },
+        );
         // With p ≈ 0.49 the observed arrays are near-random; estimates
         // collapse towards 0 (degenerate denominators) or noise.
         let j = noisy.jaccard(0, 1);
@@ -252,17 +274,41 @@ mod tests {
     #[test]
     fn unrelated_pairs_stay_low_under_moderate_noise() {
         let store = shf_store(2048);
-        let noisy = BlipStore::from_shf_store(&store, BlipParams { epsilon: 3.0, seed: 5 });
+        let noisy = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 3.0,
+                seed: 5,
+            },
+        );
         assert!(noisy.jaccard(0, 2) < noisy.jaccard(0, 1));
     }
 
     #[test]
     fn noise_is_seed_deterministic() {
         let store = shf_store(256);
-        let a = BlipStore::from_shf_store(&store, BlipParams { epsilon: 1.0, seed: 9 });
-        let b = BlipStore::from_shf_store(&store, BlipParams { epsilon: 1.0, seed: 9 });
+        let a = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 1.0,
+                seed: 9,
+            },
+        );
+        let b = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 1.0,
+                seed: 9,
+            },
+        );
         assert_eq!(a.fingerprint_words(0), b.fingerprint_words(0));
-        let c = BlipStore::from_shf_store(&store, BlipParams { epsilon: 1.0, seed: 10 });
+        let c = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 1.0,
+                seed: 10,
+            },
+        );
         assert_ne!(a.fingerprint_words(0), c.fingerprint_words(0));
     }
 
@@ -270,14 +316,26 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn non_positive_epsilon_panics() {
         let store = shf_store(64);
-        let _ = BlipStore::from_shf_store(&store, BlipParams { epsilon: 0.0, seed: 0 });
+        let _ = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 0.0,
+                seed: 0,
+            },
+        );
     }
 
     #[test]
     fn provider_wires_through() {
         use crate::similarity::Similarity;
         let store = shf_store(512);
-        let noisy = BlipStore::from_shf_store(&store, BlipParams { epsilon: 4.0, seed: 2 });
+        let noisy = BlipStore::from_shf_store(
+            &store,
+            BlipParams {
+                epsilon: 4.0,
+                seed: 2,
+            },
+        );
         let sim = BlipJaccard::new(&noisy);
         assert_eq!(sim.n_users(), 3);
         assert_eq!(sim.similarity(0, 1), noisy.jaccard(0, 1));

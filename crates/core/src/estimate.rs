@@ -77,7 +77,11 @@ pub fn corrected_jaccard_from_counts(and_count: u32, c1: u32, c2: u32, b: u32) -
     }
     if observed >= expected_and(alpha_max) {
         let denom = n1 + n2 - alpha_max;
-        return if denom <= 0.0 { 1.0 } else { (alpha_max / denom).clamp(0.0, 1.0) };
+        return if denom <= 0.0 {
+            1.0
+        } else {
+            (alpha_max / denom).clamp(0.0, 1.0)
+        };
     }
     // Bisection on the monotone map.
     let (mut lo, mut hi) = (0.0f64, alpha_max);
@@ -100,11 +104,14 @@ pub fn corrected_jaccard_from_counts(and_count: u32, c1: u32, c2: u32, b: u32) -
 
 /// Collision-corrected Jaccard between two fingerprints of a packed store.
 pub fn corrected_jaccard(store: &ShfStore, u: u32, v: u32) -> f64 {
-    let and_count = crate::bits::and_count_words(
-        store.fingerprint_words(u),
-        store.fingerprint_words(v),
-    );
-    corrected_jaccard_from_counts(and_count, store.cardinality(u), store.cardinality(v), store.width())
+    let and_count =
+        crate::bits::and_count_words(store.fingerprint_words(u), store.fingerprint_words(v));
+    corrected_jaccard_from_counts(
+        and_count,
+        store.cardinality(u),
+        store.cardinality(v),
+        store.width(),
+    )
 }
 
 /// Similarity provider using the collision-corrected estimator — a drop-in
@@ -192,16 +199,16 @@ mod tests {
             corrected_bias < plain_bias / 3.0,
             "plain bias {plain_bias:.4}, corrected bias {corrected_bias:.4}"
         );
-        assert!(plain_bias > 0.05, "stress point should be biased: {plain_bias:.4}");
+        assert!(
+            plain_bias > 0.05,
+            "stress point should be biased: {plain_bias:.4}"
+        );
     }
 
     #[test]
     fn corrected_matches_plain_for_wide_fingerprints() {
         let params = ShfParams::new(8192, DynHasher::default());
-        let profiles = ProfileStore::from_item_lists(vec![
-            (0..100).collect(),
-            (50..150).collect(),
-        ]);
+        let profiles = ProfileStore::from_item_lists(vec![(0..100).collect(), (50..150).collect()]);
         let store = params.fingerprint_store(&profiles);
         assert!((corrected_jaccard(&store, 0, 1) - store.jaccard(0, 1)).abs() < 0.02);
     }
@@ -223,17 +230,17 @@ mod tests {
             plain_sum += store.jaccard(0, 1);
             corrected_sum += corrected_jaccard(&store, 0, 1);
         }
-        assert!(plain_sum / trials as f64 > 0.05, "plain should over-estimate");
+        assert!(
+            plain_sum / trials as f64 > 0.05,
+            "plain should over-estimate"
+        );
         assert!(corrected_sum / (trials as f64) < plain_sum / trials as f64 / 2.0);
     }
 
     #[test]
     fn identical_profiles_stay_at_one() {
         let params = ShfParams::new(256, DynHasher::default());
-        let profiles = ProfileStore::from_item_lists(vec![
-            (0..80).collect(),
-            (0..80).collect(),
-        ]);
+        let profiles = ProfileStore::from_item_lists(vec![(0..80).collect(), (0..80).collect()]);
         let store = params.fingerprint_store(&profiles);
         assert!(corrected_jaccard(&store, 0, 1) > 0.95);
     }

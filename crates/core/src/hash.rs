@@ -135,7 +135,10 @@ impl Default for SplitMix64 {
 impl ItemHasher for SplitMix64 {
     #[inline]
     fn hash64(&self, item: u64) -> u64 {
-        splitmix64_mix(item.wrapping_add(self.seed).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        splitmix64_mix(
+            item.wrapping_add(self.seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
     }
 }
 

@@ -56,7 +56,9 @@ pub use blip::{BlipJaccard, BlipParams, BlipStore};
 pub use estimate::{corrected_jaccard, estimate_set_size, CorrectedShfJaccard};
 pub use hash::{DynHasher, HasherKind, ItemHasher, JenkinsOneAtATime};
 pub use profile::{ItemId, Profile, ProfileStore, UserId};
-pub use serial::{read_profile_store, read_shf_store, write_profile_store, write_shf_store, DecodeError};
+pub use serial::{
+    read_profile_store, read_shf_store, write_profile_store, write_shf_store, DecodeError,
+};
 pub use shf::{Shf, ShfParams, ShfStore};
 pub use similarity::{ExplicitCosine, ExplicitJaccard, ShfCosine, ShfJaccard, Similarity};
 pub use topk::{Scored, TopK};

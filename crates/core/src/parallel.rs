@@ -6,8 +6,8 @@
 //! ([`par_for_each_range`]), an atomic work-stealing counter for irregular
 //! work ([`par_dynamic`]), and a channel-based collector ([`par_map_chunks`]).
 
-use crossbeam::channel;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Effective thread count: `requested` capped to at least 1.
 ///
@@ -96,7 +96,7 @@ where
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
-    let (tx, rx) = channel::bounded::<(usize, Vec<T>)>(threads);
+    let (tx, rx) = mpsc::sync_channel::<(usize, Vec<T>)>(threads);
     let mut out: Vec<Option<Vec<T>>> = (0..threads).map(|_| None).collect();
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -119,6 +119,64 @@ where
         }
     });
     out.into_iter().flatten().flatten().collect()
+}
+
+/// Folds indices `0..n` into per-thread accumulators with dynamic
+/// scheduling, returning the accumulators in thread order.
+///
+/// Each worker builds its state with `init(thread_index)`, then repeatedly
+/// claims the next `grain` indices from a shared counter and folds them in
+/// with `fold(&mut state, index)`. The states come back indexed by thread,
+/// so deterministic reducers can merge them in a fixed order.
+///
+/// This is the engine behind the pruned brute-force scan: each thread keeps
+/// private top-k partials (no locks on the hot path) that the caller merges
+/// afterwards.
+pub fn par_fold_dynamic<T, I, F>(n: usize, threads: usize, grain: usize, init: I, fold: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> T + Sync,
+    F: Fn(&mut T, usize) + Sync,
+{
+    let threads = effective_threads(threads).min(n.max(1));
+    let grain = grain.max(1);
+    if threads <= 1 {
+        let mut state = init(0);
+        for i in 0..n {
+            fold(&mut state, i);
+        }
+        return vec![state];
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::sync_channel::<(usize, T)>(threads);
+    let mut out: Vec<Option<T>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let init = &init;
+            let fold = &fold;
+            let next = &next;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut state = init(t);
+                loop {
+                    let start = next.fetch_add(grain, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + grain).min(n) {
+                        fold(&mut state, i);
+                    }
+                }
+                // The receiver lives until the scope ends; ignore failure.
+                let _ = tx.send((t, state));
+            });
+        }
+        drop(tx);
+        while let Ok((t, state)) = rx.recv() {
+            out[t] = Some(state);
+        }
+    });
+    out.into_iter().flatten().collect()
 }
 
 /// Maps `f` over mutable, disjoint chunks of `data` in parallel.
@@ -181,7 +239,10 @@ mod tests {
             par_dynamic(n, 4, grain, |i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
-            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "grain={grain}");
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "grain={grain}"
+            );
         }
     }
 

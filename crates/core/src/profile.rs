@@ -34,7 +34,10 @@ impl Profile {
     /// # Panics
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted_unique(items: Vec<ItemId>) -> Self {
-        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be sorted unique");
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be sorted unique"
+        );
         Profile { items }
     }
 

@@ -233,7 +233,9 @@ impl Shf {
 /// Assembles the Jaccard estimate from an AND-popcount and two cardinalities.
 #[inline]
 pub fn jaccard_from_counts(intersection: u32, c1: u32, c2: u32) -> f64 {
-    let union = (c1 + c2).saturating_sub(intersection);
+    // `c1 + c2` can exceed u32::MAX for two near-full wide fingerprints;
+    // widen before adding so the union never wraps.
+    let union = (c1 as u64 + c2 as u64).saturating_sub(intersection as u64);
     if union == 0 {
         0.0
     } else {
@@ -385,6 +387,24 @@ mod tests {
     }
 
     #[test]
+    fn jaccard_from_counts_survives_u32_boundary() {
+        // Two near-full cardinalities whose sum wraps u32: the estimate must
+        // stay the true ratio, not collapse through a wrapped union.
+        let c = u32::MAX - 3;
+        let inter = u32::MAX - 7;
+        let union = (c as u64 + c as u64) - inter as u64;
+        let expected = inter as f64 / union as f64;
+        let got = jaccard_from_counts(inter, c, c);
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
+        // Identical full-width fingerprints: intersection == union == c.
+        assert!((jaccard_from_counts(c, c, c) - 1.0).abs() < 1e-12);
+        assert_eq!(jaccard_from_counts(0, 0, 0), 0.0);
+    }
+
+    #[test]
     fn default_params_match_paper() {
         let p = ShfParams::default();
         assert_eq!(p.bits(), 1024);
@@ -457,7 +477,9 @@ mod tests {
         }
         for u in 0..4u32 {
             for v in 0..4u32 {
-                let solo = p.fingerprint(&lists[u as usize]).jaccard(&p.fingerprint(&lists[v as usize]));
+                let solo = p
+                    .fingerprint(&lists[u as usize])
+                    .jaccard(&p.fingerprint(&lists[v as usize]));
                 assert!((store.jaccard(u, v) - solo).abs() < 1e-12);
             }
         }
@@ -467,10 +489,7 @@ mod tests {
     fn jaccard_via_or_agrees_with_cached_cardinalities() {
         // By inclusion-exclusion |A∨B| = c1 + c2 − |A∧B| exactly, so the two
         // estimators must agree to the last bit.
-        let profiles = ProfileStore::from_item_lists(vec![
-            (0..90).collect(),
-            (30..140).collect(),
-        ]);
+        let profiles = ProfileStore::from_item_lists(vec![(0..90).collect(), (30..140).collect()]);
         let store = params(512).fingerprint_store(&profiles);
         assert_eq!(store.jaccard(0, 1), store.jaccard_via_or(0, 1));
     }
@@ -514,10 +533,7 @@ mod tests {
 
     #[test]
     fn multi_hash_with_one_function_matches_single_hash() {
-        let profiles = ProfileStore::from_item_lists(vec![
-            (0..90).collect(),
-            (30..140).collect(),
-        ]);
+        let profiles = ProfileStore::from_item_lists(vec![(0..90).collect(), (30..140).collect()]);
         let p = params(512);
         let single = p.fingerprint_store(&profiles);
         let multi = p.fingerprint_store_multi(&profiles, 1);
@@ -527,10 +543,7 @@ mod tests {
 
     #[test]
     fn extra_hash_functions_inflate_cardinality_and_distort_jaccard() {
-        let profiles = ProfileStore::from_item_lists(vec![
-            (0..100).collect(),
-            (50..150).collect(),
-        ]);
+        let profiles = ProfileStore::from_item_lists(vec![(0..100).collect(), (50..150).collect()]);
         let p = params(256);
         let single = p.fingerprint_store_multi(&profiles, 1);
         let quad = p.fingerprint_store_multi(&profiles, 4);

@@ -140,13 +140,30 @@ impl TopK {
         entries.sort_unstable_by(|a, b| b.cmp(a));
         entries
             .into_iter()
-            .map(|(s, std::cmp::Reverse(u))| Scored { sim: s.get(), user: u })
+            .map(|(s, std::cmp::Reverse(u))| Scored {
+                sim: s.get(),
+                user: u,
+            })
             .collect()
     }
 
     /// Kept user ids in unspecified order.
     pub fn users(&self) -> impl Iterator<Item = u32> + '_ {
         self.heap.iter().map(|&(_, std::cmp::Reverse(u))| u)
+    }
+
+    /// Kept entries in unspecified order.
+    ///
+    /// Because the kept set is insertion-order independent (the admission
+    /// order is total: similarity descending, user id ascending), offering
+    /// another selector's entries merges two partial selections into the
+    /// exact top-k of their union — the reducer of the parallel brute-force
+    /// scan.
+    pub fn entries(&self) -> impl Iterator<Item = Scored> + '_ {
+        self.heap.iter().map(|&(s, std::cmp::Reverse(u))| Scored {
+            sim: s.get(),
+            user: u,
+        })
     }
 
     fn sift_up(&mut self, mut i: usize) {

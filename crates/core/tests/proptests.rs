@@ -1,9 +1,14 @@
 //! Property-based tests for the fingerprint kernels.
 
-use goldfinger_core::bits::{and_count_words, and_count_words_lut, BitArray};
+use goldfinger_core::bits::{
+    and_count_words, and_count_words_batch, and_count_words_lut, BitArray,
+};
 use goldfinger_core::hash::{DynHasher, HasherKind, ItemHasher};
 use goldfinger_core::profile::{intersection_size_sorted, Profile, ProfileStore};
 use goldfinger_core::shf::ShfParams;
+use goldfinger_core::similarity::{
+    ExplicitCosine, ExplicitJaccard, ShfCosine, ShfJaccard, Similarity,
+};
 use goldfinger_core::topk::TopK;
 use proptest::prelude::*;
 
@@ -51,6 +56,67 @@ proptest! {
             and_count_words(a.words(), b.words()),
             and_count_words_lut(a.words(), b.words())
         );
+    }
+
+    /// The unrolled pairwise kernel and the fused batch kernel both match
+    /// the LUT baseline on arbitrary widths, including ones that are not a
+    /// multiple of 64 or of the 4-word unroll.
+    #[test]
+    fn kernels_match_lut_on_arbitrary_widths(
+        bits in 1u32..600,
+        seeds in proptest::collection::vec(0u64..1000, 1..8),
+        query_seed in 0u64..1000,
+    ) {
+        let fill = |seed: u64| {
+            let positions: Vec<u32> = (0..bits)
+                .filter(|&p| (p as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed).is_multiple_of(3))
+                .collect();
+            BitArray::from_positions(bits, positions)
+        };
+        let query = fill(query_seed);
+        let fps: Vec<BitArray> = seeds.iter().map(|&s| fill(s)).collect();
+        // Pairwise: unrolled kernel vs LUT baseline.
+        for fp in &fps {
+            prop_assert_eq!(
+                and_count_words(query.words(), fp.words()),
+                and_count_words_lut(query.words(), fp.words())
+            );
+        }
+        // Batch: fuse the block scan and compare element-wise.
+        let block: Vec<u64> = fps.iter().flat_map(|f| f.words().iter().copied()).collect();
+        let mut counts = vec![0u32; fps.len()];
+        and_count_words_batch(query.words(), &block, &mut counts);
+        for (fp, &got) in fps.iter().zip(&counts) {
+            prop_assert_eq!(got, and_count_words_lut(query.words(), fp.words()));
+        }
+    }
+
+    /// `similarity_upper_bound` dominates `similarity` on every provider —
+    /// the invariant the pruned brute-force scan relies on (DESIGN.md §7).
+    #[test]
+    fn upper_bound_dominates_similarity(
+        xs in item_set(),
+        ys in item_set(),
+        bits in prop_oneof![Just(64u32), Just(256), Just(1024)],
+        seed in 0u64..8,
+    ) {
+        let profiles = ProfileStore::from_item_lists(vec![xs, ys]);
+        let store = ShfParams::new(bits, DynHasher::new(HasherKind::Jenkins, seed))
+            .fingerprint_store(&profiles);
+        let providers: [&dyn Similarity; 4] = [
+            &ExplicitJaccard::new(&profiles),
+            &ExplicitCosine::new(&profiles),
+            &ShfJaccard::new(&store),
+            &ShfCosine::new(&store),
+        ];
+        for (i, p) in providers.iter().enumerate() {
+            let bound = p.similarity_upper_bound(0, 1).expect("all providers bound");
+            let sim = p.similarity(0, 1);
+            prop_assert!(
+                sim <= bound + 1e-12,
+                "provider {i}: sim {sim} exceeds bound {bound}"
+            );
+        }
     }
 
     /// Merge intersection equals a naive O(n·m) count.

@@ -99,12 +99,7 @@ mod tests {
         BinaryDataset::from_positive_lists(
             "cv",
             100,
-            vec![
-                (0..25).collect(),
-                (10..33).collect(),
-                vec![1, 2],
-                vec![],
-            ],
+            vec![(0..25).collect(), (10..33).collect(), vec![1, 2], vec![]],
         )
     }
 

@@ -34,7 +34,9 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "I/O error: {e}"),
-            LoadError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LoadError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -102,7 +104,12 @@ pub fn read_ratings_csv(reader: impl Read, name: &str) -> Result<RatingsDataset,
             continue;
         }
         // Skip a header such as "userId,movieId,rating,timestamp".
-        if lineno == 1 && trimmed.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+        if lineno == 1
+            && trimmed
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
+        {
             continue;
         }
         let mut parts = trimmed.split(',');
@@ -218,11 +225,7 @@ mod tests {
         // Every rating is 5 → survives binarisation.
         let b = d.binarize(3.0);
         // user 2's profile contains both neighbours.
-        let two = d
-            .ratings()
-            .iter()
-            .filter(|r| r.value == 5.0)
-            .count();
+        let two = d.ratings().iter().filter(|r| r.value == 5.0).count();
         assert_eq!(two, 4);
         assert_eq!(b.n_positive(), 4);
     }

@@ -45,10 +45,23 @@ impl RatingsDataset {
     ///
     /// # Panics
     /// Panics if a rating references an out-of-range user or item.
-    pub fn new(name: impl Into<String>, n_users: usize, n_items: usize, ratings: Vec<Rating>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        n_users: usize,
+        n_items: usize,
+        ratings: Vec<Rating>,
+    ) -> Self {
         for r in &ratings {
-            assert!((r.user as usize) < n_users, "user id {} out of range", r.user);
-            assert!((r.item as usize) < n_items, "item id {} out of range", r.item);
+            assert!(
+                (r.user as usize) < n_users,
+                "user id {} out of range",
+                r.user
+            );
+            assert!(
+                (r.item as usize) < n_items,
+                "item id {} out of range",
+                r.item
+            );
         }
         RatingsDataset {
             n_users,
@@ -72,7 +85,11 @@ impl RatingsDataset {
             let user = *users.entry(u).or_insert(next_u);
             let next_i = items.len() as ItemId;
             let item = *items.entry(i).or_insert(next_i);
-            ratings.push(Rating { user, item, value: v });
+            ratings.push(Rating {
+                user,
+                item,
+                value: v,
+            });
         }
         RatingsDataset {
             n_users: users.len(),
@@ -184,7 +201,11 @@ impl BinaryDataset {
     /// Builds a binary dataset directly from positive item lists, assigning
     /// every kept item the maximum rating (used by tests and by datasets
     /// that are inherently binary, like DBLP co-authorship).
-    pub fn from_positive_lists(name: impl Into<String>, n_items: usize, lists: Vec<Vec<ItemId>>) -> Self {
+    pub fn from_positive_lists(
+        name: impl Into<String>,
+        n_items: usize,
+        lists: Vec<Vec<ItemId>>,
+    ) -> Self {
         let values = lists
             .iter()
             .map(|l| {
@@ -289,10 +310,8 @@ mod tests {
 
     #[test]
     fn sparse_ids_are_interned_in_first_seen_order() {
-        let d = RatingsDataset::from_sparse_ids(
-            "t",
-            vec![(100, 7, 5.0), (50, 7, 4.0), (100, 9, 2.0)],
-        );
+        let d =
+            RatingsDataset::from_sparse_ids("t", vec![(100, 7, 5.0), (50, 7, 4.0), (100, 9, 2.0)]);
         assert_eq!(d.n_users(), 2);
         assert_eq!(d.n_items(), 2);
         assert_eq!(d.ratings()[0].user, 0); // 100 -> 0

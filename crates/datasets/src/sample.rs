@@ -53,12 +53,7 @@ mod tests {
 
     fn profiles() -> ProfileStore {
         // Item 0 is in every profile (popular); items 10+u are unique.
-        ProfileStore::from_item_lists(vec![
-            vec![0, 1, 10],
-            vec![0, 1, 11],
-            vec![0, 12],
-            vec![0],
-        ])
+        ProfileStore::from_item_lists(vec![vec![0, 1, 10], vec![0, 1, 11], vec![0, 12], vec![0]])
     }
 
     #[test]

@@ -29,7 +29,8 @@ impl DatasetStats {
         let profiles = data.profiles();
         let users = profiles.n_users();
         let positive = profiles.n_associations();
-        let mut item_seen = vec![false; data.n_items().max(profiles.item_universe_bound() as usize)];
+        let mut item_seen =
+            vec![false; data.n_items().max(profiles.item_universe_bound() as usize)];
         let mut item_degree = vec![0u32; item_seen.len()];
         for (_, items) in profiles.iter() {
             for &i in items {
@@ -82,11 +83,8 @@ mod tests {
 
     #[test]
     fn stats_on_small_dataset() {
-        let d = BinaryDataset::from_positive_lists(
-            "t",
-            10,
-            vec![vec![0, 1, 2], vec![1, 2], vec![]],
-        );
+        let d =
+            BinaryDataset::from_positive_lists("t", 10, vec![vec![0, 1, 2], vec![1, 2], vec![]]);
         let s = DatasetStats::compute(&d);
         assert_eq!(s.users, 3);
         assert_eq!(s.rated_items, 3);

@@ -193,7 +193,7 @@ impl SynthConfig {
                 if seen.insert(item) {
                     // Positive rating: strictly above the threshold of 3.
                     let value = *[3.5f32, 4.0, 4.5, 5.0]
-                        .get(rng.gen_range(0..4))
+                        .get(rng.gen_range(0..4usize))
                         .expect("index in range");
                     ratings.push(Rating { user, item, value });
                 }
@@ -227,7 +227,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "ZipfSampler needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0f64;
         for r in 0..n {

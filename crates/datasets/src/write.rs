@@ -58,10 +58,26 @@ mod tests {
             3,
             5,
             vec![
-                Rating { user: 0, item: 1, value: 4.5 },
-                Rating { user: 0, item: 2, value: 2.0 },
-                Rating { user: 1, item: 1, value: 5.0 },
-                Rating { user: 2, item: 4, value: 3.5 },
+                Rating {
+                    user: 0,
+                    item: 1,
+                    value: 4.5,
+                },
+                Rating {
+                    user: 0,
+                    item: 2,
+                    value: 2.0,
+                },
+                Rating {
+                    user: 1,
+                    item: 1,
+                    value: 5.0,
+                },
+                Rating {
+                    user: 2,
+                    item: 4,
+                    value: 3.5,
+                },
             ],
         )
     }
@@ -98,9 +114,21 @@ mod tests {
             5,
             5,
             vec![
-                Rating { user: 0, item: 1, value: 5.0 },
-                Rating { user: 1, item: 0, value: 5.0 },
-                Rating { user: 2, item: 4, value: 5.0 },
+                Rating {
+                    user: 0,
+                    item: 1,
+                    value: 5.0,
+                },
+                Rating {
+                    user: 1,
+                    item: 0,
+                    value: 5.0,
+                },
+                Rating {
+                    user: 2,
+                    item: 4,
+                    value: 5.0,
+                },
             ],
         );
         let mut buf = Vec::new();

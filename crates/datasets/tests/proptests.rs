@@ -8,7 +8,11 @@ use proptest::prelude::*;
 
 fn ratings() -> impl Strategy<Value = Vec<(u8, u8, f32)>> {
     proptest::collection::vec(
-        (0u8..20, 0u8..50, prop_oneof![Just(0.5f32), Just(2.0), Just(3.0), Just(3.5), Just(5.0)]),
+        (
+            0u8..20,
+            0u8..50,
+            prop_oneof![Just(0.5f32), Just(2.0), Just(3.0), Just(3.5), Just(5.0)],
+        ),
         0..300,
     )
 }

@@ -84,7 +84,11 @@ pub fn degree_stats(graph: &KnnGraph) -> DegreeStats {
 /// # Panics
 /// Panics if the graphs cover different populations.
 pub fn edge_overlap(a: &KnnGraph, b: &KnnGraph) -> f64 {
-    assert_eq!(a.n_users(), b.n_users(), "graphs cover different populations");
+    assert_eq!(
+        a.n_users(),
+        b.n_users(),
+        "graphs cover different populations"
+    );
     let mut inter = 0usize;
     let mut union = 0usize;
     for u in 0..a.n_users() as u32 {
@@ -149,10 +153,7 @@ mod tests {
     #[test]
     fn uniform_graph_has_low_gini() {
         // A ring: everyone has in-degree exactly 1.
-        let ring = KnnGraph::from_lists(
-            1,
-            (0..6u32).map(|u| vec![s(0.5, (u + 1) % 6)]).collect(),
-        );
+        let ring = KnnGraph::from_lists(1, (0..6u32).map(|u| vec![s(0.5, (u + 1) % 6)]).collect());
         let stats = degree_stats(&ring);
         assert_eq!(stats.max, 1);
         assert_eq!(stats.orphans, 0);

@@ -84,6 +84,11 @@ impl KnnGraph {
 pub struct BuildStats {
     /// Number of similarity evaluations performed.
     pub similarity_evals: u64,
+    /// Number of candidate pairs skipped by a cheap upper bound before the
+    /// full similarity evaluation (0 for algorithms without pruning). For a
+    /// pruned exhaustive scan, `similarity_evals + pruned_evals` equals the
+    /// `n(n-1)/2` unordered pairs.
+    pub pruned_evals: u64,
     /// Number of refinement iterations (1 for one-shot algorithms).
     pub iterations: u32,
     /// Wall-clock construction time (excludes dataset preparation, as in
@@ -100,6 +105,17 @@ impl BuildStats {
         }
         let brute = (n_users as f64) * (n_users as f64 - 1.0) / 2.0;
         self.similarity_evals as f64 / brute
+    }
+
+    /// Fraction of considered pairs skipped by upper-bound pruning, in
+    /// `[0, 1]` (0 when the algorithm does not prune).
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.similarity_evals + self.pruned_evals;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_evals as f64 / total as f64
+        }
     }
 }
 
@@ -122,10 +138,7 @@ mod tests {
 
     #[test]
     fn graph_accessors() {
-        let g = KnnGraph::from_lists(
-            2,
-            vec![vec![s(0.9, 1), s(0.5, 2)], vec![s(0.9, 0)], vec![]],
-        );
+        let g = KnnGraph::from_lists(2, vec![vec![s(0.9, 1), s(0.5, 2)], vec![s(0.9, 0)], vec![]]);
         assert_eq!(g.k(), 2);
         assert_eq!(g.n_users(), 3);
         assert_eq!(g.n_edges(), 3);
@@ -160,7 +173,7 @@ mod tests {
         let stats = BuildStats {
             similarity_evals: 45, // 10 users: 10*9/2
             iterations: 1,
-            wall: Duration::ZERO,
+            ..BuildStats::default()
         };
         assert!((stats.scanrate(10) - 1.0).abs() < 1e-12);
         assert_eq!(stats.scanrate(1), 0.0);

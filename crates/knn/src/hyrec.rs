@@ -71,8 +71,7 @@ impl Hyrec {
 
             // Snapshot the neighbour ids: Hyrec explores the graph as it
             // stood at the start of the iteration.
-            let snapshot: Vec<Vec<u32>> =
-                lists.iter().map(|l| l.users().collect()).collect();
+            let snapshot: Vec<Vec<u32>> = lists.iter().map(|l| l.users().collect()).collect();
 
             for u in 0..n {
                 round += 1;
@@ -109,6 +108,7 @@ impl Hyrec {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
                 similarity_evals: evals,
+                pruned_evals: 0,
                 iterations,
                 wall: start.elapsed(),
             },
@@ -122,8 +122,8 @@ impl Hyrec {
     /// scheduler-dependent.
     fn build_parallel<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
         use goldfinger_core::parallel::par_for_each_range;
-        use parking_lot::Mutex;
         use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
 
         assert!(k > 0, "k must be positive");
         assert!(self.delta >= 0.0, "delta must be non-negative");
@@ -140,7 +140,7 @@ impl Hyrec {
             iterations += 1;
             let snapshot: Vec<Vec<u32>> = locks
                 .iter()
-                .map(|l| l.lock().users().collect())
+                .map(|l| l.lock().unwrap().users().collect())
                 .collect();
             let updates = AtomicU64::new(0);
             par_for_each_range(n, self.threads, |_, lo, hi| {
@@ -163,10 +163,10 @@ impl Hyrec {
                             evals.fetch_add(1, Ordering::Relaxed);
                             let s = sim.similarity(u as u32, w);
                             let mut changed = 0u64;
-                            if locks[u].lock().insert(w, s) {
+                            if locks[u].lock().unwrap().insert(w, s) {
                                 changed += 1;
                             }
-                            if locks[w_us].lock().insert(u as u32, s) {
+                            if locks[w_us].lock().unwrap().insert(u as u32, s) {
                                 changed += 1;
                             }
                             if changed > 0 {
@@ -181,11 +181,15 @@ impl Hyrec {
             }
         }
 
-        let neighbors = locks.iter().map(|l| l.lock().to_sorted()).collect();
+        let neighbors = locks
+            .iter()
+            .map(|l| l.lock().unwrap().to_sorted())
+            .collect();
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
                 similarity_evals: evals.load(Ordering::Relaxed),
+                pruned_evals: 0,
                 iterations,
                 wall: start.elapsed(),
             },
@@ -268,8 +272,7 @@ mod tests {
         let sim = ExplicitJaccard::new(&profiles);
         let exact = BruteForce::default().build(&sim, 5);
         let approx = Hyrec::default().build(&sim, 5);
-        let q = average_similarity(&approx.graph, &sim)
-            / average_similarity(&exact.graph, &sim);
+        let q = average_similarity(&approx.graph, &sim) / average_similarity(&exact.graph, &sim);
         assert!(q > 0.9, "quality = {q}");
     }
 
@@ -288,7 +291,10 @@ mod tests {
         .build(&sim, 5);
         let q_seq = quality(&seq.graph, &exact.graph, &sim);
         let q_par = quality(&par.graph, &exact.graph, &sim);
-        assert!(q_par > q_seq - 0.05, "parallel {q_par} vs sequential {q_seq}");
+        assert!(
+            q_par > q_seq - 0.05,
+            "parallel {q_par} vs sequential {q_seq}"
+        );
         // Structural invariants hold under concurrency.
         for u in 0..par.graph.n_users() as u32 {
             let neigh = par.graph.neighbors(u);

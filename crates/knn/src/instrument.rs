@@ -113,10 +113,7 @@ mod tests {
         let _ = counting.similarity(0, 2);
         let t = counting.traffic();
         assert_eq!(t.calls, 2);
-        assert_eq!(
-            t.bytes,
-            sim.bytes_per_eval(0, 1) + sim.bytes_per_eval(0, 2)
-        );
+        assert_eq!(t.bytes, sim.bytes_per_eval(0, 1) + sim.bytes_per_eval(0, 2));
         counting.reset();
         assert_eq!(counting.traffic(), MemoryTraffic::default());
     }

@@ -68,7 +68,10 @@ impl Kiff {
     /// disagree.
     pub fn build<S: Similarity>(&self, profiles: &ProfileStore, sim: &S, k: usize) -> KnnResult {
         assert!(k > 0, "k must be positive");
-        assert!(self.candidate_factor > 0, "candidate_factor must be positive");
+        assert!(
+            self.candidate_factor > 0,
+            "candidate_factor must be positive"
+        );
         assert_eq!(
             profiles.n_users(),
             sim.n_users(),
@@ -119,9 +122,7 @@ impl Kiff {
             // Rank candidates by co-rating count (ties: lower id first) and
             // spend similarity evaluations on the best `budget`.
             touched.sort_unstable_by(|&a, &b| {
-                count[b as usize]
-                    .cmp(&count[a as usize])
-                    .then(a.cmp(&b))
+                count[b as usize].cmp(&count[a as usize]).then(a.cmp(&b))
             });
             touched.truncate(budget);
             let mut top = TopK::new(k);
@@ -136,6 +137,7 @@ impl Kiff {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
                 similarity_evals: evals,
+                pruned_evals: 0,
                 iterations: 1,
                 wall: start.elapsed(),
             },
@@ -204,11 +206,7 @@ mod tests {
     #[test]
     fn degree_cap_skips_blockbusters() {
         // Item 0 is shared by everyone; capping it disconnects the users.
-        let profiles = ProfileStore::from_item_lists(vec![
-            vec![0, 1],
-            vec![0, 2],
-            vec![0, 3],
-        ]);
+        let profiles = ProfileStore::from_item_lists(vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
         let sim = ExplicitJaccard::new(&profiles);
         let uncapped = Kiff::default().build(&profiles, &sim, 2);
         assert_eq!(uncapped.graph.neighbors(0).len(), 2);

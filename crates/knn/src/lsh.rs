@@ -90,8 +90,7 @@ impl Lsh {
             let items = profiles.items(u);
             if !items.is_empty() {
                 for (t, buckets) in tables.iter().enumerate() {
-                    let table_seed =
-                        splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
+                    let table_seed = splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
                     let key = items
                         .iter()
                         .map(|&i| splitmix64_mix(i as u64 ^ table_seed))
@@ -114,6 +113,7 @@ impl Lsh {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
                 similarity_evals: evals,
+                pruned_evals: 0,
                 iterations: 1,
                 wall: start.elapsed(),
             },
@@ -164,11 +164,8 @@ mod tests {
 
     #[test]
     fn empty_profiles_get_no_neighbors_but_keep_slots() {
-        let profiles = ProfileStore::from_item_lists(vec![
-            (0..30).collect(),
-            (0..30).collect(),
-            vec![],
-        ]);
+        let profiles =
+            ProfileStore::from_item_lists(vec![(0..30).collect(), (0..30).collect(), vec![]]);
         let sim = ExplicitJaccard::new(&profiles);
         let result = Lsh::default().build(&profiles, &sim, 2);
         assert_eq!(result.graph.n_users(), 3);
@@ -201,7 +198,11 @@ mod tests {
         let profiles = clustered();
         let sim = ExplicitJaccard::new(&profiles);
         let small = Lsh { tables: 1, seed: 1 }.build(&profiles, &sim, 5);
-        let large = Lsh { tables: 12, seed: 1 }.build(&profiles, &sim, 5);
+        let large = Lsh {
+            tables: 12,
+            seed: 1,
+        }
+        .build(&profiles, &sim, 5);
         assert!(large.stats.similarity_evals >= small.stats.similarity_evals);
     }
 

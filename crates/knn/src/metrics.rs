@@ -29,7 +29,11 @@ pub fn average_similarity<S: Similarity>(graph: &KnnGraph, exact: &S) -> f64 {
 pub fn quality<S: Similarity>(graph: &KnnGraph, exact_graph: &KnnGraph, exact: &S) -> f64 {
     let reference = average_similarity(exact_graph, exact);
     if reference == 0.0 {
-        return if average_similarity(graph, exact) == 0.0 { 1.0 } else { f64::INFINITY };
+        return if average_similarity(graph, exact) == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
     }
     average_similarity(graph, exact) / reference
 }
@@ -93,9 +97,7 @@ mod tests {
         let sim = ExplicitJaccard::new(&p);
         let exact = BruteForce::default().build(&sim, 2).graph;
         // Degrade user 0's neighbourhood: point it at the unrelated user 3.
-        let mut lists: Vec<Vec<Scored>> = (0..4u32)
-            .map(|u| exact.neighbors(u).to_vec())
-            .collect();
+        let mut lists: Vec<Vec<Scored>> = (0..4u32).map(|u| exact.neighbors(u).to_vec()).collect();
         lists[0] = vec![Scored { sim: 0.0, user: 3 }];
         let worse = KnnGraph::from_lists(2, lists);
         assert!(quality(&worse, &exact, &sim) < 1.0);

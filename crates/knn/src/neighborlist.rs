@@ -228,9 +228,8 @@ mod tests {
 
     #[test]
     fn random_lists_have_k_distinct_non_self_entries() {
-        let profiles = ProfileStore::from_item_lists(
-            (0..20).map(|i| vec![i as u32, i as u32 + 1]).collect(),
-        );
+        let profiles =
+            ProfileStore::from_item_lists((0..20).map(|i| vec![i as u32, i as u32 + 1]).collect());
         let sim = ExplicitJaccard::new(&profiles);
         let mut rng = StdRng::seed_from_u64(0);
         let mut evals = 0u64;

@@ -66,7 +66,9 @@ pub fn read_knn_graph(r: &mut impl Read) -> Result<KnnGraph, DecodeError> {
     for u in 0..n {
         let len = read_u32(r)? as usize;
         if len > k {
-            return Err(corrupt(format!("user {u}: {len} neighbours exceed k = {k}")));
+            return Err(corrupt(format!(
+                "user {u}: {len} neighbours exceed k = {k}"
+            )));
         }
         let mut neigh = Vec::with_capacity(len);
         for _ in 0..len {

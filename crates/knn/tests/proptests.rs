@@ -32,9 +32,10 @@ fn assert_graph_invariants(graph: &KnnGraph, n: usize, k: usize) {
         ids.dedup();
         assert_eq!(ids.len(), neigh.len(), "user {u} has duplicate neighbours");
         // Sorted by decreasing similarity.
-        assert!(neigh
-            .windows(2)
-            .all(|w| w[0].sim >= w[1].sim), "user {u} mis-sorted");
+        assert!(
+            neigh.windows(2).all(|w| w[0].sim >= w[1].sim),
+            "user {u} mis-sorted"
+        );
         // Similarities in range.
         assert!(neigh.iter().all(|s| (0.0..=1.0).contains(&s.sim)));
     }
@@ -66,6 +67,32 @@ proptest! {
         for (u, v, s) in g.edges() {
             prop_assert!((s - sim.similarity(u, v)).abs() < 1e-12);
         }
+    }
+
+    /// Pruning, tiling and threading are pure optimisations: the pruned
+    /// engine must return exactly the graph of the naive unpruned scan, and
+    /// evaluated + pruned pairs must account for every unordered pair.
+    #[test]
+    fn pruned_scan_is_identical_to_unpruned(
+        lists in population(),
+        k in 1usize..8,
+        threads in 1usize..5,
+        tile in prop_oneof![Just(0usize), Just(3), Just(64)],
+    ) {
+        let n = lists.len();
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let baseline = BruteForce { threads: 1, tile: 0, prune: false }.build(&sim, k);
+        let pruned = BruteForce { threads, tile, prune: true }.build(&sim, k);
+        for u in 0..n as u32 {
+            prop_assert_eq!(baseline.graph.neighbors(u), pruned.graph.neighbors(u));
+        }
+        let pairs = (n as u64) * (n as u64 - 1) / 2;
+        prop_assert_eq!(baseline.stats.similarity_evals, pairs);
+        prop_assert_eq!(
+            pruned.stats.similarity_evals + pruned.stats.pruned_evals,
+            pairs
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl Permutations {
     /// hashed mode).
     #[inline]
     pub fn rank(&self, p: usize, item: u32) -> u64 {
-        debug_assert!((item as usize) < self.universe, "item {item} outside universe");
+        debug_assert!(
+            (item as usize) < self.universe,
+            "item {item} outside universe"
+        );
         match self.strategy {
             PermutationStrategy::Explicit => self.tables[p][item as usize] as u64,
             PermutationStrategy::Hashed => splitmix64_mix(item as u64 ^ self.seeds[p]),

@@ -145,10 +145,7 @@ mod tests {
         for strategy in [PermutationStrategy::Hashed, PermutationStrategy::Explicit] {
             let store = MinHashStore::build(params(strategy), &profiles());
             let est = store.jaccard(0, 1);
-            assert!(
-                (est - 1.0 / 3.0).abs() < 0.08,
-                "{strategy:?}: est = {est}"
-            );
+            assert!((est - 1.0 / 3.0).abs() < 0.08, "{strategy:?}: est = {est}");
         }
     }
 

@@ -71,7 +71,11 @@ pub fn recommend_for_user(
 }
 
 /// Recommends for every user; index `u` holds user `u`'s recommendations.
-pub fn recommend_all(graph: &KnnGraph, train: &BinaryDataset, n: usize) -> Vec<Vec<Recommendation>> {
+pub fn recommend_all(
+    graph: &KnnGraph,
+    train: &BinaryDataset,
+    n: usize,
+) -> Vec<Vec<Recommendation>> {
     (0..graph.n_users() as u32)
         .map(|u| recommend_for_user(graph, train, u, n))
         .collect()
@@ -105,7 +109,10 @@ mod tests {
         let (graph, train) = setup();
         let recs = recommend_for_user(&graph, &train, 0, 5);
         let items: Vec<u32> = recs.iter().map(|r| r.item).collect();
-        assert!(items.contains(&7), "item 7 should be recommended: {items:?}");
+        assert!(
+            items.contains(&7),
+            "item 7 should be recommended: {items:?}"
+        );
         // Items 1..3 are already rated by user 0 — never recommended.
         assert!(!items.iter().any(|i| [1, 2, 3].contains(i)));
     }
@@ -149,10 +156,7 @@ mod tests {
     #[test]
     fn zero_similarity_neighborhood_is_skipped() {
         let train = BinaryDataset::from_positive_lists("t", 5, vec![vec![0], vec![1]]);
-        let graph = KnnGraph::from_lists(
-            1,
-            vec![vec![Scored { sim: 0.0, user: 1 }], vec![]],
-        );
+        let graph = KnnGraph::from_lists(1, vec![vec![Scored { sim: 0.0, user: 1 }], vec![]]);
         assert!(recommend_for_user(&graph, &train, 0, 3).is_empty());
     }
 }

@@ -39,6 +39,6 @@ pub use moments::{expected_bias, expected_estimate, expected_quadruplet};
 pub use montecarlo::{histogram, sample_estimates, EstimatorSummary};
 pub use occupancy::{exact_distribution, joint_distribution, EstimatorDistribution};
 pub use pair::ProfilePair;
-pub use separability::{misordering_for_jaccards, misordering_probability, separability_threshold};
 pub use privacy::{guarantees, indistinguishable_profiles, preimage_partition, PrivacyGuarantees};
+pub use separability::{misordering_for_jaccards, misordering_probability, separability_threshold};
 pub use theorem1::{binomial, stirling2, theorem1_distribution, xi};

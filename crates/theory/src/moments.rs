@@ -106,10 +106,38 @@ mod tests {
     #[test]
     fn delta_method_tracks_exact_mean() {
         for (pair, b) in [
-            (ProfilePair { shared: 40, only1: 60, only2: 60 }, 1024u32),
-            (ProfilePair { shared: 40, only1: 60, only2: 60 }, 256),
-            (ProfilePair { shared: 10, only1: 30, only2: 90 }, 512),
-            (ProfilePair { shared: 0, only1: 50, only2: 50 }, 256),
+            (
+                ProfilePair {
+                    shared: 40,
+                    only1: 60,
+                    only2: 60,
+                },
+                1024u32,
+            ),
+            (
+                ProfilePair {
+                    shared: 40,
+                    only1: 60,
+                    only2: 60,
+                },
+                256,
+            ),
+            (
+                ProfilePair {
+                    shared: 10,
+                    only1: 30,
+                    only2: 90,
+                },
+                512,
+            ),
+            (
+                ProfilePair {
+                    shared: 0,
+                    only1: 50,
+                    only2: 50,
+                },
+                256,
+            ),
         ] {
             let exact = exact_distribution(pair, b, 1e-13).mean();
             let approx = expected_estimate(pair, b);
@@ -131,13 +159,21 @@ mod tests {
 
     #[test]
     fn identical_profiles_have_estimate_one() {
-        let pair = ProfilePair { shared: 80, only1: 0, only2: 0 };
+        let pair = ProfilePair {
+            shared: 80,
+            only1: 0,
+            only2: 0,
+        };
         assert!((expected_estimate(pair, 1024) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_pair_has_estimate_zero() {
-        let pair = ProfilePair { shared: 0, only1: 0, only2: 0 };
+        let pair = ProfilePair {
+            shared: 0,
+            only1: 0,
+            only2: 0,
+        };
         assert_eq!(expected_estimate(pair, 64), 0.0);
     }
 

@@ -149,16 +149,14 @@ pub fn joint_distribution(pair: ProfilePair, b: u32, prune: f64) -> JointDistrib
             let mut states: HashMap<(u32, u32), f64> = HashMap::new();
             states.insert((0, 0), 1.0);
             for _ in 0..g2 {
-                let mut next: HashMap<(u32, u32), f64> =
-                    HashMap::with_capacity(states.len() + 8);
+                let mut next: HashMap<(u32, u32), f64> = HashMap::with_capacity(states.len() + 8);
                 for (&(j2, m), &p) in &states {
                     if p <= prune * 1e-3 {
                         continue; // micro-prune inside the ball loop
                     }
                     let stay = (a as f64 + j2 as f64) / bf;
                     let grow_overlap = (e1 as f64 - m as f64) / bf;
-                    let grow_fresh =
-                        (bf - a as f64 - e1 as f64 - (j2 - m) as f64) / bf;
+                    let grow_fresh = (bf - a as f64 - e1 as f64 - (j2 - m) as f64) / bf;
                     if stay > 0.0 {
                         *next.entry((j2, m)).or_insert(0.0) += p * stay;
                     }
@@ -177,9 +175,7 @@ pub fn joint_distribution(pair: ProfilePair, b: u32, prune: f64) -> JointDistrib
                     continue;
                 }
                 let u = a as u32 + e1 as u32 + j2 - m;
-                *joint
-                    .entry((u, a as u32, e1 as u32, j2))
-                    .or_insert(0.0) += prob;
+                *joint.entry((u, a as u32, e1 as u32, j2)).or_insert(0.0) += prob;
             }
         }
     }

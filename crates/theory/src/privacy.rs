@@ -63,12 +63,7 @@ pub fn indistinguishable_profiles(
         .min()
         .unwrap_or(0);
     (0..depth.min(count))
-        .map(|j| {
-            set_bits
-                .iter()
-                .map(|&x| preimages[x as usize][j])
-                .collect()
-        })
+        .map(|j| set_bits.iter().map(|&x| preimages[x as usize][j]).collect())
         .collect()
 }
 

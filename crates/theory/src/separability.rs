@@ -107,11 +107,7 @@ mod tests {
 
     #[test]
     fn identical_distributions_misorder_half_the_time() {
-        let d = exact_distribution(
-            ProfilePair::from_sizes_and_jaccard(40, 40, 0.2),
-            256,
-            1e-13,
-        );
+        let d = exact_distribution(ProfilePair::from_sizes_and_jaccard(40, 40, 0.2), 256, 1e-13);
         let p = misordering_probability(&d, &d);
         assert!((p - 0.5).abs() < 1e-9, "p = {p}");
     }

@@ -57,7 +57,11 @@ pub fn stirling2(n: usize, k: usize) -> f64 {
 pub fn xi(x: usize, y: usize, z: usize) -> f64 {
     if z > y || z > x {
         // Cannot cover z distinct targets with fewer than z items.
-        return if z == 0 { (y as f64).powi(x as i32) } else { 0.0 };
+        return if z == 0 {
+            (y as f64).powi(x as i32)
+        } else {
+            0.0
+        };
     }
     let mut total = 0.0f64;
     for k in 0..=z {
@@ -207,10 +211,7 @@ mod tests {
         for k in keys {
             let pa = ma.get(k).copied().unwrap_or(0.0);
             let pb = mb.get(k).copied().unwrap_or(0.0);
-            assert!(
-                (pa - pb).abs() < tol,
-                "quadruplet {k:?}: {pa} vs {pb}"
-            );
+            assert!((pa - pb).abs() < tol, "quadruplet {k:?}: {pa} vs {pb}");
         }
     }
 
@@ -247,10 +248,26 @@ mod tests {
     #[test]
     fn theorem1_mass_sums_to_one() {
         for pair in [
-            ProfilePair { shared: 2, only1: 2, only2: 2 },
-            ProfilePair { shared: 0, only1: 3, only2: 2 },
-            ProfilePair { shared: 4, only1: 0, only2: 0 },
-            ProfilePair { shared: 0, only1: 0, only2: 0 },
+            ProfilePair {
+                shared: 2,
+                only1: 2,
+                only2: 2,
+            },
+            ProfilePair {
+                shared: 0,
+                only1: 3,
+                only2: 2,
+            },
+            ProfilePair {
+                shared: 4,
+                only1: 0,
+                only2: 0,
+            },
+            ProfilePair {
+                shared: 0,
+                only1: 0,
+                only2: 0,
+            },
         ] {
             let d = theorem1_distribution(pair, 8);
             let total: f64 = d.iter().map(|&(_, p)| p).sum();
@@ -261,10 +278,38 @@ mod tests {
     #[test]
     fn theorem1_matches_exhaustive_enumeration() {
         for (pair, b) in [
-            (ProfilePair { shared: 1, only1: 2, only2: 2 }, 4u32),
-            (ProfilePair { shared: 2, only1: 1, only2: 2 }, 5),
-            (ProfilePair { shared: 0, only1: 3, only2: 2 }, 4),
-            (ProfilePair { shared: 3, only1: 1, only2: 1 }, 3),
+            (
+                ProfilePair {
+                    shared: 1,
+                    only1: 2,
+                    only2: 2,
+                },
+                4u32,
+            ),
+            (
+                ProfilePair {
+                    shared: 2,
+                    only1: 1,
+                    only2: 2,
+                },
+                5,
+            ),
+            (
+                ProfilePair {
+                    shared: 0,
+                    only1: 3,
+                    only2: 2,
+                },
+                4,
+            ),
+            (
+                ProfilePair {
+                    shared: 3,
+                    only1: 1,
+                    only2: 1,
+                },
+                3,
+            ),
         ] {
             let formula = theorem1_distribution(pair, b);
             let truth = enumerate_all_hash_functions(pair, b);
@@ -275,9 +320,30 @@ mod tests {
     #[test]
     fn theorem1_matches_occupancy_dp() {
         for (pair, b) in [
-            (ProfilePair { shared: 3, only1: 4, only2: 2 }, 16u32),
-            (ProfilePair { shared: 5, only1: 5, only2: 5 }, 32),
-            (ProfilePair { shared: 0, only1: 6, only2: 3 }, 16),
+            (
+                ProfilePair {
+                    shared: 3,
+                    only1: 4,
+                    only2: 2,
+                },
+                16u32,
+            ),
+            (
+                ProfilePair {
+                    shared: 5,
+                    only1: 5,
+                    only2: 5,
+                },
+                32,
+            ),
+            (
+                ProfilePair {
+                    shared: 0,
+                    only1: 6,
+                    only2: 3,
+                },
+                16,
+            ),
         ] {
             let formula = theorem1_distribution(pair, b);
             let dp = joint_distribution(pair, b, 0.0);
@@ -287,7 +353,11 @@ mod tests {
 
     #[test]
     fn occupancy_dp_matches_enumeration() {
-        let pair = ProfilePair { shared: 2, only1: 2, only2: 1 };
+        let pair = ProfilePair {
+            shared: 2,
+            only1: 2,
+            only2: 1,
+        };
         let dp = joint_distribution(pair, 4, 0.0);
         let truth = enumerate_all_hash_functions(pair, 4);
         assert_distributions_match(&dp, &truth, 1e-12);
@@ -296,7 +366,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "too large")]
     fn enumeration_guard_trips() {
-        let pair = ProfilePair { shared: 10, only1: 10, only2: 10 };
+        let pair = ProfilePair {
+            shared: 10,
+            only1: 10,
+            only2: 10,
+        };
         let _ = enumerate_all_hash_functions(pair, 16);
     }
 }

@@ -68,9 +68,6 @@ fn main() {
 
     println!(
         "\nedge recall of GoldFinger brute force vs exact: {:.2}",
-        edge_recall(
-            &BruteForce::default().build(&gf, k).graph,
-            &exact.graph
-        )
+        edge_recall(&BruteForce::default().build(&gf, k).graph, &exact.graph)
     );
 }

@@ -10,10 +10,10 @@ use goldfinger::prelude::*;
 fn main() {
     // 1. Profiles are sets of item ids (pages visited, movies liked, …).
     let profiles = ProfileStore::from_item_lists(vec![
-        (0..50).collect(),            // user 0
-        (25..75).collect(),           // user 1 — shares 25 items with user 0
-        (40..90).collect(),           // user 2
-        (1_000..1_050).collect(),     // user 3 — unrelated
+        (0..50).collect(),        // user 0
+        (25..75).collect(),       // user 1 — shares 25 items with user 0
+        (40..90).collect(),       // user 2
+        (1_000..1_050).collect(), // user 3 — unrelated
     ]);
 
     // 2. Fingerprint every profile once: 1024-bit SHFs with Jenkins' hash.

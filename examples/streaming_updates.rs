@@ -14,7 +14,11 @@ use std::time::Instant;
 
 fn main() {
     // A small population with two interest clusters.
-    let data = SynthConfig::ml1m().scaled(0.08).with_seed(9).generate().prepare();
+    let data = SynthConfig::ml1m()
+        .scaled(0.08)
+        .with_seed(9)
+        .generate()
+        .prepare();
     let profiles = data.profiles();
     let n = profiles.n_users();
     let k = 10;
@@ -63,8 +67,7 @@ fn main() {
     // pass walks the discovered cluster.
     let t0 = Instant::now();
     let sim = ShfJaccard::new(&fingerprints);
-    let evals = graph.repair_user_with_probes(0, &sim, 16, 7)
-        + graph.repair_user(0, &sim);
+    let evals = graph.repair_user_with_probes(0, &sim, 16, 7) + graph.repair_user(0, &sim);
     let repair = t0.elapsed();
     println!(
         "local repair: {:?} ({evals} similarity evaluations vs {} for a rebuild)",
@@ -76,7 +79,10 @@ fn main() {
     let repaired = graph.into_graph();
     let repaired_ids: Vec<u32> = repaired.neighbors(0).iter().map(|s| s.user).collect();
     let truth_ids: Vec<u32> = truth.graph.neighbors(0).iter().map(|s| s.user).collect();
-    let overlap = truth_ids.iter().filter(|u| repaired_ids.contains(u)).count();
+    let overlap = truth_ids
+        .iter()
+        .filter(|u| repaired_ids.contains(u))
+        .count();
     println!(
         "\nuser 0's repaired neighbourhood matches {overlap}/{} of a full rebuild's;",
         truth_ids.len()

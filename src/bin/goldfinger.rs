@@ -173,8 +173,8 @@ fn run() -> Result<(), String> {
                 bits / 8 + 4
             );
             if let Some(out) = cli.get("out") {
-                let mut file = std::fs::File::create(out)
-                    .map_err(|e| format!("creating {out}: {e}"))?;
+                let mut file =
+                    std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
                 goldfinger::core::serial::write_shf_store(&store, &mut file)
                     .map_err(|e| format!("writing {out}: {e}"))?;
                 println!("wrote {out}");
@@ -190,15 +190,19 @@ fn run() -> Result<(), String> {
                 result.graph.n_edges(),
                 result.stats.similarity_evals,
                 result.stats.wall,
-                if used_gf { " (GoldFinger)" } else { " (native)" },
+                if used_gf {
+                    " (GoldFinger)"
+                } else {
+                    " (native)"
+                },
             );
             println!(
                 "mean stored similarity: {:.4}",
                 result.graph.mean_stored_similarity()
             );
             if let Some(out) = cli.get("out") {
-                let mut file = std::fs::File::create(out)
-                    .map_err(|e| format!("creating {out}: {e}"))?;
+                let mut file =
+                    std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
                 write_knn_graph(&result.graph, &mut file)
                     .map_err(|e| format!("writing {out}: {e}"))?;
                 println!("wrote {out}");

@@ -56,9 +56,9 @@ pub mod prelude {
     pub use goldfinger_core::topk::{Scored, TopK};
     pub use goldfinger_datasets::cv::{five_fold, FoldSplit};
     pub use goldfinger_datasets::model::{BinaryDataset, RatingsDataset};
+    pub use goldfinger_datasets::sample::sample_least_popular;
     pub use goldfinger_datasets::stats::DatasetStats;
     pub use goldfinger_datasets::synth::SynthConfig;
-    pub use goldfinger_datasets::sample::sample_least_popular;
     pub use goldfinger_knn::brute::BruteForce;
     pub use goldfinger_knn::dynamic::DynamicKnn;
     pub use goldfinger_knn::graph::{KnnGraph, KnnResult};

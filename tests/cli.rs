@@ -28,7 +28,11 @@ fn unknown_command_fails_with_usage() {
 #[test]
 fn stats_prints_a_table2_row() {
     let out = goldfinger(&["stats", "--synth", "ml1m", "--scale", "0.02"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("movielens1M"));
     assert!(stdout.contains("density"));
@@ -53,7 +57,11 @@ fn knn_builds_and_persists_a_graph() {
         "--out",
         graph_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("GoldFinger"));
     // The persisted graph is valid GFG1 and loads back.
@@ -79,7 +87,11 @@ fn fingerprint_writes_a_valid_store() {
         "--out",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&path).unwrap();
     let store = goldfinger::core::serial::read_shf_store(&mut bytes.as_slice()).unwrap();
     assert_eq!(store.width(), 256);
@@ -89,10 +101,25 @@ fn fingerprint_writes_a_valid_store() {
 #[test]
 fn recommend_emits_items() {
     let out = goldfinger(&[
-        "recommend", "--synth", "ml1m", "--scale", "0.02", "--algo", "brute", "--k", "10",
-        "--user", "1", "--n", "3",
+        "recommend",
+        "--synth",
+        "ml1m",
+        "--scale",
+        "0.02",
+        "--algo",
+        "brute",
+        "--k",
+        "10",
+        "--user",
+        "1",
+        "--n",
+        "3",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("score"), "{stdout}");
 }
@@ -100,7 +127,13 @@ fn recommend_emits_items() {
 #[test]
 fn recommend_rejects_out_of_range_user() {
     let out = goldfinger(&[
-        "recommend", "--synth", "ml1m", "--scale", "0.02", "--user", "99999",
+        "recommend",
+        "--synth",
+        "ml1m",
+        "--scale",
+        "0.02",
+        "--user",
+        "99999",
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
@@ -109,7 +142,13 @@ fn recommend_rejects_out_of_range_user() {
 #[test]
 fn privacy_reports_the_paper_numbers() {
     let out = goldfinger(&[
-        "privacy", "--items", "171356", "--bits", "1024", "--cardinality", "1",
+        "privacy",
+        "--items",
+        "171356",
+        "--bits",
+        "1024",
+        "--cardinality",
+        "1",
     ]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -123,13 +162,32 @@ fn generate_then_reload_roundtrips() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("generated.dat");
     let out = goldfinger(&[
-        "generate", "--synth", "ml1m", "--scale", "0.02", "--out",
+        "generate",
+        "--synth",
+        "ml1m",
+        "--scale",
+        "0.02",
+        "--out",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The generated file loads back through the stats subcommand.
-    let out = goldfinger(&["stats", "--ratings", path.to_str().unwrap(), "--format", "dat"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = goldfinger(&[
+        "stats",
+        "--ratings",
+        path.to_str().unwrap(),
+        "--format",
+        "dat",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("density"));
 }
 

@@ -1,14 +1,18 @@
 //! Cross-crate integration tests: the full GoldFinger pipeline from raw
 //! ratings to KNN graphs and recommendations.
 
-use goldfinger::prelude::*;
 use goldfinger::knn::hyrec::Hyrec;
 use goldfinger::knn::lsh::Lsh;
 use goldfinger::knn::nndescent::NNDescent;
+use goldfinger::prelude::*;
 use goldfinger::recommend::evaluate_fold;
 
 fn dataset() -> BinaryDataset {
-    SynthConfig::ml1m().scaled(0.05).with_seed(11).generate().prepare()
+    SynthConfig::ml1m()
+        .scaled(0.05)
+        .with_seed(11)
+        .generate()
+        .prepare()
 }
 
 #[test]
@@ -85,7 +89,11 @@ fn greedy_algorithms_approach_brute_force_on_both_providers() {
 
 #[test]
 fn recommendations_survive_fingerprinting() {
-    let data = SynthConfig::ml1m().scaled(0.04).with_seed(3).generate().prepare();
+    let data = SynthConfig::ml1m()
+        .scaled(0.04)
+        .with_seed(3)
+        .generate()
+        .prepare();
     let folds = five_fold(&data, 5);
     let k = 15;
 
@@ -102,7 +110,11 @@ fn recommendations_survive_fingerprinting() {
         let g_gf = BruteForce::default().build(&gf, k).graph;
         gf_total.merge(evaluate_fold(&g_gf, fold, 30));
     }
-    assert!(native_total.recall() > 0.05, "native recall {}", native_total.recall());
+    assert!(
+        native_total.recall() > 0.05,
+        "native recall {}",
+        native_total.recall()
+    );
     // GoldFinger recall within 40% (relative) of native — the paper finds
     // the loss negligible at full scale; small samples are noisier.
     assert!(

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion it uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`Bencher::iter`]
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from upstream, by design: no statistics beyond the mean (no
+//! outlier analysis, no HTML reports); timings print as `ns/iter` lines.
+//! When cargo invokes a bench target in *test* mode (`cargo test` passes
+//! `--test`), every benchmark body runs exactly once so the suite stays
+//! fast while still exercising the bench code.
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    cfg: &'a Config,
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `cargo bench`: calibrate, then measure.
+    Measure,
+    /// `cargo test`: run the body once, skip timing.
+    Test,
+}
+
+impl Bencher<'_> {
+    /// Times the closure, storing the mean over a calibrated batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            std::hint::black_box(f());
+            self.result = Some(Sample {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            });
+            return;
+        }
+        // Calibrate: grow the batch until it runs long enough to time.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Warm-up.
+        let warm = Instant::now();
+        while warm.elapsed() < self.cfg.warm_up_time {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+        }
+        // Measure whole batches until the measurement budget is spent.
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let started = Instant::now();
+        while elapsed < self.cfg.measurement_time || iters == 0 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+            if started.elapsed() > self.cfg.measurement_time * 4 {
+                break;
+            }
+        }
+        self.result = Some(Sample { iters, elapsed });
+    }
+}
+
+/// Measurement configuration shared by [`Criterion`] and groups.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            sample_size: 100,
+        }
+    }
+}
+
+/// The benchmark harness handle passed to every bench function.
+pub struct Criterion {
+    cfg: Config,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            cfg: Config::default(),
+            mode: if test_mode { Mode::Test } else { Mode::Measure },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sample size (kept for API compatibility; the
+    /// shim's precision is governed by the measurement time).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            mode: self.mode,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let cfg = self.cfg;
+        run_one(name, self.mode, &cfg, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    mode: Mode,
+    throughput: Option<Throughput>,
+    // Lifetime ties the group to its Criterion, as upstream does.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+// Separate impl block so the struct literal above can omit the marker.
+#[allow(clippy::needless_update)]
+impl<'a> BenchmarkGroup<'a> {
+    /// See [`Criterion::sample_size`].
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// See [`Criterion::warm_up_time`].
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// See [`Criterion::measurement_time`].
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Declares the work per iteration, reported as a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.mode, &self.cfg, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream emits summary reports here; the shim has
+    /// already printed per-benchmark lines).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    mode: Mode,
+    cfg: &Config,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        mode,
+        cfg,
+        result: None,
+    };
+    f(&mut b);
+    let Some(sample) = b.result else {
+        println!("{label}: no measurement (b.iter never called)");
+        return;
+    };
+    if mode == Mode::Test {
+        println!("{label}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let ns = sample.elapsed.as_nanos() as f64 / sample.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let rate = bytes as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
+            println!("{label}: {ns:.1} ns/iter ({rate:.0} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{label}: {ns:.1} ns/iter ({rate:.0} elem/s)");
+        }
+        None => println!("{label}: {ns:.1} ns/iter"),
+    }
+}
+
+/// A benchmark identifier, optionally parameterised.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Re-export for closures that want `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut x = 0u64;
+        c.bench_function("spin", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(8));
+        group.bench_function(BenchmarkId::new("f", 64), |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &v| {
+            b.iter(|| v * 2)
+        });
+        group.finish();
+    }
+}

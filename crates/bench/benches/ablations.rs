@@ -1,4 +1,4 @@
-//! Design-choice ablations (DESIGN.md §7):
+//! Design-choice ablations (DESIGN.md §9):
 //!
 //! - hash function used for fingerprint construction (Jenkins vs lookup3 vs
 //!   SplitMix vs Fx-style);

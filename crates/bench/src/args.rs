@@ -13,7 +13,11 @@ pub struct Args {
 impl Args {
     /// Parses `--key value` pairs and bare `--flag`s from an iterator.
     ///
-    /// A `--key` followed by another `--…` token is treated as a flag.
+    /// A `--key` followed by another `--…` token is treated as a flag, so
+    /// values may be anything that does not start with `--` — negative
+    /// numbers (`--offset -5`) parse as values. When the same `--key` is
+    /// given twice, the **last occurrence wins**; this lets drivers like
+    /// `exp_all` append overrides after user-supplied options.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let tokens: Vec<String> = args.into_iter().collect();
         let mut out = Args::default();
@@ -134,5 +138,28 @@ mod tests {
     fn garbage_number_panics() {
         let a = parse("--scale banana");
         let _ = a.get_f64("scale", 1.0);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let a = parse("--k 10 --seed 1 --k 30");
+        assert_eq!(a.get_usize("k", 0), 30);
+        assert_eq!(a.get_u64("seed", 0), 1);
+    }
+
+    #[test]
+    fn flag_followed_by_key_value() {
+        let a = parse("--csv --json out.json");
+        assert!(a.has_flag("csv"));
+        assert!(!a.has_flag("json"));
+        assert_eq!(a.get("json"), Some("out.json"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = parse("--offset -5 --scale -0.5");
+        assert_eq!(a.get("offset"), Some("-5"));
+        assert_eq!(a.get_f64("scale", 1.0), -0.5);
+        assert!(!a.has_flag("offset"));
     }
 }

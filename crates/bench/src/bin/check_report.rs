@@ -1,0 +1,40 @@
+//! CI gate for machine-readable reports: parses each given file with the
+//! hand-rolled JSON parser, checks the schema tag, and asserts structural
+//! validity (non-empty run set, per-iteration traces summing to the
+//! reported totals). Exits non-zero on any missing or malformed report.
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin check_report -- results/fig12.json
+//! ```
+
+use goldfinger_bench::read_report;
+use std::path::Path;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_report FILE.json [FILE.json …]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let checked = read_report(Path::new(path)).and_then(|set| {
+            set.validate()?;
+            Ok(set)
+        });
+        match checked {
+            Ok(set) => println!(
+                "{path}: ok — experiment {:?}, {} run(s), all traces consistent",
+                set.experiment,
+                set.runs.len()
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

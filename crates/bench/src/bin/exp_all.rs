@@ -1,11 +1,18 @@
 //! Driver: runs every experiment binary in sequence with shared options
 //! and writes each report under `--out DIR` (default `results/`).
 //!
+//! Every sub-experiment is passed `--json DIR/<name>.json`; the machine-
+//! readable reports the instrumented experiments emit are then aggregated
+//! into `DIR/bench.json` (experiments without JSON support simply write
+//! none).
+//!
 //! ```text
 //! cargo run --release -p goldfinger-bench --bin exp_all -- --users 1000
 //! ```
 
-use goldfinger_bench::Args;
+use goldfinger_bench::jsonreport::write_report;
+use goldfinger_bench::{merge_report_files, Args};
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
@@ -57,7 +64,10 @@ fn main() {
         print!("running {name:<28} … ");
         use std::io::Write;
         std::io::stdout().flush().ok();
-        let output = Command::new(&path).args(&forwarded).output();
+        let output = Command::new(&path)
+            .args(&forwarded)
+            .args(["--json", &format!("{out_dir}/{name}.json")])
+            .output();
         match output {
             Ok(out) if out.status.success() => {
                 let report = format!("{out_dir}/{name}.txt");
@@ -74,9 +84,27 @@ fn main() {
             }
         }
     }
+    // Aggregate whatever per-experiment JSON reports were written.
+    let json_paths: Vec<PathBuf> = EXPERIMENTS
+        .iter()
+        .map(|n| PathBuf::from(format!("{out_dir}/{n}.json")))
+        .collect();
+    match merge_report_files(&json_paths) {
+        Ok(all) if !all.runs.is_empty() => {
+            let bench = format!("{out_dir}/bench.json");
+            write_report(Path::new(&bench), &all).expect("write aggregated report");
+            println!("\naggregated {} run(s) into {bench}", all.runs.len());
+        }
+        Ok(_) => println!("\nno JSON reports were produced — nothing to aggregate"),
+        Err(e) => {
+            println!("\nreport aggregation FAILED: {e}");
+            failures.push("bench.json".to_string());
+        }
+    }
+
     if failures.is_empty() {
         println!(
-            "\nall {} experiments completed; reports in {out_dir}/",
+            "all {} experiments completed; reports in {out_dir}/",
             EXPERIMENTS.len()
         );
     } else {

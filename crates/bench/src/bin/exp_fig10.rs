@@ -7,40 +7,45 @@
 //! number of greedy iterations (see Figure 12), then slower again.
 //!
 //! ```text
-//! cargo run --release -p goldfinger-bench --bin exp_fig10
+//! cargo run --release -p goldfinger-bench --bin exp_fig10 [-- --json results/fig10.json]
 //! ```
 
 use goldfinger_bench::workloads::build_dataset;
-use goldfinger_bench::{dispatch, fingerprint, AlgoKind, Args, ExperimentConfig, Table};
-use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
+use goldfinger_bench::{
+    emit_if_requested, observed_run, AlgoKind, Args, ExperimentConfig, ProviderKind, Table,
+};
+use goldfinger_core::similarity::ExplicitJaccard;
 use goldfinger_datasets::synth::SynthConfig;
 use goldfinger_knn::metrics::quality;
+use goldfinger_obs::{Json, ReportSet};
 
 fn main() {
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
     let widths = args.get_u32_list("bits", &[64, 128, 256, 512, 1024, 2048, 4096, 8192]);
     let data = build_dataset(&cfg, SynthConfig::ml10m());
-    let profiles = data.profiles();
-    println!("dataset: {} users\n", profiles.n_users());
+    let native_sim = ExplicitJaccard::new(data.profiles());
+    println!("dataset: {} users\n", data.profiles().n_users());
 
-    let native_sim = ExplicitJaccard::new(profiles);
-    let exact = dispatch(&cfg, AlgoKind::BruteForce, profiles, &native_sim);
+    let exact = goldfinger_bench::run(&cfg, AlgoKind::BruteForce, &data, ProviderKind::Native);
 
+    let mut set = ReportSet::new("fig10");
     for kind in [AlgoKind::BruteForce, AlgoKind::Hyrec] {
         let mut table = Table::new(
             format!("Figure 10 — {} time vs quality as b grows", kind.name()),
             &["bits", "time (s)", "quality", "iterations"],
         );
         for &bits in &widths {
-            let (store, _) = fingerprint(&cfg, bits, profiles);
-            let sim = ShfJaccard::new(&store);
-            let out = dispatch(&cfg, kind, profiles, &sim);
+            let (out, mut report) =
+                observed_run("fig10", &cfg, kind, &data, ProviderKind::GoldFinger(bits));
+            let q = quality(&out.result.graph, &exact.result.graph, &native_sim);
+            report.extra.push(("quality".to_string(), Json::Num(q)));
+            set.runs.push(report);
             table.push(vec![
                 bits.to_string(),
-                format!("{:.3}", out.stats.wall.as_secs_f64()),
-                format!("{:.3}", quality(&out.graph, &exact.graph, &native_sim)),
-                out.stats.iterations.to_string(),
+                format!("{:.3}", out.result.stats.wall.as_secs_f64()),
+                format!("{q:.3}"),
+                out.result.stats.iterations.to_string(),
             ]);
         }
         table.print();
@@ -50,6 +55,7 @@ fn main() {
             println!("wrote {path}");
         }
     }
+    emit_if_requested(&args, &set);
     println!(
         "Paper's shape: quality rises with b for both algorithms; Brute Force time rises \
          monotonically, Hyrec's time first falls (fewer wasted iterations) then rises."

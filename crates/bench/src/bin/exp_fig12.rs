@@ -6,30 +6,37 @@
 //! *higher* scanrate, wiping out the per-comparison speedup.
 //!
 //! ```text
-//! cargo run --release -p goldfinger-bench --bin exp_fig12
+//! cargo run --release -p goldfinger-bench --bin exp_fig12 [-- --json results/fig12.json]
 //! ```
 
 use goldfinger_bench::workloads::build_dataset;
-use goldfinger_bench::{dispatch, fingerprint, AlgoKind, Args, ExperimentConfig, Table};
-use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
+use goldfinger_bench::{
+    emit_if_requested, observed_run, AlgoKind, Args, ExperimentConfig, ProviderKind, Table,
+};
 use goldfinger_datasets::synth::SynthConfig;
+use goldfinger_obs::{Json, ReportSet};
 
 fn main() {
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
     let widths = args.get_u32_list("bits", &[64, 128, 256, 512, 1024, 2048, 4096, 8192]);
     let data = build_dataset(&cfg, SynthConfig::ml10m());
-    let profiles = data.profiles();
-    let n = profiles.n_users();
+    let n = data.profiles().n_users();
     println!("dataset: {n} users\n");
 
+    let mut set = ReportSet::new("fig12");
+
     // Native reference (the green line of the paper's Figure 12).
-    let native_sim = ExplicitJaccard::new(profiles);
-    let native = dispatch(&cfg, AlgoKind::Hyrec, profiles, &native_sim);
+    let (native, mut report) =
+        observed_run("fig12", &cfg, AlgoKind::Hyrec, &data, ProviderKind::Native);
+    let native_scanrate = native.result.stats.scanrate(n);
+    report
+        .extra
+        .push(("scanrate".to_string(), Json::Num(native_scanrate)));
+    set.runs.push(report);
     println!(
-        "native Hyrec: {} iterations, scanrate {:.3}\n",
-        native.stats.iterations,
-        native.stats.scanrate(n)
+        "native Hyrec: {} iterations, scanrate {native_scanrate:.3}\n",
+        native.result.stats.iterations,
     );
 
     let mut table = Table::new(
@@ -37,13 +44,22 @@ fn main() {
         &["bits", "iterations", "scanrate"],
     );
     for &bits in &widths {
-        let (store, _) = fingerprint(&cfg, bits, profiles);
-        let sim = ShfJaccard::new(&store);
-        let out = dispatch(&cfg, AlgoKind::Hyrec, profiles, &sim);
+        let (out, mut report) = observed_run(
+            "fig12",
+            &cfg,
+            AlgoKind::Hyrec,
+            &data,
+            ProviderKind::GoldFinger(bits),
+        );
+        let scanrate = out.result.stats.scanrate(n);
+        report
+            .extra
+            .push(("scanrate".to_string(), Json::Num(scanrate)));
+        set.runs.push(report);
         table.push(vec![
             bits.to_string(),
-            out.stats.iterations.to_string(),
-            format!("{:.3}", out.stats.scanrate(n)),
+            out.result.stats.iterations.to_string(),
+            format!("{scanrate:.3}"),
         ]);
     }
     table.print();
@@ -51,6 +67,7 @@ fn main() {
         table.write_csv(out).expect("write CSV");
         println!("wrote {out}");
     }
+    emit_if_requested(&args, &set);
     println!(
         "Paper's shape: iterations and scanrate fall towards the native values as b grows; \
          short SHFs (< 1024 bits) need more iterations to converge."

@@ -12,17 +12,20 @@
 //! cargo run --release -p goldfinger-bench --bin exp_table3
 //! ```
 
-use goldfinger_bench::{build_datasets, fmt_duration, Args, ExperimentConfig, Table};
+use goldfinger_bench::{
+    build_datasets, emit_if_requested, fmt_duration, Args, ExperimentConfig, Table,
+};
 use goldfinger_core::profile::ProfileStore;
 use goldfinger_minhash::{BbitParams, BbitStore, MinHashParams, PermutationStrategy};
+use goldfinger_obs::{Phase, ReportSet, RunReport, SpanSet};
 use std::hint::black_box;
-use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
     let perms = args.get_usize("perms", 256);
     let bbit = args.get_u32_list("bbit", &[4])[0];
+    let mut set = ReportSet::new("table3");
 
     let mut table = Table::new(
         format!(
@@ -33,16 +36,18 @@ fn main() {
     );
     for data in build_datasets(&cfg, args.get("datasets")) {
         let profiles = data.profiles();
+        let spans = SpanSet::new();
+
         // Native preparation: rebuilding the packed explicit representation
         // from per-user item lists (what the paper's Java loader builds).
         let lists: Vec<Vec<u32>> = profiles.iter().map(|(_, items)| items.to_vec()).collect();
-        let t0 = Instant::now();
+        let span = spans.span(Phase::DatasetPrep);
         let rebuilt = ProfileStore::from_item_lists(lists);
         black_box(&rebuilt);
-        let native = t0.elapsed();
+        let native = span.stop();
 
         // MinHash: explicit permutations over the full item universe.
-        let t0 = Instant::now();
+        let span = spans.span(Phase::Fingerprinting);
         let sketches = BbitStore::build(
             BbitParams {
                 minhash: MinHashParams {
@@ -55,13 +60,32 @@ fn main() {
             profiles,
         );
         black_box(&sketches);
-        let minhash = t0.elapsed();
+        let minhash = span.stop();
 
         // GoldFinger: one Jenkins hash per association.
-        let t0 = Instant::now();
+        let span = spans.span(Phase::Fingerprinting);
         let store = cfg.shf_params(cfg.bits).fingerprint_store(profiles);
         black_box(&store);
-        let goldfinger = t0.elapsed();
+        let goldfinger = span.stop();
+
+        for (provider, bits, prep) in [
+            ("native", 0u64, native),
+            ("minhash", (perms as u64) * bbit as u64, minhash),
+            ("goldfinger", cfg.bits as u64, goldfinger),
+        ] {
+            set.runs.push(RunReport {
+                experiment: "table3".to_string(),
+                dataset: data.name().to_string(),
+                algo: "Preparation".to_string(),
+                provider: provider.to_string(),
+                n_users: data.n_users() as u64,
+                k: cfg.k as u64,
+                bits,
+                seed: cfg.seed,
+                prep_wall: prep,
+                ..RunReport::default()
+            });
+        }
 
         table.push(vec![
             data.name().to_string(),
@@ -79,6 +103,7 @@ fn main() {
         table.write_csv(out).expect("write CSV");
         println!("wrote {out}");
     }
+    emit_if_requested(&args, &set);
     println!(
         "Paper's shape: GoldFinger prep is on par with (or below) native and 1–3 orders of \
          magnitude below MinHash; the gap widens with the item-universe size (AM/DBLP/GW)."

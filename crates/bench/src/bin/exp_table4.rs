@@ -12,15 +12,17 @@
 //! ```
 
 use goldfinger_bench::{
-    build_datasets, fmt_duration, gain_percent, run, AlgoKind, Args, ExperimentConfig,
-    ProviderKind, Table,
+    build_datasets, emit_if_requested, fmt_duration, gain_percent, observed_run, AlgoKind, Args,
+    ExperimentConfig, ProviderKind, Table,
 };
 use goldfinger_core::similarity::ExplicitJaccard;
 use goldfinger_knn::metrics::quality;
+use goldfinger_obs::{Json, ReportSet};
 
 fn main() {
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
+    let mut set = ReportSet::new("table4");
 
     let mut table = Table::new(
         format!(
@@ -43,7 +45,13 @@ fn main() {
 
     for data in build_datasets(&cfg, args.get("datasets")) {
         // Ground truth for the quality metric: native brute force.
-        let exact = run(&cfg, AlgoKind::BruteForce, &data, ProviderKind::Native);
+        let (exact, exact_report) = observed_run(
+            "table4",
+            &cfg,
+            AlgoKind::BruteForce,
+            &data,
+            ProviderKind::Native,
+        );
         let native_sim = ExplicitJaccard::new(data.profiles());
 
         let algos: Vec<AlgoKind> = if args.has_flag("extended") {
@@ -52,15 +60,25 @@ fn main() {
             AlgoKind::all().to_vec()
         };
         for kind in algos {
-            let nat = if kind == AlgoKind::BruteForce {
-                exact.clone()
+            let (nat, nat_report) = if kind == AlgoKind::BruteForce {
+                (exact.clone(), exact_report.clone())
             } else {
-                run(&cfg, kind, &data, ProviderKind::Native)
+                observed_run("table4", &cfg, kind, &data, ProviderKind::Native)
             };
-            let gf = run(&cfg, kind, &data, ProviderKind::GoldFinger(cfg.bits));
+            let (gf, gf_report) = observed_run(
+                "table4",
+                &cfg,
+                kind,
+                &data,
+                ProviderKind::GoldFinger(cfg.bits),
+            );
 
             let q_nat = quality(&nat.result.graph, &exact.result.graph, &native_sim);
             let q_gf = quality(&gf.result.graph, &exact.result.graph, &native_sim);
+            for (mut report, q) in [(nat_report, q_nat), (gf_report, q_gf)] {
+                report.extra.push(("quality".to_string(), Json::Num(q)));
+                set.runs.push(report);
+            }
             // As in the paper, computation time starts once the dataset is
             // prepared — fingerprinting is part of preparation (Table 3)
             // and is reported there; including it changes nothing material
@@ -109,6 +127,7 @@ fn main() {
         table.write_csv(out).expect("write CSV");
         println!("wrote {out}");
     }
+    emit_if_requested(&args, &set);
     println!(
         "Paper's shape: GoldFinger wins on every dataset (gains up to ~79% for Brute Force), \
          with quality losses from negligible to ~0.2; LSH on sparse datasets (AM/DBLP/GW) \

@@ -12,17 +12,23 @@
 //! cargo run --release -p goldfinger-bench --bin exp_table5
 //! ```
 
-use goldfinger_bench::workloads::build_dataset;
-use goldfinger_bench::{dispatch, AlgoKind, Args, ExperimentConfig, Table};
+use goldfinger_bench::jsonreport::{report_for, traffic_of};
+use goldfinger_bench::workloads::{build_dataset, dispatch_observed};
+use goldfinger_bench::{
+    emit_if_requested, AlgoKind, Args, ExperimentConfig, ProviderKind, RunOutcome, Table,
+};
 use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
 use goldfinger_datasets::synth::SynthConfig;
 use goldfinger_knn::instrument::CountingSimilarity;
+use goldfinger_obs::{RecordingObserver, ReportSet};
+use std::time::Duration;
 
 fn main() {
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
     let data = build_dataset(&cfg, SynthConfig::ml10m());
     let profiles = data.profiles();
+    let mut set = ReportSet::new("table5");
     println!(
         "dataset: {} ({} users, mean profile {:.1})\n",
         data.name(),
@@ -46,12 +52,14 @@ fn main() {
     for kind in AlgoKind::all() {
         let native = ExplicitJaccard::new(profiles);
         let counted_nat = CountingSimilarity::new(&native);
-        let _ = dispatch(&cfg, kind, profiles, &counted_nat);
+        let obs_nat = RecordingObserver::new();
+        let result_nat = dispatch_observed(&cfg, kind, profiles, &counted_nat, &obs_nat);
         let t_nat = counted_nat.traffic();
 
         let gf = ShfJaccard::new(&store);
         let counted_gf = CountingSimilarity::new(&gf);
-        let _ = dispatch(&cfg, kind, profiles, &counted_gf);
+        let obs_gf = RecordingObserver::new();
+        let result_gf = dispatch_observed(&cfg, kind, profiles, &counted_gf, &obs_gf);
         let mut t_gf = counted_gf.traffic();
 
         // LSH reads every explicit profile once per table to build its
@@ -62,6 +70,19 @@ fn main() {
             let bucket_bytes = 10 * profiles.n_associations() as u64 * 4;
             t_nat.bytes += bucket_bytes;
             t_gf.bytes += bucket_bytes;
+        }
+
+        for (provider, result, obs, traffic) in [
+            (ProviderKind::Native, result_nat, &obs_nat, t_nat),
+            (ProviderKind::GoldFinger(cfg.bits), result_gf, &obs_gf, t_gf),
+        ] {
+            let out = RunOutcome {
+                result,
+                prep: Duration::ZERO,
+            };
+            let mut report = report_for("table5", &cfg, kind, &data, provider, &out, obs);
+            report.traffic = Some(traffic_of(&traffic));
+            set.runs.push(report);
         }
 
         let gain = if t_nat.bytes == 0 {
@@ -83,6 +104,7 @@ fn main() {
         table.write_csv(out).expect("write CSV");
         println!("wrote {out}");
     }
+    emit_if_requested(&args, &set);
     println!(
         "Paper's shape: GoldFinger cuts similarity-path traffic by ~70–88% for Brute Force / \
          Hyrec / NNDescent; LSH's totals stay comparable because its cost is dominated by \

@@ -1,0 +1,194 @@
+//! Machine-readable output for the experiment binaries.
+//!
+//! Every `exp_*` binary accepts `--json PATH`; when given, the experiment
+//! re-runs its measurements through a [`RecordingObserver`] and writes a
+//! [`ReportSet`] (schema [`goldfinger_obs::SCHEMA`]) to that path. The
+//! helpers here turn observed runs into [`RunReport`]s and handle the file
+//! I/O; `exp_all` uses [`merge_report_files`] to aggregate every
+//! per-experiment file into one `bench.json`.
+
+use crate::args::Args;
+use crate::workloads::{run_observed, AlgoKind, ExperimentConfig, ProviderKind, RunOutcome};
+use goldfinger_datasets::model::BinaryDataset;
+use goldfinger_knn::instrument::MemoryTraffic;
+use goldfinger_obs::{Json, RecordingObserver, ReportSet, RunReport, Traffic};
+use std::path::Path;
+
+/// Runs one `(algorithm, provider)` combination under a recording observer
+/// and packages the trace as a [`RunReport`].
+pub fn observed_run(
+    experiment: &str,
+    cfg: &ExperimentConfig,
+    kind: AlgoKind,
+    data: &BinaryDataset,
+    provider: ProviderKind,
+) -> (RunOutcome, RunReport) {
+    let obs = RecordingObserver::new();
+    let out = run_observed(cfg, kind, data, provider, &obs);
+    let report = report_for(experiment, cfg, kind, data, provider, &out, &obs);
+    (out, report)
+}
+
+/// Builds the [`RunReport`] for an already-observed run.
+pub fn report_for(
+    experiment: &str,
+    cfg: &ExperimentConfig,
+    kind: AlgoKind,
+    data: &BinaryDataset,
+    provider: ProviderKind,
+    out: &RunOutcome,
+    obs: &RecordingObserver,
+) -> RunReport {
+    let stats = &out.result.stats;
+    RunReport {
+        experiment: experiment.to_string(),
+        dataset: data.name().to_string(),
+        algo: kind.name().to_string(),
+        provider: provider_name(provider).to_string(),
+        n_users: data.n_users() as u64,
+        k: cfg.k as u64,
+        bits: match provider {
+            ProviderKind::Native => 0,
+            ProviderKind::GoldFinger(bits) => bits as u64,
+        },
+        seed: cfg.seed,
+        phases: obs.phases(),
+        iterations: obs.iterations(),
+        similarity_evals: stats.similarity_evals,
+        pruned_evals: stats.pruned_evals,
+        n_iterations: stats.iterations as u64,
+        wall: stats.wall,
+        prep_wall: stats.prep_wall,
+        traffic: None,
+        extra: Vec::new(),
+    }
+}
+
+/// The report-schema name of a provider.
+pub fn provider_name(provider: ProviderKind) -> &'static str {
+    match provider {
+        ProviderKind::Native => "native",
+        ProviderKind::GoldFinger(_) => "goldfinger",
+    }
+}
+
+/// Converts `goldfinger-knn`'s measured traffic into the report type.
+pub fn traffic_of(t: &MemoryTraffic) -> Traffic {
+    Traffic {
+        calls: t.calls,
+        bytes: t.bytes,
+    }
+}
+
+/// Writes a report set (pretty-printed, trailing newline) to `path`,
+/// creating parent directories.
+pub fn write_report(path: &Path, set: &ReportSet) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut text = set.to_json().pretty();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+/// Reads and validates a report set from `path`.
+pub fn read_report(path: &Path) -> Result<ReportSet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    ReportSet::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Honours `--json PATH`: validates the set, writes it, and reports the
+/// destination on stdout. Does nothing when the flag is absent. Panics on
+/// an invalid set or unwritable path — an experiment that cannot emit the
+/// report it was asked for should fail loudly, not silently.
+pub fn emit_if_requested(args: &Args, set: &ReportSet) {
+    let Some(path) = args.get("json") else {
+        return;
+    };
+    set.validate()
+        .unwrap_or_else(|e| panic!("refusing to write inconsistent report: {e}"));
+    write_report(Path::new(path), set)
+        .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+    println!("report: wrote {} run(s) to {path}", set.runs.len());
+}
+
+/// Merges the report files that exist among `paths` into one `"all"` set.
+/// Missing files are skipped (an experiment may have failed); malformed
+/// files are errors.
+pub fn merge_report_files(paths: &[std::path::PathBuf]) -> Result<ReportSet, String> {
+    let mut all = ReportSet::new("all");
+    for path in paths {
+        if !path.exists() {
+            continue;
+        }
+        let set = read_report(path)?;
+        all.runs.extend(set.runs);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::build_dataset;
+    use goldfinger_datasets::synth::SynthConfig;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            target_users: 120,
+            k: 4,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn observed_run_produces_a_consistent_report() {
+        let cfg = tiny_cfg();
+        let data = build_dataset(&cfg, SynthConfig::ml1m());
+        for kind in [AlgoKind::BruteForce, AlgoKind::NNDescent, AlgoKind::Lsh] {
+            let (out, report) =
+                observed_run("test", &cfg, kind, &data, ProviderKind::GoldFinger(256));
+            assert_eq!(report.similarity_evals, out.result.stats.similarity_evals);
+            assert!(report.trace_consistent(), "{kind:?} trace inconsistent");
+            assert_eq!(report.provider, "goldfinger");
+            assert_eq!(report.bits, 256);
+            assert!(report.prep_wall > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_through_files() {
+        let cfg = tiny_cfg();
+        let data = build_dataset(&cfg, SynthConfig::ml1m());
+        let (_, report) = observed_run(
+            "test",
+            &cfg,
+            AlgoKind::BruteForce,
+            &data,
+            ProviderKind::Native,
+        );
+        let mut set = ReportSet::new("test");
+        set.runs.push(report);
+
+        let dir = std::env::temp_dir().join("goldfinger-jsonreport-test");
+        let path = dir.join("nested").join("test.json");
+        write_report(&path, &set).unwrap();
+        let back = read_report(&path).unwrap();
+        assert_eq!(back, set);
+
+        let merged = merge_report_files(&[path.clone(), dir.join("missing.json")]).unwrap();
+        assert_eq!(merged.experiment, "all");
+        assert_eq!(merged.runs, set.runs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn emit_is_a_no_op_without_the_flag() {
+        let args = Args::parse(std::iter::empty());
+        // Would panic on this empty (invalid) set if it tried to write.
+        emit_if_requested(&args, &ReportSet::new("x"));
+    }
+}

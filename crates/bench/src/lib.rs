@@ -5,7 +5,7 @@
 //! table/CSV emission, dataset assembly, algorithm dispatch); each
 //! `src/bin/exp_*.rs` binary reproduces one table or figure, and
 //! `benches/*.rs` hosts the Criterion micro-benchmarks (Figures 1 and 9,
-//! Tables 1 and 3, plus the design ablations of DESIGN.md §7).
+//! Tables 1 and 3, plus the design ablations of DESIGN.md §9).
 //!
 //! Run e.g.:
 //!
@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod jsonreport;
 pub mod report;
 pub mod workloads;
 
 pub use args::Args;
+pub use jsonreport::{emit_if_requested, merge_report_files, observed_run, read_report};
 pub use report::{fmt_duration, gain_percent, Table};
 pub use workloads::{
-    build_dataset, build_datasets, dispatch, fingerprint, run, AlgoKind, ExperimentConfig,
-    ProviderKind, RunOutcome,
+    build_dataset, build_datasets, dispatch, dispatch_observed, fingerprint, run, run_observed,
+    AlgoKind, ExperimentConfig, ProviderKind, RunOutcome,
 };

@@ -14,7 +14,8 @@ use goldfinger_knn::hyrec::Hyrec;
 use goldfinger_knn::kiff::Kiff;
 use goldfinger_knn::lsh::Lsh;
 use goldfinger_knn::nndescent::NNDescent;
-use std::time::{Duration, Instant};
+use goldfinger_obs::{BuildObserver, NoopObserver, Phase, SpanSet};
+use std::time::Duration;
 
 /// The four KNN construction algorithms of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,15 +164,17 @@ pub struct RunOutcome {
     pub prep: Duration,
 }
 
-/// Fingerprints a profile store, timing the preparation.
+/// Fingerprints a profile store, timing the preparation through the span
+/// API ([`Phase::Fingerprinting`]).
 pub fn fingerprint(
     cfg: &ExperimentConfig,
     bits: u32,
     profiles: &ProfileStore,
 ) -> (ShfStore, Duration) {
-    let t0 = Instant::now();
+    let spans = SpanSet::new();
+    let span = spans.span(Phase::Fingerprinting);
     let store = cfg.shf_params(bits).fingerprint_store(profiles);
-    (store, t0.elapsed())
+    (store, span.stop())
 }
 
 /// Runs one `(algorithm, provider)` combination.
@@ -181,24 +184,40 @@ pub fn run(
     data: &BinaryDataset,
     provider: ProviderKind,
 ) -> RunOutcome {
+    run_observed(cfg, kind, data, provider, &NoopObserver)
+}
+
+/// Runs one `(algorithm, provider)` combination, reporting per-iteration
+/// events and phase spans (fingerprinting included) to `obs`. The
+/// preparation time lands both in [`RunOutcome::prep`] and in
+/// `BuildStats::prep_wall`.
+pub fn run_observed<O: BuildObserver>(
+    cfg: &ExperimentConfig,
+    kind: AlgoKind,
+    data: &BinaryDataset,
+    provider: ProviderKind,
+    obs: &O,
+) -> RunOutcome {
     let profiles = data.profiles();
-    match provider {
+    let (mut result, prep) = match provider {
         ProviderKind::Native => {
             let sim = ExplicitJaccard::new(profiles);
-            RunOutcome {
-                result: dispatch(cfg, kind, profiles, &sim),
-                prep: Duration::ZERO,
-            }
+            (
+                dispatch_observed(cfg, kind, profiles, &sim, obs),
+                Duration::ZERO,
+            )
         }
         ProviderKind::GoldFinger(bits) => {
             let (store, prep) = fingerprint(cfg, bits, profiles);
-            let sim = ShfJaccard::new(&store);
-            RunOutcome {
-                result: dispatch(cfg, kind, profiles, &sim),
-                prep,
+            if O::ENABLED {
+                obs.on_span(Phase::Fingerprinting, prep);
             }
+            let sim = ShfJaccard::new(&store);
+            (dispatch_observed(cfg, kind, profiles, &sim, obs), prep)
         }
-    }
+    };
+    result.stats.prep_wall = prep;
+    RunOutcome { result, prep }
 }
 
 /// Dispatches to the concrete algorithm with the paper's parameters
@@ -209,19 +228,31 @@ pub fn dispatch<S: Similarity>(
     profiles: &ProfileStore,
     sim: &S,
 ) -> KnnResult {
+    dispatch_observed(cfg, kind, profiles, sim, &NoopObserver)
+}
+
+/// [`dispatch`] with a build observer attached. KIFF (not part of the
+/// paper's evaluation) has no observed variant and emits no trace.
+pub fn dispatch_observed<S: Similarity, O: BuildObserver>(
+    cfg: &ExperimentConfig,
+    kind: AlgoKind,
+    profiles: &ProfileStore,
+    sim: &S,
+    obs: &O,
+) -> KnnResult {
     match kind {
         AlgoKind::BruteForce => BruteForce {
             threads: 1,
             ..BruteForce::default()
         }
-        .build(sim, cfg.k),
+        .build_observed(sim, cfg.k, obs),
         AlgoKind::Hyrec => Hyrec {
             delta: 0.001,
             max_iterations: 30,
             seed: cfg.seed,
             ..Hyrec::default()
         }
-        .build(sim, cfg.k),
+        .build_observed(sim, cfg.k, obs),
         AlgoKind::NNDescent => NNDescent {
             delta: 0.001,
             max_iterations: 30,
@@ -229,12 +260,12 @@ pub fn dispatch<S: Similarity>(
             seed: cfg.seed,
             ..NNDescent::default()
         }
-        .build(sim, cfg.k),
+        .build_observed(sim, cfg.k, obs),
         AlgoKind::Lsh => Lsh {
             tables: 10,
             seed: cfg.seed,
         }
-        .build(profiles, sim, cfg.k),
+        .build_observed(profiles, sim, cfg.k, obs),
         AlgoKind::Kiff => Kiff::default().build(profiles, sim, cfg.k),
     }
 }
@@ -284,6 +315,7 @@ mod tests {
                 assert_eq!(out.result.graph.n_users(), data.n_users());
                 let q = quality(&out.result.graph, &exact.result.graph, &native_sim);
                 assert!(q > 0.5, "{} / {:?}: quality {q}", kind.name(), provider);
+                assert_eq!(out.result.stats.prep_wall, out.prep);
                 if let ProviderKind::GoldFinger(_) = provider {
                     assert!(out.prep > Duration::ZERO);
                 }

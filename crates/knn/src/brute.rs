@@ -13,7 +13,8 @@ use crate::graph::{BuildStats, KnnGraph, KnnResult};
 use goldfinger_core::parallel::par_fold_dynamic;
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::TopK;
-use std::time::Instant;
+use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
+use std::time::{Duration, Instant};
 
 /// Default tile edge in users: two tiles of 128 fingerprints at the paper's
 /// 1024-bit width are 32 KiB — both sides of a cell fit in L1/L2.
@@ -58,6 +59,23 @@ impl BruteForce {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn build<S: Similarity + ?Sized>(&self, sim: &S, k: usize) -> KnnResult {
+        self.build_observed(sim, k, &NoopObserver)
+    }
+
+    /// Builds the exact KNN graph, reporting progress to `obs`: one span for
+    /// the pair scan ([`Phase::Join`]), one for the deterministic reduction
+    /// ([`Phase::Merge`]), and a single [`IterationEvent`] with the final
+    /// counters. Observation never changes the output; with the default
+    /// [`NoopObserver`] the hooks compile to nothing.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn build_observed<S: Similarity + ?Sized, O: BuildObserver>(
+        &self,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
         assert!(k > 0, "k must be positive");
         let n = sim.n_users();
         let start = Instant::now();
@@ -77,6 +95,7 @@ impl BruteForce {
             }
         }
         let prune = self.prune;
+        let scan_start = O::ENABLED.then(Instant::now);
         let mut states = par_fold_dynamic(
             cells.len(),
             self.threads,
@@ -122,10 +141,14 @@ impl BruteForce {
                 }
             },
         );
+        if let Some(t) = scan_start {
+            obs.on_span(Phase::Join, t.elapsed());
+        }
         // Deterministic reduction: fold every worker's partials into the
         // first state. The kept set of a `TopK` does not depend on insertion
         // order, so the merge result is independent of how cells were
         // distributed across threads.
+        let merge_start = O::ENABLED.then(Instant::now);
         let mut merged = states.remove(0);
         for state in states {
             merged.evals += state.evals;
@@ -137,13 +160,28 @@ impl BruteForce {
             }
         }
         let neighbors: Vec<_> = merged.tops.into_iter().map(TopK::into_sorted).collect();
+        let wall = start.elapsed();
+        if O::ENABLED {
+            if let Some(t) = merge_start {
+                obs.on_span(Phase::Merge, t.elapsed());
+            }
+            obs.on_iteration(IterationEvent {
+                iteration: 1,
+                similarity_evals: merged.evals,
+                pruned_evals: merged.pruned,
+                updates: 0,
+                threshold: 0.0,
+                wall,
+            });
+        }
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
                 similarity_evals: merged.evals,
                 pruned_evals: merged.pruned,
                 iterations: 1,
-                wall: start.elapsed(),
+                wall,
+                prep_wall: Duration::ZERO,
             },
         }
     }

@@ -94,6 +94,12 @@ pub struct BuildStats {
     /// Wall-clock construction time (excludes dataset preparation, as in
     /// the paper).
     pub wall: Duration,
+    /// Wall-clock preparation time of the similarity representation the
+    /// build ran on (fingerprinting for GoldFinger runs; zero for native
+    /// runs, whose representation is a zero-cost borrow). The paper reports
+    /// preparation separately from construction (Table 3); builders always
+    /// leave this at zero and the harness fills it in.
+    pub prep_wall: Duration,
 }
 
 impl BuildStats {

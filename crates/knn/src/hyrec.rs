@@ -10,9 +10,10 @@
 use crate::graph::{BuildStats, KnnGraph, KnnResult};
 use crate::neighborlist::{random_lists, NeighborList};
 use goldfinger_core::similarity::Similarity;
+use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Hyrec parameters. Defaults follow the paper's evaluation (§3.3):
 /// `δ = 0.001`, at most 30 iterations.
@@ -48,8 +49,26 @@ impl Hyrec {
     /// # Panics
     /// Panics if `k == 0` or `delta` is negative.
     pub fn build<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+        self.build_observed(sim, k, &NoopObserver)
+    }
+
+    /// Builds the graph, reporting progress to `obs`: an [`IterationEvent`]
+    /// per refinement round (iteration 0 covers the random-graph seeding)
+    /// carrying the evaluations performed, the neighbour-list updates and
+    /// the `δ·k·n` termination threshold, plus spans for the snapshot and
+    /// candidate-scan phases. Observation never changes the output; with
+    /// the default [`NoopObserver`] the hooks compile to nothing.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `delta` is negative.
+    pub fn build_observed<S: Similarity, O: BuildObserver>(
+        &self,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
         if self.threads > 1 {
-            return self.build_parallel(sim, k);
+            return self.build_parallel(sim, k, obs);
         }
         assert!(k > 0, "k must be positive");
         assert!(self.delta >= 0.0, "delta must be non-negative");
@@ -58,6 +77,16 @@ impl Hyrec {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut evals = 0u64;
         let mut lists = random_lists(sim, k, &mut rng, &mut evals);
+        if O::ENABLED {
+            obs.on_iteration(IterationEvent {
+                iteration: 0,
+                similarity_evals: evals,
+                pruned_evals: 0,
+                updates: 0,
+                threshold: 0.0,
+                wall: start.elapsed(),
+            });
+        }
         let mut iterations = 0u32;
 
         // Visited stamps avoid repeated similarity computations within one
@@ -67,11 +96,17 @@ impl Hyrec {
 
         while iterations < self.max_iterations {
             iterations += 1;
+            let iter_start = O::ENABLED.then(Instant::now);
+            let evals_before = evals;
             let mut updates = 0u64;
 
             // Snapshot the neighbour ids: Hyrec explores the graph as it
             // stood at the start of the iteration.
             let snapshot: Vec<Vec<u32>> = lists.iter().map(|l| l.users().collect()).collect();
+            if let Some(t) = iter_start {
+                obs.on_span(Phase::CandidateGeneration, t.elapsed());
+            }
+            let scan_start = O::ENABLED.then(Instant::now);
 
             for u in 0..n {
                 round += 1;
@@ -98,12 +133,29 @@ impl Hyrec {
                 }
             }
 
+            if O::ENABLED {
+                if let Some(t) = scan_start {
+                    obs.on_span(Phase::Join, t.elapsed());
+                }
+                obs.on_iteration(IterationEvent {
+                    iteration: iterations,
+                    similarity_evals: evals - evals_before,
+                    pruned_evals: 0,
+                    updates,
+                    threshold: self.delta * k as f64 * n as f64,
+                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
+                });
+            }
             if (updates as f64) < self.delta * k as f64 * n as f64 {
                 break;
             }
         }
 
+        let merge_start = O::ENABLED.then(Instant::now);
         let neighbors = lists.iter().map(NeighborList::to_sorted).collect();
+        if let Some(t) = merge_start {
+            obs.on_span(Phase::Merge, t.elapsed());
+        }
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
@@ -111,6 +163,7 @@ impl Hyrec {
                 pruned_evals: 0,
                 iterations,
                 wall: start.elapsed(),
+                prep_wall: Duration::ZERO,
             },
         }
     }
@@ -120,7 +173,12 @@ impl Hyrec {
     /// nesting, no deadlock). The resulting graph is equivalent in quality
     /// but not bit-identical across runs, since update interleaving is
     /// scheduler-dependent.
-    fn build_parallel<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+    fn build_parallel<S: Similarity, O: BuildObserver>(
+        &self,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
         use goldfinger_core::parallel::par_for_each_range;
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Mutex;
@@ -134,14 +192,30 @@ impl Hyrec {
         let lists = random_lists(sim, k, &mut rng, &mut init_evals);
         let locks: Vec<Mutex<NeighborList>> = lists.into_iter().map(Mutex::new).collect();
         let evals = AtomicU64::new(init_evals);
+        if O::ENABLED {
+            obs.on_iteration(IterationEvent {
+                iteration: 0,
+                similarity_evals: init_evals,
+                pruned_evals: 0,
+                updates: 0,
+                threshold: 0.0,
+                wall: start.elapsed(),
+            });
+        }
         let mut iterations = 0u32;
 
         while iterations < self.max_iterations {
             iterations += 1;
+            let iter_start = O::ENABLED.then(Instant::now);
+            let evals_before = evals.load(Ordering::Relaxed);
             let snapshot: Vec<Vec<u32>> = locks
                 .iter()
                 .map(|l| l.lock().unwrap().users().collect())
                 .collect();
+            if let Some(t) = iter_start {
+                obs.on_span(Phase::CandidateGeneration, t.elapsed());
+            }
+            let scan_start = O::ENABLED.then(Instant::now);
             let updates = AtomicU64::new(0);
             par_for_each_range(n, self.threads, |_, lo, hi| {
                 // Per-thread visited stamps.
@@ -176,15 +250,32 @@ impl Hyrec {
                     }
                 }
             });
+            if O::ENABLED {
+                if let Some(t) = scan_start {
+                    obs.on_span(Phase::Join, t.elapsed());
+                }
+                obs.on_iteration(IterationEvent {
+                    iteration: iterations,
+                    similarity_evals: evals.load(Ordering::Relaxed) - evals_before,
+                    pruned_evals: 0,
+                    updates: updates.load(Ordering::Relaxed),
+                    threshold: self.delta * k as f64 * n as f64,
+                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
+                });
+            }
             if (updates.load(Ordering::Relaxed) as f64) < self.delta * k as f64 * n as f64 {
                 break;
             }
         }
 
+        let merge_start = O::ENABLED.then(Instant::now);
         let neighbors = locks
             .iter()
             .map(|l| l.lock().unwrap().to_sorted())
             .collect();
+        if let Some(t) = merge_start {
+            obs.on_span(Phase::Merge, t.elapsed());
+        }
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
@@ -192,6 +283,7 @@ impl Hyrec {
                 pruned_evals: 0,
                 iterations,
                 wall: start.elapsed(),
+                prep_wall: Duration::ZERO,
             },
         }
     }

@@ -140,6 +140,7 @@ impl Kiff {
                 pruned_evals: 0,
                 iterations: 1,
                 wall: start.elapsed(),
+                ..BuildStats::default()
             },
         }
     }

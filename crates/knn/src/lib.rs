@@ -47,8 +47,11 @@ pub mod nndescent;
 pub mod serial;
 
 pub use analysis::{degree_stats, edge_overlap, in_degrees, reverse_graph, DegreeStats};
+// Observability: every builder also has a `build_observed` variant taking a
+// `BuildObserver` (re-exported from `goldfinger-obs` for convenience).
 pub use brute::BruteForce;
 pub use dynamic::DynamicKnn;
+pub use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, RecordingObserver};
 pub use graph::{BuildStats, KnnGraph, KnnResult};
 pub use hyrec::Hyrec;
 pub use instrument::{CountingSimilarity, MemoryTraffic};

@@ -17,8 +17,9 @@ use goldfinger_core::hash::splitmix64_mix;
 use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::TopK;
+use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// LSH parameters. The paper uses 10 hash functions (§3.3).
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +50,25 @@ impl Lsh {
     /// Panics if `k == 0`, `tables == 0`, or the provider's population
     /// differs from the profile store's.
     pub fn build<S: Similarity>(&self, profiles: &ProfileStore, sim: &S, k: usize) -> KnnResult {
+        self.build_observed(profiles, sim, k, &NoopObserver)
+    }
+
+    /// Builds the graph, reporting progress to `obs`: one span for the
+    /// GoldFinger-immune bucket construction
+    /// ([`Phase::CandidateGeneration`]), one for the in-bucket scans
+    /// ([`Phase::Join`]), and a single [`IterationEvent`] with the final
+    /// counters. Observation never changes the output; with the default
+    /// [`NoopObserver`] the hooks compile to nothing.
+    ///
+    /// # Panics
+    /// Same contract as [`Lsh::build`].
+    pub fn build_observed<S: Similarity, O: BuildObserver>(
+        &self,
+        profiles: &ProfileStore,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
         assert!(k > 0, "k must be positive");
         assert!(self.tables > 0, "need at least one hash table");
         assert_eq!(
@@ -60,6 +80,7 @@ impl Lsh {
         let start = Instant::now();
 
         // Bucketing: the expensive, GoldFinger-immune phase.
+        let bucket_start = O::ENABLED.then(Instant::now);
         let mut tables: Vec<HashMap<u64, Vec<u32>>> = Vec::with_capacity(self.tables);
         for t in 0..self.tables {
             let table_seed = splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
@@ -78,7 +99,12 @@ impl Lsh {
             tables.push(buckets);
         }
 
+        if let Some(t) = bucket_start {
+            obs.on_span(Phase::CandidateGeneration, t.elapsed());
+        }
+
         // Candidate scan: same-bucket users, deduplicated with stamps.
+        let scan_start = O::ENABLED.then(Instant::now);
         let mut evals = 0u64;
         let mut stamp = vec![0u32; n];
         let mut round = 0u32;
@@ -108,6 +134,20 @@ impl Lsh {
             }
             neighbors.push(top.into_sorted());
         }
+        let wall = start.elapsed();
+        if O::ENABLED {
+            if let Some(t) = scan_start {
+                obs.on_span(Phase::Join, t.elapsed());
+            }
+            obs.on_iteration(IterationEvent {
+                iteration: 1,
+                similarity_evals: evals,
+                pruned_evals: 0,
+                updates: 0,
+                threshold: 0.0,
+                wall,
+            });
+        }
 
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
@@ -115,7 +155,8 @@ impl Lsh {
                 similarity_evals: evals,
                 pruned_evals: 0,
                 iterations: 1,
-                wall: start.elapsed(),
+                wall,
+                prep_wall: Duration::ZERO,
             },
         }
     }

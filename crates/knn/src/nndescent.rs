@@ -10,10 +10,11 @@
 use crate::graph::{BuildStats, KnnGraph, KnnResult};
 use crate::neighborlist::{random_lists, NeighborList};
 use goldfinger_core::similarity::Similarity;
+use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// NNDescent parameters. Defaults follow the paper's evaluation (§3.3):
 /// `δ = 0.001`, at most 30 iterations, full sampling.
@@ -54,8 +55,27 @@ impl NNDescent {
     /// # Panics
     /// Panics if `k == 0` or the parameters are out of range.
     pub fn build<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+        self.build_observed(sim, k, &NoopObserver)
+    }
+
+    /// Builds the graph, reporting progress to `obs`: an [`IterationEvent`]
+    /// per refinement round (iteration 0 covers the random-graph seeding)
+    /// carrying the evaluations performed, the neighbour-list updates and
+    /// the `δ·k·n` termination threshold they were compared against, plus
+    /// spans for the candidate-sampling and local-join phases. Observation
+    /// never changes the output; with the default [`NoopObserver`] the
+    /// hooks compile to nothing.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the parameters are out of range.
+    pub fn build_observed<S: Similarity, O: BuildObserver>(
+        &self,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
         if self.threads > 1 {
-            return self.build_parallel(sim, k);
+            return self.build_parallel(sim, k, obs);
         }
         assert!(k > 0, "k must be positive");
         assert!(self.delta >= 0.0, "delta must be non-negative");
@@ -68,11 +88,23 @@ impl NNDescent {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut evals = 0u64;
         let mut lists = random_lists(sim, k, &mut rng, &mut evals);
+        if O::ENABLED {
+            obs.on_iteration(IterationEvent {
+                iteration: 0,
+                similarity_evals: evals,
+                pruned_evals: 0,
+                updates: 0,
+                threshold: 0.0,
+                wall: start.elapsed(),
+            });
+        }
         let sample_cap = ((k as f64 * self.sample_rate).ceil() as usize).max(1);
         let mut iterations = 0u32;
 
         while iterations < self.max_iterations {
             iterations += 1;
+            let iter_start = O::ENABLED.then(Instant::now);
+            let evals_before = evals;
 
             // Phase 1: split each list into sampled-new and old, flag the
             // sampled entries as no-longer-new (they join this round).
@@ -117,6 +149,10 @@ impl NNDescent {
             }
 
             // Phase 3: local joins.
+            if let Some(t) = iter_start {
+                obs.on_span(Phase::CandidateGeneration, t.elapsed());
+            }
+            let join_start = O::ENABLED.then(Instant::now);
             let mut updates = 0u64;
             for u in 0..n {
                 let mut new_set = new_fwd[u].clone();
@@ -155,12 +191,29 @@ impl NNDescent {
                 }
             }
 
+            if O::ENABLED {
+                if let Some(t) = join_start {
+                    obs.on_span(Phase::Join, t.elapsed());
+                }
+                obs.on_iteration(IterationEvent {
+                    iteration: iterations,
+                    similarity_evals: evals - evals_before,
+                    pruned_evals: 0,
+                    updates,
+                    threshold: self.delta * k as f64 * n as f64,
+                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
+                });
+            }
             if (updates as f64) < self.delta * k as f64 * n as f64 {
                 break;
             }
         }
 
+        let merge_start = O::ENABLED.then(Instant::now);
         let neighbors = lists.iter().map(NeighborList::to_sorted).collect();
+        if let Some(t) = merge_start {
+            obs.on_span(Phase::Merge, t.elapsed());
+        }
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
@@ -168,6 +221,7 @@ impl NNDescent {
                 pruned_evals: 0,
                 iterations,
                 wall: start.elapsed(),
+                prep_wall: Duration::ZERO,
             },
         }
     }
@@ -176,7 +230,12 @@ impl NNDescent {
     /// sequential and seeded; the local-join phase runs across threads with
     /// per-node locks (one at a time — no deadlock). Quality-equivalent but
     /// not bit-identical across runs.
-    fn build_parallel<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+    fn build_parallel<S: Similarity, O: BuildObserver>(
+        &self,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
         use goldfinger_core::parallel::par_for_each_range;
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Mutex;
@@ -194,11 +253,23 @@ impl NNDescent {
         let lists = random_lists(sim, k, &mut rng, &mut init_evals);
         let locks: Vec<Mutex<NeighborList>> = lists.into_iter().map(Mutex::new).collect();
         let evals = AtomicU64::new(init_evals);
+        if O::ENABLED {
+            obs.on_iteration(IterationEvent {
+                iteration: 0,
+                similarity_evals: init_evals,
+                pruned_evals: 0,
+                updates: 0,
+                threshold: 0.0,
+                wall: start.elapsed(),
+            });
+        }
         let sample_cap = ((k as f64 * self.sample_rate).ceil() as usize).max(1);
         let mut iterations = 0u32;
 
         while iterations < self.max_iterations {
             iterations += 1;
+            let iter_start = O::ENABLED.then(Instant::now);
+            let evals_before = evals.load(Ordering::Relaxed);
 
             // Phases 1–2 (sequential): flag sampling + reverse lists.
             let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -260,6 +331,10 @@ impl NNDescent {
             }
 
             // Phase 3 (parallel): local joins with per-node locks.
+            if let Some(t) = iter_start {
+                obs.on_span(Phase::CandidateGeneration, t.elapsed());
+            }
+            let join_start = O::ENABLED.then(Instant::now);
             let updates = AtomicU64::new(0);
             par_for_each_range(n, self.threads, |_, lo, hi| {
                 let join = |a: u32, b: u32| {
@@ -293,15 +368,32 @@ impl NNDescent {
                     }
                 }
             });
+            if O::ENABLED {
+                if let Some(t) = join_start {
+                    obs.on_span(Phase::Join, t.elapsed());
+                }
+                obs.on_iteration(IterationEvent {
+                    iteration: iterations,
+                    similarity_evals: evals.load(Ordering::Relaxed) - evals_before,
+                    pruned_evals: 0,
+                    updates: updates.load(Ordering::Relaxed),
+                    threshold: self.delta * k as f64 * n as f64,
+                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
+                });
+            }
             if (updates.load(Ordering::Relaxed) as f64) < self.delta * k as f64 * n as f64 {
                 break;
             }
         }
 
+        let merge_start = O::ENABLED.then(Instant::now);
         let neighbors = locks
             .iter()
             .map(|l| l.lock().unwrap().to_sorted())
             .collect();
+        if let Some(t) = merge_start {
+            obs.on_span(Phase::Merge, t.elapsed());
+        }
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
@@ -309,6 +401,7 @@ impl NNDescent {
                 pruned_evals: 0,
                 iterations,
                 wall: start.elapsed(),
+                prep_wall: Duration::ZERO,
             },
         }
     }

@@ -1,0 +1,47 @@
+//! # goldfinger-obs
+//!
+//! Dependency-free observability for the GoldFinger workspace (the build
+//! container is offline, so `tracing` and `serde` are hand-rolled here in
+//! miniature):
+//!
+//! - [`metrics`] — a registry of relaxed-atomic counters, gauges and
+//!   log2-bucket duration histograms;
+//! - [`span`] — RAII phase timers ([`SpanSet`]/[`Span`]) that aggregate
+//!   wall time across threads for the paper's cost phases (preparation vs
+//!   construction, Table 3/4);
+//! - [`observer`] — the [`BuildObserver`] contract the KNN builders emit
+//!   per-iteration convergence events through (Figs. 10/12), with a no-op
+//!   default that compiles to nothing;
+//! - [`json`] — a minimal JSON value, writer and parser;
+//! - [`report`] — the [`RunReport`]/[`ReportSet`] schema behind
+//!   `--json PATH` and `results/bench.json`.
+//!
+//! ```
+//! use goldfinger_obs::{Phase, RecordingObserver, BuildObserver, SpanSet};
+//! use std::time::Duration;
+//!
+//! let spans = SpanSet::new();
+//! {
+//!     let _guard = spans.span(Phase::Fingerprinting);
+//!     // ... work ...
+//! }
+//! assert_eq!(spans.entries(Phase::Fingerprinting), 1);
+//!
+//! let rec = RecordingObserver::new();
+//! rec.on_span(Phase::Join, Duration::from_millis(2));
+//! assert_eq!(rec.phases().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod report;
+pub mod span;
+
+pub use json::{Json, JsonError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use observer::{BuildObserver, IterationEvent, NoopObserver, RecordingObserver};
+pub use report::{ReportSet, RunReport, Traffic, SCHEMA};
+pub use span::{Phase, PhaseSpan, Span, SpanSet};

@@ -1,0 +1,322 @@
+//! A small metrics registry: relaxed-atomic counters and gauges plus
+//! log2-bucket duration histograms.
+//!
+//! No global state — callers own a [`Registry`] and hand out the `Arc`ed
+//! instruments to whatever needs them. Counter updates are single relaxed
+//! atomic adds, so instruments are safe (and cheap) to touch from worker
+//! threads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` (for `i > 0`) holds durations
+/// whose nanosecond count has `i` significant bits, i.e. `[2^(i-1), 2^i)`;
+/// bucket 0 holds zero-length observations. 64 bits of nanoseconds cover
+/// every representable `Duration` this registry will ever see.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Duration histogram with logarithmic (power-of-two nanosecond) buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(nanos: u64) -> usize {
+        (u64::BITS - nanos.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, wall: Duration) {
+        let nanos = wall.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            Duration::ZERO
+        } else {
+            self.sum() / count as u32
+        }
+    }
+
+    /// Upper bound of the bucket at which the cumulative count reaches
+    /// quantile `q ∈ [0, 1]` — a conservative estimate within a factor of 2.
+    pub fn quantile_upper_bound(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                let upper = if i == 0 { 0 } else { 1u64 << i.min(63) };
+                return Duration::from_nanos(upper);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)`; bucket `i > 0` covers
+    /// nanosecond values in `[2^(i-1), 2^i)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time dump of every instrument in a [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// One histogram's summary inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: Duration,
+    /// Non-empty buckets as `(bucket_index, count)`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Named-instrument registry. Lookup takes a lock; the returned `Arc`
+/// updates lock-free, so fetch instruments once outside hot loops.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Dumps every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| HistogramSnapshot {
+                    name: k.clone(),
+                    count: v.count(),
+                    sum: v.sum(),
+                    buckets: v.nonzero_buckets(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("evals");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("evals").get(), 5); // same instrument
+        let g = reg.gauge("queue");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::default();
+        h.observe(Duration::ZERO); // bucket 0
+        h.observe(Duration::from_nanos(1)); // bucket 1: [1, 2)
+        h.observe(Duration::from_nanos(1)); // bucket 1 again
+        h.observe(Duration::from_nanos(1000)); // bucket 10: [512, 1024)
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), Duration::from_nanos(1002));
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (10, 1)]);
+        // Median falls into bucket 1, upper bound 2 ns.
+        assert_eq!(h.quantile_upper_bound(0.5), Duration::from_nanos(2));
+        assert_eq!(h.quantile_upper_bound(1.0), Duration::from_nanos(1024));
+    }
+
+    #[test]
+    fn histogram_mean_and_empty_quantile() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile_upper_bound(0.9), Duration::ZERO);
+        h.observe(Duration::from_micros(2));
+        h.observe(Duration::from_micros(4));
+        assert_eq!(h.mean(), Duration::from_micros(3));
+    }
+
+    #[test]
+    fn concurrent_updates_are_exact() {
+        let reg = Registry::new();
+        let c = reg.counter("hits");
+        let h = reg.histogram("lat");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(Duration::from_nanos(100));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.gauge("g").set(-1);
+        reg.histogram("h").observe(Duration::from_nanos(3));
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+        assert_eq!(snap.gauges, vec![("g".to_string(), -1)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].name, "h");
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! The build-observer contract: per-iteration events and phase spans
+//! emitted by the KNN builders.
+//!
+//! Builders are generic over `O: BuildObserver` and call the hooks at
+//! iteration granularity — never per similarity evaluation — so observation
+//! costs nothing on the hot path. [`NoopObserver`] additionally sets
+//! [`BuildObserver::ENABLED`] to `false`, letting builders skip even the
+//! per-iteration bookkeeping (timer reads, counter snapshots) when nobody is
+//! listening: monomorphisation turns those `if O::ENABLED` guards into
+//! nothing.
+
+use crate::span::{Phase, PhaseSpan, SpanSet};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One refinement iteration of a KNN build, as reported by the builders.
+///
+/// Iteration `0` is reserved for initialisation work (random-graph seeding);
+/// one-shot algorithms emit a single event with `iteration == 1`. Summing
+/// `similarity_evals` (and `pruned_evals`) over all events of a build yields
+/// exactly the final `BuildStats` totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationEvent {
+    /// Iteration number (0 = initialisation).
+    pub iteration: u32,
+    /// Similarity evaluations performed during this iteration.
+    pub similarity_evals: u64,
+    /// Candidate pairs skipped by upper-bound pruning during this iteration.
+    pub pruned_evals: u64,
+    /// Neighbour-list updates ("changed edges") this iteration.
+    pub updates: u64,
+    /// Termination threshold the updates were compared against (`δ·k·n`;
+    /// 0 for algorithms without iterative termination).
+    pub threshold: f64,
+    /// Wall-clock time of this iteration.
+    pub wall: Duration,
+}
+
+/// Receives build-progress events from the KNN builders.
+///
+/// Contract for builders:
+/// - hooks are invoked at most once per iteration / phase section, never per
+///   candidate pair;
+/// - hooks may be called from the thread driving the build only (workers
+///   aggregate into the driving thread's counters first);
+/// - observing a build must not change its result: the graph and the final
+///   `BuildStats` counters are bit-identical whichever observer is plugged
+///   in (asserted by `crates/knn/tests/observability.rs`).
+pub trait BuildObserver: Sync {
+    /// `false` for observers that ignore every event, allowing builders to
+    /// skip the per-iteration bookkeeping entirely.
+    const ENABLED: bool = true;
+
+    /// One refinement iteration (or the single pass of a one-shot builder)
+    /// finished.
+    fn on_iteration(&self, _event: IterationEvent) {}
+
+    /// A timed phase section finished.
+    fn on_span(&self, _phase: Phase, _wall: Duration) {}
+}
+
+/// The default observer: ignores everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl BuildObserver for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// An observer that records the full per-iteration trace and phase spans,
+/// for reports and tests.
+#[derive(Default)]
+pub struct RecordingObserver {
+    iterations: Mutex<Vec<IterationEvent>>,
+    spans: SpanSet,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+
+    /// The recorded iteration events, in emission order.
+    pub fn iterations(&self) -> Vec<IterationEvent> {
+        self.iterations.lock().unwrap().clone()
+    }
+
+    /// The aggregated phase spans (non-empty phases only).
+    pub fn phases(&self) -> Vec<PhaseSpan> {
+        self.spans.snapshot()
+    }
+}
+
+impl BuildObserver for RecordingObserver {
+    fn on_iteration(&self, event: IterationEvent) {
+        self.iterations.lock().unwrap().push(event);
+    }
+
+    fn on_span(&self, phase: Phase, wall: Duration) {
+        self.spans.record(phase, wall);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_observer_keeps_order_and_spans() {
+        let rec = RecordingObserver::new();
+        rec.on_iteration(IterationEvent {
+            iteration: 0,
+            similarity_evals: 10,
+            pruned_evals: 0,
+            updates: 0,
+            threshold: 0.0,
+            wall: Duration::ZERO,
+        });
+        rec.on_iteration(IterationEvent {
+            iteration: 1,
+            similarity_evals: 5,
+            pruned_evals: 2,
+            updates: 7,
+            threshold: 1.5,
+            wall: Duration::from_millis(1),
+        });
+        rec.on_span(Phase::Join, Duration::from_millis(1));
+        let events = rec.iterations();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].iteration, 0);
+        assert_eq!(events[1].updates, 7);
+        let phases = rec.phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].phase, Phase::Join);
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        const { assert!(!NoopObserver::ENABLED) };
+        const { assert!(RecordingObserver::ENABLED) };
+    }
+}

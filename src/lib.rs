@@ -40,6 +40,7 @@ pub use goldfinger_core as core;
 pub use goldfinger_datasets as datasets;
 pub use goldfinger_knn as knn;
 pub use goldfinger_minhash as minhash;
+pub use goldfinger_obs as obs;
 pub use goldfinger_recommend as recommend;
 pub use goldfinger_theory as theory;
 
@@ -68,6 +69,9 @@ pub mod prelude {
     pub use goldfinger_knn::metrics::{average_similarity, edge_recall, quality};
     pub use goldfinger_knn::nndescent::NNDescent;
     pub use goldfinger_minhash::{BbitParams, BbitStore};
+    pub use goldfinger_obs::{
+        BuildObserver, IterationEvent, NoopObserver, Phase, RecordingObserver, RunReport, SpanSet,
+    };
     pub use goldfinger_recommend::{evaluate_fold, recommend_for_user, RecallStats};
     pub use goldfinger_theory::pair::ProfilePair;
     pub use goldfinger_theory::privacy::guarantees;

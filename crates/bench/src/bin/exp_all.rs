@@ -45,7 +45,7 @@ fn main() {
 
     // Forward the shared options verbatim.
     let mut forwarded: Vec<String> = Vec::new();
-    for key in ["users", "scale", "k", "bits", "seed", "datasets"] {
+    for key in ["users", "scale", "k", "bits", "seed", "datasets", "threads"] {
         if let Some(v) = args.get(key) {
             forwarded.push(format!("--{key}"));
             forwarded.push(v.to_string());

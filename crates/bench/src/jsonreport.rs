@@ -8,7 +8,10 @@
 //! per-experiment file into one `bench.json`.
 
 use crate::args::Args;
-use crate::workloads::{run_observed, AlgoKind, ExperimentConfig, ProviderKind, RunOutcome};
+use crate::workloads::{
+    run_observed, shared_pool, AlgoKind, ExperimentConfig, ProviderKind, RunOutcome,
+};
+use goldfinger_core::pool::PoolStats;
 use goldfinger_datasets::model::BinaryDataset;
 use goldfinger_knn::instrument::MemoryTraffic;
 use goldfinger_obs::{Json, RecordingObserver, ReportSet, RunReport, Traffic};
@@ -16,6 +19,11 @@ use std::path::Path;
 
 /// Runs one `(algorithm, provider)` combination under a recording observer
 /// and packages the trace as a [`RunReport`].
+///
+/// When the run goes through the shared worker pool (`cfg.threads > 1`),
+/// the pool-counter delta attributable to this run is attached to the
+/// report as a `"pool"` extra object (schema-transparent: `extra` fields
+/// round-trip unvalidated).
 pub fn observed_run(
     experiment: &str,
     cfg: &ExperimentConfig,
@@ -24,9 +32,31 @@ pub fn observed_run(
     provider: ProviderKind,
 ) -> (RunOutcome, RunReport) {
     let obs = RecordingObserver::new();
+    let pool = (cfg.threads > 1).then(|| shared_pool(cfg.threads));
+    let before = pool.as_ref().map(|p| p.stats());
     let out = run_observed(cfg, kind, data, provider, &obs);
-    let report = report_for(experiment, cfg, kind, data, provider, &out, &obs);
+    let mut report = report_for(experiment, cfg, kind, data, provider, &out, &obs);
+    if let (Some(pool), Some(before)) = (&pool, &before) {
+        let delta = pool.stats().since(before);
+        report
+            .extra
+            .push(("pool".to_string(), pool_stats_json(&delta)));
+    }
     (out, report)
+}
+
+/// Renders a [`PoolStats`] (usually a [`PoolStats::since`] delta) as the
+/// `"pool"` extra object of a [`RunReport`].
+pub fn pool_stats_json(stats: &PoolStats) -> Json {
+    Json::obj(vec![
+        ("threads", Json::Num(stats.threads as f64)),
+        ("dispatches", Json::Num(stats.dispatches as f64)),
+        ("tasks_run", Json::Num(stats.tasks_run as f64)),
+        ("steals", Json::Num(stats.steals as f64)),
+        ("parks", Json::Num(stats.parks as f64)),
+        ("unparks", Json::Num(stats.unparks as f64)),
+        ("spawns_avoided", Json::Num(stats.spawns_avoided as f64)),
+    ])
 }
 
 /// Builds the [`RunReport`] for an already-observed run.
@@ -182,6 +212,40 @@ mod tests {
         let merged = merge_report_files(&[path.clone(), dir.join("missing.json")]).unwrap();
         assert_eq!(merged.experiment, "all");
         assert_eq!(merged.runs, set.runs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pooled_runs_attach_pool_counters_that_round_trip() {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..tiny_cfg()
+        };
+        let data = build_dataset(&cfg, SynthConfig::ml1m());
+        let (_, report) = observed_run(
+            "test",
+            &cfg,
+            AlgoKind::BruteForce,
+            &data,
+            ProviderKind::GoldFinger(256),
+        );
+        let pool = report
+            .extra
+            .iter()
+            .find(|(k, _)| k == "pool")
+            .map(|(_, v)| v)
+            .expect("pooled run must carry pool counters");
+        assert_eq!(pool.get("threads").and_then(Json::as_u64), Some(2));
+        assert!(pool.get("dispatches").and_then(Json::as_u64).unwrap() > 0);
+        assert!(pool.get("spawns_avoided").and_then(Json::as_u64).unwrap() > 0);
+
+        // The extra object must survive a file round-trip untouched.
+        let mut set = ReportSet::new("test");
+        set.runs.push(report);
+        let dir = std::env::temp_dir().join("goldfinger-poolreport-test");
+        let path = dir.join("pool.json");
+        write_report(&path, &set).unwrap();
+        assert_eq!(read_report(&path).unwrap(), set);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,6 +3,7 @@
 //! runs.
 
 use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::pool::{Pool, PoolStats};
 use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::shf::{ShfParams, ShfStore};
 use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard, Similarity};
@@ -14,7 +15,8 @@ use goldfinger_knn::hyrec::Hyrec;
 use goldfinger_knn::kiff::Kiff;
 use goldfinger_knn::lsh::Lsh;
 use goldfinger_knn::nndescent::NNDescent;
-use goldfinger_obs::{BuildObserver, NoopObserver, Phase, SpanSet};
+use goldfinger_obs::{BuildObserver, NoopObserver, Phase, Registry, SpanSet};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The four KNN construction algorithms of the paper's evaluation.
@@ -90,6 +92,11 @@ pub struct ExperimentConfig {
     pub bits: u32,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads shared by every build of the run (`--threads`; falls
+    /// back to the `GF_THREADS` environment variable, then to 1). With more
+    /// than one thread, a process-wide persistent [`Pool`] is installed
+    /// around each run so all builds reuse the same parked workers.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -100,8 +107,18 @@ impl Default for ExperimentConfig {
             k: 30,
             bits: 1024,
             seed: 42,
+            threads: threads_from_env(),
         }
     }
+}
+
+/// `GF_THREADS` when set to a positive integer, 1 (serial) otherwise.
+fn threads_from_env() -> usize {
+    std::env::var("GF_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(1)
 }
 
 impl ExperimentConfig {
@@ -114,6 +131,7 @@ impl ExperimentConfig {
             k: args.get_usize("k", d.k),
             bits: args.get_u32_list("bits", &[d.bits])[0],
             seed: args.get_u64("seed", d.seed),
+            threads: args.get_usize("threads", d.threads),
         }
     }
 
@@ -187,11 +205,62 @@ pub fn run(
     run_observed(cfg, kind, data, provider, &NoopObserver)
 }
 
+/// The process-wide pool shared by every experiment run, created on first
+/// use and rebuilt only if a different size is requested. Sharing one pool
+/// across a whole `exp_all` invocation is the point of this layer: workers
+/// are spawned once and every build — dozens of (algorithm, provider,
+/// dataset) combinations — broadcasts to the same parked threads.
+pub fn shared_pool(threads: usize) -> Arc<Pool> {
+    static POOL: Mutex<Option<Arc<Pool>>> = Mutex::new(None);
+    let mut slot = POOL.lock().unwrap();
+    match slot.as_ref() {
+        Some(pool) if pool.threads() == goldfinger_core::parallel::effective_threads(threads) => {
+            pool.clone()
+        }
+        _ => {
+            let pool = Pool::new(threads);
+            *slot = Some(pool.clone());
+            pool
+        }
+    }
+}
+
+/// Copies a [`PoolStats`] delta into `reg` as `pool.*` counters plus a
+/// `pool.threads` gauge, the bridge between the pool and the observability
+/// layer (and from there into JSON run reports).
+pub fn record_pool_stats(reg: &Registry, stats: &PoolStats) {
+    reg.gauge("pool.threads").set(stats.threads as i64);
+    reg.counter("pool.dispatches").add(stats.dispatches);
+    reg.counter("pool.tasks_run").add(stats.tasks_run);
+    reg.counter("pool.steals").add(stats.steals);
+    reg.counter("pool.parks").add(stats.parks);
+    reg.counter("pool.unparks").add(stats.unparks);
+    reg.counter("pool.spawns_avoided").add(stats.spawns_avoided);
+}
+
 /// Runs one `(algorithm, provider)` combination, reporting per-iteration
 /// events and phase spans (fingerprinting included) to `obs`. The
 /// preparation time lands both in [`RunOutcome::prep`] and in
 /// `BuildStats::prep_wall`.
+///
+/// With `cfg.threads > 1` the shared persistent pool is installed for the
+/// duration of the run, so fingerprinting and every parallel build phase
+/// dispatch to parked workers instead of spawning threads.
 pub fn run_observed<O: BuildObserver>(
+    cfg: &ExperimentConfig,
+    kind: AlgoKind,
+    data: &BinaryDataset,
+    provider: ProviderKind,
+    obs: &O,
+) -> RunOutcome {
+    if cfg.threads > 1 {
+        let pool = shared_pool(cfg.threads);
+        return pool.install(|| run_observed_inner(cfg, kind, data, provider, obs));
+    }
+    run_observed_inner(cfg, kind, data, provider, obs)
+}
+
+fn run_observed_inner<O: BuildObserver>(
     cfg: &ExperimentConfig,
     kind: AlgoKind,
     data: &BinaryDataset,
@@ -242,7 +311,7 @@ pub fn dispatch_observed<S: Similarity, O: BuildObserver>(
 ) -> KnnResult {
     match kind {
         AlgoKind::BruteForce => BruteForce {
-            threads: 1,
+            threads: cfg.threads,
             ..BruteForce::default()
         }
         .build_observed(sim, cfg.k, obs),
@@ -250,7 +319,7 @@ pub fn dispatch_observed<S: Similarity, O: BuildObserver>(
             delta: 0.001,
             max_iterations: 30,
             seed: cfg.seed,
-            ..Hyrec::default()
+            threads: cfg.threads,
         }
         .build_observed(sim, cfg.k, obs),
         AlgoKind::NNDescent => NNDescent {
@@ -258,12 +327,13 @@ pub fn dispatch_observed<S: Similarity, O: BuildObserver>(
             max_iterations: 30,
             sample_rate: 1.0,
             seed: cfg.seed,
-            ..NNDescent::default()
+            threads: cfg.threads,
         }
         .build_observed(sim, cfg.k, obs),
         AlgoKind::Lsh => Lsh {
             tables: 10,
             seed: cfg.seed,
+            threads: cfg.threads,
         }
         .build_observed(profiles, sim, cfg.k, obs),
         AlgoKind::Kiff => Kiff::default().build(profiles, sim, cfg.k),
@@ -326,7 +396,7 @@ mod tests {
     #[test]
     fn config_from_args_reads_overrides() {
         let args = crate::args::Args::parse(
-            "--scale 0.5 --k 10 --bits 256 --seed 7"
+            "--scale 0.5 --k 10 --bits 256 --seed 7 --threads 3"
                 .split_whitespace()
                 .map(String::from),
         );
@@ -335,5 +405,29 @@ mod tests {
         assert_eq!(cfg.k, 10);
         assert_eq!(cfg.bits, 256);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, 3);
+    }
+
+    #[test]
+    fn shared_pool_is_reused_for_same_size() {
+        let a = shared_pool(3);
+        let b = shared_pool(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.threads(), 3);
+    }
+
+    #[test]
+    fn record_pool_stats_lands_in_registry() {
+        let reg = Registry::new();
+        let pool = Pool::new(2);
+        let before = pool.stats();
+        pool.install(|| {
+            goldfinger_core::parallel::par_dynamic(64, 2, 1, |_| {});
+        });
+        record_pool_stats(&reg, &pool.stats().since(&before));
+        assert_eq!(reg.gauge("pool.threads").get(), 2);
+        assert_eq!(reg.counter("pool.dispatches").get(), 1);
+        assert_eq!(reg.counter("pool.tasks_run").get(), 2);
+        assert_eq!(reg.counter("pool.spawns_avoided").get(), 2);
     }
 }

@@ -36,7 +36,8 @@
 //! - [`shf`] — Single Hash Fingerprints and the packed fingerprint store.
 //! - [`similarity`] — the provider abstraction KNN algorithms consume.
 //! - [`topk`] — bounded top-k selection (`argtopk` of the paper).
-//! - [`parallel`] — scoped-thread data-parallel helpers.
+//! - [`parallel`] — data-parallel helpers (pool-backed when one is installed).
+//! - [`pool`] — persistent work-stealing worker pool with a scoped API.
 
 #![warn(missing_docs)]
 
@@ -45,6 +46,7 @@ pub mod blip;
 pub mod estimate;
 pub mod hash;
 pub mod parallel;
+pub mod pool;
 pub mod profile;
 pub mod serial;
 pub mod shf;
@@ -55,6 +57,7 @@ pub use bits::BitArray;
 pub use blip::{BlipJaccard, BlipParams, BlipStore};
 pub use estimate::{corrected_jaccard, estimate_set_size, CorrectedShfJaccard};
 pub use hash::{DynHasher, HasherKind, ItemHasher, JenkinsOneAtATime};
+pub use pool::{Pool, PoolStats};
 pub use profile::{ItemId, Profile, ProfileStore, UserId};
 pub use serial::{
     read_profile_store, read_shf_store, write_profile_store, write_shf_store, DecodeError,

@@ -1,29 +1,55 @@
-//! Minimal data-parallel utilities over scoped threads.
+//! Minimal data-parallel utilities, pool-backed when a [`Pool`] is
+//! installed.
 //!
 //! The paper's evaluation runs every algorithm on 8 hardware threads. These
 //! helpers give the KNN algorithms the same structure without pulling in a
 //! full task runtime: static range splitting for regular work
-//! ([`par_for_each_range`]), an atomic work-stealing counter for irregular
-//! work ([`par_dynamic`]), and a channel-based collector ([`par_map_chunks`]).
+//! ([`par_for_each_range`]), per-region atomic cursors with a stealing path
+//! for irregular work ([`par_dynamic`], [`par_fold_dynamic`]), and ordered
+//! collectors ([`par_map_indexed`], [`par_map_chunks`]).
+//!
+//! Each helper has two dispatch paths with identical results:
+//!
+//! - **Pooled** — when a [`Pool`] is installed ([`Pool::install`]), work is
+//!   broadcast to the persistent parked workers via [`Pool::scope`]. This
+//!   is the hot path for the iterative builders, which dispatch once or
+//!   twice per refinement iteration and would otherwise pay a full OS
+//!   spawn/join round-trip each time.
+//! - **Spawn-per-call** — with no pool installed, scoped threads are
+//!   spawned for the single call, exactly as before the pool existed.
+//!
+//! Determinism: helpers that return ordered data collect into slot-indexed
+//! storage and stitch in slot order; fold states come back indexed by slot
+//! so reducers can merge in a fixed order. Which OS thread runs a slot is
+//! scheduler-dependent, but the output never is.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use crate::pool::{Pool, StealRegions};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Effective thread count: `requested` capped to at least 1.
 ///
-/// `requested = 0` means "use the machine's available parallelism".
+/// `requested = 0` means "use the default parallelism" — the `GF_THREADS`
+/// environment variable when set, the machine's available parallelism
+/// otherwise (see [`crate::pool::default_threads`]).
 pub fn effective_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        crate::pool::default_threads()
     } else {
         requested
     }
 }
 
+/// The installed pool, when dispatching through it would actually go
+/// parallel.
+fn installed_pool() -> Option<Arc<Pool>> {
+    Pool::current().filter(|p| p.threads() > 1)
+}
+
 /// Splits `0..n` into `threads` near-equal contiguous ranges and runs `f`
-/// on each range from its own scoped thread.
+/// on each range — from the installed pool's workers, or from scoped
+/// threads when no pool is installed.
 ///
-/// `f` receives `(thread_index, start, end)`.
+/// `f` receives `(slot_index, start, end)`.
 pub fn par_for_each_range<F>(n: usize, threads: usize, f: F)
 where
     F: Fn(usize, usize, usize) + Sync,
@@ -34,6 +60,16 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
+    if let Some(pool) = installed_pool() {
+        pool.scope(threads, |t| {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start < end {
+                f(t, start, end);
+            }
+        });
+        return;
+    }
     std::thread::scope(|scope| {
         for t in 0..threads {
             let f = &f;
@@ -48,10 +84,11 @@ where
 }
 
 /// Processes indices `0..n` with dynamic (work-stealing) scheduling: each
-/// thread repeatedly claims the next `grain` indices from a shared counter.
+/// slot owns a contiguous region and claims `grain`-sized blocks from it,
+/// stealing leftover blocks from other regions once its own runs dry.
 ///
-/// Use this when per-index cost varies wildly (e.g. KNN candidate scans over
-/// skewed profile sizes); static splitting would leave threads idle.
+/// Use this when per-index cost varies wildly (e.g. KNN candidate scans
+/// over skewed profile sizes); static splitting would leave threads idle.
 pub fn par_dynamic<F>(n: usize, threads: usize, grain: usize, f: F)
 where
     F: Fn(usize) + Sync,
@@ -64,27 +101,32 @@ where
         }
         return;
     }
-    let next = AtomicUsize::new(0);
+    let regions = StealRegions::new(n, threads, grain);
+    let run_slot = |t: usize| {
+        regions.drain(t, |lo, hi| {
+            for i in lo..hi {
+                f(i);
+            }
+        })
+    };
+    if let Some(pool) = installed_pool() {
+        pool.scope(threads, |t| {
+            let steals = run_slot(t);
+            pool.record_steals(steals);
+        });
+        return;
+    }
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let f = &f;
-            let next = &next;
-            scope.spawn(move || loop {
-                let start = next.fetch_add(grain, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                for i in start..(start + grain).min(n) {
-                    f(i);
-                }
-            });
+        for t in 0..threads {
+            let run_slot = &run_slot;
+            scope.spawn(move || run_slot(t));
         }
     });
 }
 
 /// Maps `f` over `0..n` in parallel and collects results in index order.
 ///
-/// Results are produced chunk-wise and sent over a channel, then stitched
+/// Results are produced chunk-wise into slot-indexed storage and stitched
 /// back together; `O(n)` memory, no locks on the hot path.
 pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
@@ -96,6 +138,22 @@ where
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
+    if let Some(pool) = installed_pool() {
+        let slots: Vec<Mutex<Option<Vec<T>>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+        pool.scope(threads, |t| {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start < end {
+                let part: Vec<T> = (start..end).map(&f).collect();
+                *slots[t].lock().unwrap() = Some(part);
+            }
+        });
+        return slots
+            .into_iter()
+            .filter_map(|s| s.into_inner().unwrap())
+            .flatten()
+            .collect();
+    }
     let (tx, rx) = mpsc::sync_channel::<(usize, Vec<T>)>(threads);
     let mut out: Vec<Option<Vec<T>>> = (0..threads).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -121,15 +179,15 @@ where
     out.into_iter().flatten().flatten().collect()
 }
 
-/// Folds indices `0..n` into per-thread accumulators with dynamic
-/// scheduling, returning the accumulators in thread order.
+/// Folds indices `0..n` into per-slot accumulators with dynamic
+/// (work-stealing) scheduling, returning the accumulators in slot order.
 ///
-/// Each worker builds its state with `init(thread_index)`, then repeatedly
-/// claims the next `grain` indices from a shared counter and folds them in
-/// with `fold(&mut state, index)`. The states come back indexed by thread,
-/// so deterministic reducers can merge them in a fixed order.
+/// Each slot builds its state with `init(slot_index)`, then claims
+/// `grain`-sized blocks — its own region first, then steals — and folds
+/// them in with `fold(&mut state, index)`. The states come back indexed by
+/// slot, so deterministic reducers can merge them in a fixed order.
 ///
-/// This is the engine behind the pruned brute-force scan: each thread keeps
+/// This is the engine behind the pruned brute-force scan: each slot keeps
 /// private top-k partials (no locks on the hot path) that the caller merges
 /// afterwards.
 pub fn par_fold_dynamic<T, I, F>(n: usize, threads: usize, grain: usize, init: I, fold: F) -> Vec<T>
@@ -147,26 +205,36 @@ where
         }
         return vec![state];
     }
-    let next = AtomicUsize::new(0);
+    let regions = StealRegions::new(n, threads, grain);
+    let run_slot = |t: usize| {
+        let mut state = init(t);
+        let steals = regions.drain(t, |lo, hi| {
+            for i in lo..hi {
+                fold(&mut state, i);
+            }
+        });
+        (state, steals)
+    };
+    if let Some(pool) = installed_pool() {
+        let slots: Vec<Mutex<Option<T>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+        pool.scope(threads, |t| {
+            let (state, steals) = run_slot(t);
+            pool.record_steals(steals);
+            *slots[t].lock().unwrap() = Some(state);
+        });
+        return slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every slot ran"))
+            .collect();
+    }
     let (tx, rx) = mpsc::sync_channel::<(usize, T)>(threads);
     let mut out: Vec<Option<T>> = (0..threads).map(|_| None).collect();
     std::thread::scope(|scope| {
         for t in 0..threads {
-            let init = &init;
-            let fold = &fold;
-            let next = &next;
+            let run_slot = &run_slot;
             let tx = tx.clone();
             scope.spawn(move || {
-                let mut state = init(t);
-                loop {
-                    let start = next.fetch_add(grain, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    for i in start..(start + grain).min(n) {
-                        fold(&mut state, i);
-                    }
-                }
+                let (state, _) = run_slot(t);
                 // The receiver lives until the scope ends; ignore failure.
                 let _ = tx.send((t, state));
             });
@@ -181,7 +249,11 @@ where
 
 /// Maps `f` over mutable, disjoint chunks of `data` in parallel.
 ///
-/// `f` receives `(chunk_index, first_element_index, chunk)`.
+/// `f` receives `(chunk_index, first_element_index, chunk)`. Chunks are
+/// `ceil(len / threads)` elements each, so only the **final** chunk can be
+/// short — `first_element_index` is therefore exactly
+/// `chunk_index * ceil(len / threads)` for every chunk, including a final
+/// short one when `len % threads != 0` (pinned by regression tests).
 pub fn par_map_chunks<T, F>(data: &mut [T], threads: usize, f: F)
 where
     T: Send,
@@ -194,6 +266,17 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
+    if let Some(pool) = installed_pool() {
+        let pieces: Vec<Mutex<Option<&mut [T]>>> = data
+            .chunks_mut(chunk)
+            .map(|piece| Mutex::new(Some(piece)))
+            .collect();
+        pool.scope(pieces.len(), |t| {
+            let piece = pieces[t].lock().unwrap().take().expect("chunk taken once");
+            f(t, t * chunk, piece);
+        });
+        return;
+    }
     std::thread::scope(|scope| {
         for (t, piece) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
@@ -205,7 +288,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::Pool;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Runs `check` twice: with no pool installed (spawn-per-call path) and
+    /// under an installed 4-thread pool (pooled path).
+    fn on_both_paths(check: impl Fn()) {
+        check();
+        Pool::new(4).install(&check);
+    }
 
     #[test]
     fn effective_threads_floor_is_one() {
@@ -215,54 +306,121 @@ mod tests {
 
     #[test]
     fn ranges_cover_everything_exactly_once() {
-        for threads in [1usize, 2, 3, 7, 16] {
-            for n in [0usize, 1, 5, 64, 1000] {
-                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-                par_for_each_range(n, threads, |_, s, e| {
-                    for h in &hits[s..e] {
-                        h.fetch_add(1, Ordering::Relaxed);
-                    }
-                });
-                assert!(
-                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
-                    "threads={threads} n={n}"
-                );
+        on_both_paths(|| {
+            for threads in [1usize, 2, 3, 7, 16] {
+                for n in [0usize, 1, 5, 64, 1000] {
+                    let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                    par_for_each_range(n, threads, |_, s, e| {
+                        for h in &hits[s..e] {
+                            h.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                    assert!(
+                        hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                        "threads={threads} n={n}"
+                    );
+                }
             }
-        }
+        });
     }
 
     #[test]
     fn dynamic_covers_everything_exactly_once() {
-        for grain in [1usize, 3, 64] {
-            let n = 257;
-            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-            par_dynamic(n, 4, grain, |i| {
-                hits[i].fetch_add(1, Ordering::Relaxed);
-            });
-            assert!(
-                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
-                "grain={grain}"
-            );
-        }
+        on_both_paths(|| {
+            for grain in [1usize, 3, 64] {
+                let n = 257;
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                par_dynamic(n, 4, grain, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "grain={grain}"
+                );
+            }
+        });
     }
 
     #[test]
     fn map_indexed_preserves_order() {
-        for threads in [1usize, 2, 5] {
-            let out = par_map_indexed(100, threads, |i| i * i);
-            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
-        }
-        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+        on_both_paths(|| {
+            for threads in [1usize, 2, 5] {
+                let out = par_map_indexed(100, threads, |i| i * i);
+                assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+            }
+            assert!(par_map_indexed(0, 4, |i| i).is_empty());
+        });
+    }
+
+    #[test]
+    fn fold_dynamic_partitions_all_indices() {
+        on_both_paths(|| {
+            for threads in [1usize, 2, 4, 7] {
+                let states = par_fold_dynamic(
+                    500,
+                    threads,
+                    8,
+                    |_| Vec::new(),
+                    |state: &mut Vec<usize>, i| state.push(i),
+                );
+                assert!(states.len() <= threads);
+                let mut all: Vec<usize> = states.into_iter().flatten().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..500).collect::<Vec<_>>(), "threads={threads}");
+            }
+        });
     }
 
     #[test]
     fn map_chunks_mutates_disjointly() {
-        let mut data = vec![0u64; 103];
-        par_map_chunks(&mut data, 4, |_, base, chunk| {
-            for (off, v) in chunk.iter_mut().enumerate() {
-                *v = (base + off) as u64;
+        on_both_paths(|| {
+            let mut data = vec![0u64; 103];
+            par_map_chunks(&mut data, 4, |_, base, chunk| {
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v = (base + off) as u64;
+                }
+            });
+            assert_eq!(data, (0..103).collect::<Vec<u64>>());
+        });
+    }
+
+    /// Regression (satellite of the pool PR): when `n % chunk != 0`, the
+    /// final chunk produced by `chunks_mut` is short, and its
+    /// `first_element_index` must still be the true offset of its first
+    /// element — `chunk_index * ceil(n / threads)` — on **both** dispatch
+    /// paths, at several thread counts. A base derived from the short
+    /// chunk's own length would be wrong exactly here.
+    #[test]
+    fn map_chunks_base_is_exact_for_short_final_chunk() {
+        on_both_paths(|| {
+            for threads in [2usize, 3, 4, 5, 8, 13] {
+                for n in [7usize, 10, 97, 103, 256, 1000] {
+                    let chunk = n.div_ceil(threads);
+                    let mut data: Vec<u64> = (0..n as u64).collect();
+                    par_map_chunks(&mut data, threads, |t, base, piece| {
+                        assert_eq!(base, t * chunk, "threads={threads} n={n}");
+                        for (off, v) in piece.iter_mut().enumerate() {
+                            // Each element must see its true global index.
+                            assert_eq!(*v, (base + off) as u64);
+                            *v += 1;
+                        }
+                    });
+                    assert_eq!(data, (1..=n as u64).collect::<Vec<u64>>());
+                }
             }
         });
-        assert_eq!(data, (0..103).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pooled_helpers_count_steals_and_avoid_spawns() {
+        let pool = Pool::new(4);
+        pool.install(|| {
+            par_dynamic(1000, 4, 1, |_| {});
+            let _ = par_fold_dynamic(1000, 4, 1, |_| 0u64, |s, _| *s += 1);
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.dispatches, 2);
+        assert_eq!(stats.spawns_avoided, 8);
+        assert_eq!(stats.tasks_run, 8);
     }
 }

@@ -16,6 +16,8 @@
 
 use crate::bits::{and_count_words, or_count_words, BitArray};
 use crate::hash::{DynHasher, ItemHasher};
+use crate::parallel::par_map_chunks;
+use crate::pool::Pool;
 use crate::profile::{ItemId, ProfileStore};
 
 /// Parameters of a fingerprinting scheme: the fingerprint width `b` and the
@@ -108,19 +110,45 @@ impl<H: ItemHasher> ShfParams<H> {
 
     /// Fingerprints every profile of a [`ProfileStore`] into a packed
     /// [`ShfStore`] (one contiguous allocation, cache-friendly scans).
+    ///
+    /// When a worker [`Pool`] is installed ([`Pool::install`]), construction
+    /// is parallelized across its threads — fingerprinting is one of the
+    /// paper's five cost phases, and at large scales (Table 4 datasets) the
+    /// serial pass is a visible fraction of end-to-end build time. Without a
+    /// pool this runs serially, exactly as before. The result is
+    /// bit-identical either way.
     pub fn fingerprint_store(&self, profiles: &ProfileStore) -> ShfStore {
+        let threads = Pool::current().map_or(1, |p| p.threads());
+        self.fingerprint_store_threads(profiles, threads)
+    }
+
+    /// [`ShfParams::fingerprint_store`] with an explicit thread count
+    /// (`0` = default parallelism, `1` = serial).
+    ///
+    /// Each user's fingerprint occupies a disjoint row of the contiguous
+    /// store buffer, so rows are handed out to threads as mutable slices via
+    /// [`par_map_chunks`] — no locks, no false ordering: every `(row, card)`
+    /// pair is computed from that user's profile alone, making the output
+    /// bit-identical to the serial pass for any thread count.
+    pub fn fingerprint_store_threads(&self, profiles: &ProfileStore, threads: usize) -> ShfStore {
         let words_per_fp = BitArray::words_for(self.bits);
         let n = profiles.n_users();
         let mut data = vec![0u64; words_per_fp * n];
         let mut cards = vec![0u32; n];
-        for (u, items) in profiles.iter() {
-            let chunk = &mut data[u as usize * words_per_fp..(u as usize + 1) * words_per_fp];
-            for &it in items {
-                let pos = self.hasher.bit_position(it as u64, self.bits);
-                chunk[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        let mut rows: Vec<(&mut [u64], &mut u32)> = data
+            .chunks_mut(words_per_fp)
+            .zip(cards.iter_mut())
+            .collect();
+        par_map_chunks(&mut rows, threads, |_, base, rows| {
+            for (off, (words, card)) in rows.iter_mut().enumerate() {
+                for &it in profiles.items((base + off) as u32) {
+                    let pos = self.hasher.bit_position(it as u64, self.bits);
+                    words[(pos / 64) as usize] |= 1u64 << (pos % 64);
+                }
+                **card = words.iter().map(|w| w.count_ones()).sum();
             }
-            cards[u as usize] = chunk.iter().map(|w| w.count_ones()).sum();
-        }
+        });
+        drop(rows);
         ShfStore {
             bits: self.bits,
             words_per_fp,
@@ -483,6 +511,29 @@ mod tests {
                 assert!((store.jaccard(u, v) - solo).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn parallel_fingerprinting_is_bit_identical_to_serial() {
+        use crate::pool::Pool;
+        // Ragged profiles (including empty ones) at a population size that
+        // does not divide evenly by any tested thread count.
+        let lists: Vec<Vec<u32>> = (0..53)
+            .map(|u| ((u * 7)..(u * 7 + u % 11)).collect())
+            .collect();
+        let profiles = ProfileStore::from_item_lists(lists);
+        let p = params(256);
+        let serial = p.fingerprint_store_threads(&profiles, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let par = p.fingerprint_store_threads(&profiles, threads);
+            assert_eq!(par.data, serial.data, "threads={threads}");
+            assert_eq!(par.cards, serial.cards, "threads={threads}");
+        }
+        // The pool-dispatched path (what `fingerprint_store` takes when a
+        // pool is installed) must agree bit-for-bit too.
+        let pooled = Pool::new(4).install(|| p.fingerprint_store(&profiles));
+        assert_eq!(pooled.data, serial.data);
+        assert_eq!(pooled.cards, serial.cards);
     }
 
     #[test]

@@ -25,7 +25,10 @@ const DEFAULT_TILE: usize = 128;
 /// the reference point of every experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct BruteForce {
-    /// Number of worker threads (0 = available parallelism).
+    /// Number of worker threads (0 = available parallelism). When a
+    /// `goldfinger_core::pool::Pool` is installed, tile cells are dispatched
+    /// to its persistent workers instead of freshly spawned threads; the
+    /// graph is bit-identical either way.
     pub threads: usize,
     /// Tile edge in users (0 = default of 128).
     pub tile: usize,

@@ -29,6 +29,9 @@ pub struct Hyrec {
     /// Worker threads for the candidate scans (1 = sequential and fully
     /// deterministic; >1 matches the paper's multi-threaded runs but makes
     /// the update interleaving — and thus tie outcomes — nondeterministic).
+    /// The scan dispatches once per refinement iteration, so installing a
+    /// `goldfinger_core::pool::Pool` replaces a spawn/join round-trip per
+    /// iteration with a broadcast to already-parked workers.
     pub threads: usize,
 }
 

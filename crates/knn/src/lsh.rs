@@ -28,6 +28,10 @@ pub struct Lsh {
     pub tables: usize,
     /// Seed deriving the per-table permutations.
     pub seed: u64,
+    /// Worker threads for the in-bucket candidate scan (`0` = default
+    /// parallelism, `1` = serial). Every per-user scan is self-contained,
+    /// so the graph is bit-identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for Lsh {
@@ -35,6 +39,7 @@ impl Default for Lsh {
         Lsh {
             tables: 10,
             seed: 0x15_4A,
+            threads: 1,
         }
     }
 }
@@ -103,36 +108,65 @@ impl Lsh {
             obs.on_span(Phase::CandidateGeneration, t.elapsed());
         }
 
-        // Candidate scan: same-bucket users, deduplicated with stamps.
+        // Candidate scan: same-bucket users, deduplicated with stamps. Each
+        // user's scan is self-contained (private stamp array + top-k), so
+        // users are handed to threads with dynamic scheduling — bucket sizes
+        // are skewed, which is exactly what stealing smooths out — and the
+        // per-user results are scattered back by user id. The graph is
+        // bit-identical to the serial scan for any thread count (the
+        // `threads` field), at the price of one O(n) stamp array per thread.
         let scan_start = O::ENABLED.then(Instant::now);
-        let mut evals = 0u64;
-        let mut stamp = vec![0u32; n];
-        let mut round = 0u32;
-        let mut neighbors = Vec::with_capacity(n);
-        for u in 0..n as u32 {
-            round += 1;
-            stamp[u as usize] = round;
-            let mut top = TopK::new(k);
-            let items = profiles.items(u);
-            if !items.is_empty() {
-                for (t, buckets) in tables.iter().enumerate() {
-                    let table_seed = splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
-                    let key = items
-                        .iter()
-                        .map(|&i| splitmix64_mix(i as u64 ^ table_seed))
-                        .min()
-                        .expect("non-empty profile");
-                    for &v in buckets.get(&key).map_or(&[][..], Vec::as_slice) {
-                        if stamp[v as usize] == round {
-                            continue;
+        struct ScanSlot {
+            stamp: Vec<u32>,
+            round: u32,
+            evals: u64,
+            out: Vec<(u32, Vec<goldfinger_core::topk::Scored>)>,
+        }
+        let states = goldfinger_core::parallel::par_fold_dynamic(
+            n,
+            self.threads,
+            32,
+            |_| ScanSlot {
+                stamp: vec![0u32; n],
+                round: 0,
+                evals: 0,
+                out: Vec::new(),
+            },
+            |slot: &mut ScanSlot, u| {
+                let u = u as u32;
+                slot.round += 1;
+                slot.stamp[u as usize] = slot.round;
+                let mut top = TopK::new(k);
+                let items = profiles.items(u);
+                if !items.is_empty() {
+                    for (t, buckets) in tables.iter().enumerate() {
+                        let table_seed =
+                            splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
+                        let key = items
+                            .iter()
+                            .map(|&i| splitmix64_mix(i as u64 ^ table_seed))
+                            .min()
+                            .expect("non-empty profile");
+                        for &v in buckets.get(&key).map_or(&[][..], Vec::as_slice) {
+                            if slot.stamp[v as usize] == slot.round {
+                                continue;
+                            }
+                            slot.stamp[v as usize] = slot.round;
+                            slot.evals += 1;
+                            top.offer(sim.similarity(u, v), v);
                         }
-                        stamp[v as usize] = round;
-                        evals += 1;
-                        top.offer(sim.similarity(u, v), v);
                     }
                 }
+                slot.out.push((u, top.into_sorted()));
+            },
+        );
+        let mut evals = 0u64;
+        let mut neighbors = vec![Vec::new(); n];
+        for slot in states {
+            evals += slot.evals;
+            for (u, list) in slot.out {
+                neighbors[u as usize] = list;
             }
-            neighbors.push(top.into_sorted());
         }
         let wall = start.elapsed();
         if O::ENABLED {
@@ -235,13 +269,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scan_is_bit_identical_to_serial() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let serial = Lsh::default().build(&profiles, &sim, 5);
+        for threads in [2usize, 3, 8] {
+            let par = Lsh {
+                threads,
+                ..Lsh::default()
+            }
+            .build(&profiles, &sim, 5);
+            assert_eq!(par.stats.similarity_evals, serial.stats.similarity_evals);
+            for u in 0..20u32 {
+                assert_eq!(
+                    par.graph.neighbors(u),
+                    serial.graph.neighbors(u),
+                    "threads={threads} u={u}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn more_tables_find_no_fewer_candidates() {
         let profiles = clustered();
         let sim = ExplicitJaccard::new(&profiles);
-        let small = Lsh { tables: 1, seed: 1 }.build(&profiles, &sim, 5);
+        let small = Lsh {
+            tables: 1,
+            seed: 1,
+            ..Lsh::default()
+        }
+        .build(&profiles, &sim, 5);
         let large = Lsh {
             tables: 12,
             seed: 1,
+            ..Lsh::default()
         }
         .build(&profiles, &sim, 5);
         assert!(large.stats.similarity_evals >= small.stats.similarity_evals);

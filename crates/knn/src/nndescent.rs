@@ -33,7 +33,10 @@ pub struct NNDescent {
     /// Worker threads for the local joins (1 = sequential and fully
     /// deterministic; >1 parallelises the join phase with per-node locks,
     /// as the paper's multi-threaded runs do — candidate sampling stays
-    /// sequential and seeded, only the update interleaving varies).
+    /// sequential and seeded, only the update interleaving varies). The
+    /// join dispatches once per refinement iteration, so installing a
+    /// `goldfinger_core::pool::Pool` replaces a spawn/join round-trip per
+    /// iteration with a broadcast to already-parked workers.
     pub threads: usize,
 }
 

@@ -178,7 +178,12 @@ mod tests {
     fn observed_run_produces_a_consistent_report() {
         let cfg = tiny_cfg();
         let data = build_dataset(&cfg, SynthConfig::ml1m());
-        for kind in [AlgoKind::BruteForce, AlgoKind::NNDescent, AlgoKind::Lsh] {
+        for kind in [
+            AlgoKind::BruteForce,
+            AlgoKind::NNDescent,
+            AlgoKind::Lsh,
+            AlgoKind::Kiff,
+        ] {
             let (out, report) =
                 observed_run("test", &cfg, kind, &data, ProviderKind::GoldFinger(256));
             assert_eq!(report.similarity_evals, out.result.stats.similarity_evals);

@@ -9,12 +9,9 @@ use goldfinger_core::shf::{ShfParams, ShfStore};
 use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard, Similarity};
 use goldfinger_datasets::model::BinaryDataset;
 use goldfinger_datasets::synth::SynthConfig;
-use goldfinger_knn::brute::BruteForce;
+use goldfinger_knn::builder::BuildInput;
+use goldfinger_knn::builders::{self, BuilderConfig, BuilderSpec};
 use goldfinger_knn::graph::KnnResult;
-use goldfinger_knn::hyrec::Hyrec;
-use goldfinger_knn::kiff::Kiff;
-use goldfinger_knn::lsh::Lsh;
-use goldfinger_knn::nndescent::NNDescent;
 use goldfinger_obs::{BuildObserver, NoopObserver, Phase, Registry, SpanSet};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -57,15 +54,16 @@ impl AlgoKind {
         ]
     }
 
+    /// The registry entry backing this kind. `AlgoKind` is only a
+    /// CLI-friendly index into [`goldfinger_knn::builders::all`]; the enum
+    /// variants are declared in registry order (pinned by a test below).
+    pub fn spec(&self) -> &'static BuilderSpec {
+        &builders::all()[*self as usize]
+    }
+
     /// Display name as printed in Table 4.
     pub fn name(&self) -> &'static str {
-        match self {
-            AlgoKind::BruteForce => "Brute Force",
-            AlgoKind::Hyrec => "Hyrec",
-            AlgoKind::NNDescent => "NNDescent",
-            AlgoKind::Lsh => "LSH",
-            AlgoKind::Kiff => "KIFF",
-        }
+        self.spec().name
     }
 }
 
@@ -300,8 +298,10 @@ pub fn dispatch<S: Similarity>(
     dispatch_observed(cfg, kind, profiles, sim, &NoopObserver)
 }
 
-/// [`dispatch`] with a build observer attached. KIFF (not part of the
-/// paper's evaluation) has no observed variant and emits no trace.
+/// [`dispatch`] with a build observer attached. There is no per-algorithm
+/// code here: the kind's registry entry instantiates the builder and the
+/// erased trait runs it, so every algorithm (KIFF included) reports the same
+/// iteration events and phase spans.
 pub fn dispatch_observed<S: Similarity, O: BuildObserver>(
     cfg: &ExperimentConfig,
     kind: AlgoKind,
@@ -309,35 +309,15 @@ pub fn dispatch_observed<S: Similarity, O: BuildObserver>(
     sim: &S,
     obs: &O,
 ) -> KnnResult {
-    match kind {
-        AlgoKind::BruteForce => BruteForce {
-            threads: cfg.threads,
-            ..BruteForce::default()
-        }
-        .build_observed(sim, cfg.k, obs),
-        AlgoKind::Hyrec => Hyrec {
-            delta: 0.001,
-            max_iterations: 30,
-            seed: cfg.seed,
-            threads: cfg.threads,
-        }
-        .build_observed(sim, cfg.k, obs),
-        AlgoKind::NNDescent => NNDescent {
-            delta: 0.001,
-            max_iterations: 30,
-            sample_rate: 1.0,
-            seed: cfg.seed,
-            threads: cfg.threads,
-        }
-        .build_observed(sim, cfg.k, obs),
-        AlgoKind::Lsh => Lsh {
-            tables: 10,
-            seed: cfg.seed,
-            threads: cfg.threads,
-        }
-        .build_observed(profiles, sim, cfg.k, obs),
-        AlgoKind::Kiff => Kiff::default().build(profiles, sim, cfg.k),
-    }
+    let builder = kind.spec().instantiate(&BuilderConfig {
+        seed: cfg.seed,
+        threads: cfg.threads,
+    });
+    builder.build_erased(
+        BuildInput::with_profiles(sim as &dyn Similarity, profiles),
+        cfg.k,
+        obs,
+    )
 }
 
 #[cfg(test)]
@@ -379,7 +359,7 @@ mod tests {
         let data = build_dataset(&cfg, SynthConfig::ml1m());
         let exact = run(&cfg, AlgoKind::BruteForce, &data, ProviderKind::Native);
         let native_sim = ExplicitJaccard::new(data.profiles());
-        for kind in AlgoKind::all() {
+        for kind in AlgoKind::all_extended() {
             for provider in [ProviderKind::Native, ProviderKind::GoldFinger(1024)] {
                 let out = run(&cfg, kind, &data, provider);
                 assert_eq!(out.result.graph.n_users(), data.n_users());
@@ -391,6 +371,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn algo_kinds_index_the_registry_in_order() {
+        // `spec()` indexes by discriminant, so the enum declaration order
+        // must mirror the registry order.
+        let names: Vec<&str> = AlgoKind::all_extended().iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["Brute Force", "Hyrec", "NNDescent", "LSH", "KIFF"]);
+        assert!(AlgoKind::all().iter().all(|k| k.spec().in_paper));
+        assert!(!AlgoKind::Kiff.spec().in_paper);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! - [`shf`] — Single Hash Fingerprints and the packed fingerprint store.
 //! - [`similarity`] — the provider abstraction KNN algorithms consume.
 //! - [`topk`] — bounded top-k selection (`argtopk` of the paper).
+//! - [`visit`] — stamp/round visited-sets with O(1) clear.
 //! - [`parallel`] — data-parallel helpers (pool-backed when one is installed).
 //! - [`pool`] — persistent work-stealing worker pool with a scoped API.
 
@@ -52,6 +53,7 @@ pub mod serial;
 pub mod shf;
 pub mod similarity;
 pub mod topk;
+pub mod visit;
 
 pub use bits::BitArray;
 pub use blip::{BlipJaccard, BlipParams, BlipStore};
@@ -65,3 +67,4 @@ pub use serial::{
 pub use shf::{Shf, ShfParams, ShfStore};
 pub use similarity::{ExplicitCosine, ExplicitJaccard, ShfCosine, ShfJaccard, Similarity};
 pub use topk::{Scored, TopK};
+pub use visit::VisitStamp;

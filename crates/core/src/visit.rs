@@ -1,0 +1,114 @@
+//! Reusable visited-set with O(1) clear.
+//!
+//! Several KNN builders scan candidate neighbourhoods and must skip
+//! duplicates without paying an O(n) `clear()` between scans. The classic
+//! trick is a stamp array plus a round counter: a slot is "visited this
+//! round" iff `stamp[i] == round`, and advancing the round invalidates every
+//! mark at once. [`VisitStamp`] packages that pattern — previously copied
+//! into Hyrec (serial and parallel) and the LSH bucket scan — including the
+//! easy-to-forget wraparound reset: once `round` would overflow `u32`, the
+//! stamp array is zeroed and the round restarts, instead of silently
+//! treating every slot as already visited.
+
+/// A visited-set over `0..n` with O(1) per-round reset.
+///
+/// ```
+/// use goldfinger_core::visit::VisitStamp;
+///
+/// let mut v = VisitStamp::new(3);
+/// v.next_round();
+/// assert!(v.mark(1)); // newly marked
+/// assert!(!v.mark(1)); // already marked this round
+/// v.next_round();
+/// assert!(v.mark(1)); // previous round's marks are gone
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisitStamp {
+    stamp: Vec<u32>,
+    round: u32,
+}
+
+impl VisitStamp {
+    /// A stamp over indices `0..n`, with no round started yet.
+    pub fn new(n: usize) -> Self {
+        VisitStamp {
+            stamp: vec![0; n],
+            round: 0,
+        }
+    }
+
+    /// Starts a fresh round, invalidating every existing mark in O(1).
+    ///
+    /// When the round counter would overflow `u32`, the stamp array is
+    /// zeroed and the counter restarts — without this, slots stamped in
+    /// earlier rounds would alias the wrapped counter and read as visited.
+    pub fn next_round(&mut self) {
+        if self.round == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.round = 1;
+        } else {
+            self.round += 1;
+        }
+    }
+
+    /// Marks `i` as visited this round; `true` iff it was not yet marked.
+    #[inline]
+    pub fn mark(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.round {
+            false
+        } else {
+            self.stamp[i] = self.round;
+            true
+        }
+    }
+
+    /// Whether `i` has been marked this round.
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.stamp[i] == self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_reset_between_rounds() {
+        let mut v = VisitStamp::new(4);
+        v.next_round();
+        assert!(v.mark(0));
+        assert!(v.mark(3));
+        assert!(!v.mark(0));
+        assert!(v.is_marked(3));
+        assert!(!v.is_marked(2));
+        v.next_round();
+        for i in 0..4 {
+            assert!(!v.is_marked(i));
+        }
+        assert!(v.mark(0));
+    }
+
+    #[test]
+    fn round_wraparound_resets_instead_of_aliasing() {
+        let mut v = VisitStamp::new(3);
+        // Force the counter to the edge, with slot 1 stamped at MAX - 1 and
+        // slot 2 stamped at MAX: after the wrapping next_round, neither may
+        // read as visited.
+        v.round = u32::MAX - 1;
+        assert!(v.mark(1));
+        v.next_round(); // round == MAX
+        assert!(v.mark(2));
+        assert!(!v.is_marked(1));
+        v.next_round(); // wraps: array zeroed, round restarts at 1
+        assert_eq!(v.round, 1);
+        assert!(
+            !v.is_marked(1),
+            "stale stamp must not alias a wrapped round"
+        );
+        assert!(!v.is_marked(2));
+        assert!(v.mark(1));
+        assert!(v.mark(2));
+        assert!(!v.mark(2));
+    }
+}

@@ -1,0 +1,193 @@
+//! The builder registry: every construction algorithm, enumerable by name.
+//!
+//! Harnesses that want to run "all algorithms" — the bench workloads, the
+//! CLI, the comparison example — iterate [`all`] (or look one up with
+//! [`get`]) and instantiate through [`BuilderSpec::instantiate`], which
+//! applies the paper's evaluation parameters (§3.3: `δ = 0.001`, at most 30
+//! refinement iterations, 10 LSH tables) with the caller's seed and thread
+//! count. No caller needs a per-algorithm match arm; adding a builder means
+//! implementing [`KnnBuilder`](crate::builder::KnnBuilder) and appending a
+//! [`BuilderSpec`] here.
+
+use crate::brute::BruteForce;
+use crate::builder::ErasedBuilder;
+use crate::hyrec::Hyrec;
+use crate::kiff::Kiff;
+use crate::lsh::Lsh;
+use crate::nndescent::NNDescent;
+
+/// Caller-chosen knobs applied at instantiation; everything else is fixed
+/// to the paper's parameters by the registry entries.
+#[derive(Debug, Clone, Copy)]
+pub struct BuilderConfig {
+    /// RNG seed for builders that draw randomness (random-graph init,
+    /// sampling, LSH permutations).
+    pub seed: u64,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        BuilderConfig {
+            seed: 42,
+            threads: 1,
+        }
+    }
+}
+
+/// One registered construction algorithm.
+pub struct BuilderSpec {
+    /// Display name, as printed in the paper's tables.
+    pub name: &'static str,
+    /// Whether the algorithm is part of the paper's Table 4 evaluation
+    /// (KIFF is related work, available for extended comparisons).
+    pub in_paper: bool,
+    make: fn(&BuilderConfig) -> Box<dyn ErasedBuilder>,
+}
+
+impl BuilderSpec {
+    /// Creates the builder with the paper's parameters and `cfg`'s seed and
+    /// thread count.
+    pub fn instantiate(&self, cfg: &BuilderConfig) -> Box<dyn ErasedBuilder> {
+        (self.make)(cfg)
+    }
+}
+
+static REGISTRY: [BuilderSpec; 5] = [
+    BuilderSpec {
+        name: "Brute Force",
+        in_paper: true,
+        make: |cfg| {
+            Box::new(BruteForce {
+                threads: cfg.threads,
+                ..BruteForce::default()
+            })
+        },
+    },
+    BuilderSpec {
+        name: "Hyrec",
+        in_paper: true,
+        make: |cfg| {
+            Box::new(Hyrec {
+                delta: 0.001,
+                max_iterations: 30,
+                seed: cfg.seed,
+                threads: cfg.threads,
+            })
+        },
+    },
+    BuilderSpec {
+        name: "NNDescent",
+        in_paper: true,
+        make: |cfg| {
+            Box::new(NNDescent {
+                delta: 0.001,
+                max_iterations: 30,
+                sample_rate: 1.0,
+                seed: cfg.seed,
+                threads: cfg.threads,
+            })
+        },
+    },
+    BuilderSpec {
+        name: "LSH",
+        in_paper: true,
+        make: |cfg| {
+            Box::new(Lsh {
+                tables: 10,
+                seed: cfg.seed,
+                threads: cfg.threads,
+            })
+        },
+    },
+    BuilderSpec {
+        name: "KIFF",
+        in_paper: false,
+        make: |_cfg| {
+            Box::new(Kiff {
+                candidate_factor: 4,
+                max_item_degree: None,
+            })
+        },
+    },
+];
+
+/// Every registered builder, in the paper's table order (KIFF last).
+pub fn all() -> &'static [BuilderSpec] {
+    &REGISTRY
+}
+
+/// Looks a builder up by name, case-insensitively and ignoring spaces,
+/// dashes and underscores; `"brute"` is accepted as a shorthand for
+/// `"Brute Force"`.
+pub fn get(name: &str) -> Option<&'static BuilderSpec> {
+    let needle: String = name
+        .chars()
+        .filter(|c| !matches!(c, ' ' | '-' | '_'))
+        .flat_map(char::to_lowercase)
+        .collect();
+    if needle.is_empty() {
+        return None;
+    }
+    REGISTRY.iter().find(|spec| {
+        let canon: String = spec
+            .name
+            .chars()
+            .filter(|c| *c != ' ')
+            .flat_map(char::to_lowercase)
+            .collect();
+        canon == needle || (needle == "brute" && spec.name == "Brute Force")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_accepts_cli_spellings() {
+        for (spelling, expected) in [
+            ("brute", "Brute Force"),
+            ("bruteforce", "Brute Force"),
+            ("Brute Force", "Brute Force"),
+            ("brute-force", "Brute Force"),
+            ("hyrec", "Hyrec"),
+            ("NNDescent", "NNDescent"),
+            ("nn_descent", "NNDescent"),
+            ("lsh", "LSH"),
+            ("kiff", "KIFF"),
+        ] {
+            let spec = get(spelling).unwrap_or_else(|| panic!("{spelling} not found"));
+            assert_eq!(spec.name, expected, "{spelling}");
+        }
+        assert!(get("louvain").is_none());
+        assert!(get("").is_none());
+    }
+
+    #[test]
+    fn registry_lists_the_paper_algorithms_first() {
+        let names: Vec<&str> = all().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["Brute Force", "Hyrec", "NNDescent", "LSH", "KIFF"]);
+        assert!(all()[..4].iter().all(|s| s.in_paper));
+        assert!(!all()[4].in_paper);
+    }
+
+    #[test]
+    fn instantiation_applies_seed_and_threads() {
+        let cfg = BuilderConfig {
+            seed: 7,
+            threads: 3,
+        };
+        for spec in all() {
+            let b = spec.instantiate(&cfg);
+            assert_eq!(b.name(), spec.name);
+            // Greedy refiners are nondeterministic at 3 threads; the rest
+            // are bit-identical for any thread count.
+            let greedy = spec.name == "Hyrec" || spec.name == "NNDescent";
+            assert_eq!(b.deterministic(), !greedy);
+            let wants_profiles = spec.name == "LSH" || spec.name == "KIFF";
+            assert_eq!(b.needs_profiles(), wants_profiles);
+        }
+    }
+}

@@ -6,14 +6,19 @@
 //! (rather than joining pairs among `u`'s neighbours), and the current graph
 //! is *not* reversed. Terminates when fewer than `δ·k·n` updates occur or
 //! after `max_iterations`.
+//!
+//! The iterate/converge/finalize scaffolding lives in
+//! [`RefineEngine`](crate::engine::RefineEngine); this module only
+//! contributes the Hyrec [`JoinStrategy`]: a start-of-iteration snapshot of
+//! the neighbour ids, scanned two hops out with a [`VisitStamp`] guarding
+//! against duplicate evaluations.
 
-use crate::graph::{BuildStats, KnnGraph, KnnResult};
-use crate::neighborlist::{random_lists, NeighborList};
+use crate::engine::{JoinStrategy, Joiner, ListsView, RefineEngine};
+use crate::graph::KnnResult;
 use goldfinger_core::similarity::Similarity;
-use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
+use goldfinger_core::visit::VisitStamp;
+use goldfinger_obs::{BuildObserver, NoopObserver};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::{Duration, Instant};
 
 /// Hyrec parameters. Defaults follow the paper's evaluation (§3.3):
 /// `δ = 0.001`, at most 30 iterations.
@@ -51,11 +56,11 @@ impl Hyrec {
     ///
     /// # Panics
     /// Panics if `k == 0` or `delta` is negative.
-    pub fn build<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+    pub fn build<S: Similarity + ?Sized>(&self, sim: &S, k: usize) -> KnnResult {
         self.build_observed(sim, k, &NoopObserver)
     }
 
-    /// Builds the graph, reporting progress to `obs`: an [`IterationEvent`]
+    /// Builds the graph, reporting progress to `obs`: an `IterationEvent`
     /// per refinement round (iteration 0 covers the random-graph seeding)
     /// carrying the evaluations performed, the neighbour-list updates and
     /// the `δ·k·n` termination threshold, plus spans for the snapshot and
@@ -64,230 +69,56 @@ impl Hyrec {
     ///
     /// # Panics
     /// Panics if `k == 0` or `delta` is negative.
-    pub fn build_observed<S: Similarity, O: BuildObserver>(
+    pub fn build_observed<S: Similarity + ?Sized, O: BuildObserver>(
         &self,
         sim: &S,
         k: usize,
         obs: &O,
     ) -> KnnResult {
-        if self.threads > 1 {
-            return self.build_parallel(sim, k, obs);
+        RefineEngine {
+            delta: self.delta,
+            max_iterations: self.max_iterations,
+            seed: self.seed,
+            threads: self.threads,
         }
-        assert!(k > 0, "k must be positive");
-        assert!(self.delta >= 0.0, "delta must be non-negative");
-        let n = sim.n_users();
-        let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut evals = 0u64;
-        let mut lists = random_lists(sim, k, &mut rng, &mut evals);
-        if O::ENABLED {
-            obs.on_iteration(IterationEvent {
-                iteration: 0,
-                similarity_evals: evals,
-                pruned_evals: 0,
-                updates: 0,
-                threshold: 0.0,
-                wall: start.elapsed(),
-            });
-        }
-        let mut iterations = 0u32;
+        .run(sim, k, self, obs)
+    }
+}
 
-        // Visited stamps avoid repeated similarity computations within one
-        // user's candidate scan without clearing a bitmap every time.
-        let mut stamp = vec![0u32; n];
-        let mut round = 0u32;
+impl JoinStrategy for Hyrec {
+    /// Snapshot of every user's neighbour ids as the iteration starts:
+    /// Hyrec explores the graph as it stood, not as it mutates.
+    type Plan = Vec<Vec<u32>>;
+    type Scratch = VisitStamp;
 
-        while iterations < self.max_iterations {
-            iterations += 1;
-            let iter_start = O::ENABLED.then(Instant::now);
-            let evals_before = evals;
-            let mut updates = 0u64;
-
-            // Snapshot the neighbour ids: Hyrec explores the graph as it
-            // stood at the start of the iteration.
-            let snapshot: Vec<Vec<u32>> = lists.iter().map(|l| l.users().collect()).collect();
-            if let Some(t) = iter_start {
-                obs.on_span(Phase::CandidateGeneration, t.elapsed());
-            }
-            let scan_start = O::ENABLED.then(Instant::now);
-
-            for u in 0..n {
-                round += 1;
-                stamp[u] = round; // never compare u with itself
-                for &v in &snapshot[u] {
-                    stamp[v as usize] = round; // already a neighbour: skip
-                }
-                for &v in &snapshot[u] {
-                    for &w in &snapshot[v as usize] {
-                        let w_us = w as usize;
-                        if stamp[w_us] == round {
-                            continue;
-                        }
-                        stamp[w_us] = round;
-                        evals += 1;
-                        let s = sim.similarity(u as u32, w);
-                        if lists[u].insert(w, s) {
-                            updates += 1;
-                        }
-                        if lists[w_us].insert(u as u32, s) {
-                            updates += 1;
-                        }
-                    }
-                }
-            }
-
-            if O::ENABLED {
-                if let Some(t) = scan_start {
-                    obs.on_span(Phase::Join, t.elapsed());
-                }
-                obs.on_iteration(IterationEvent {
-                    iteration: iterations,
-                    similarity_evals: evals - evals_before,
-                    pruned_evals: 0,
-                    updates,
-                    threshold: self.delta * k as f64 * n as f64,
-                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
-                });
-            }
-            if (updates as f64) < self.delta * k as f64 * n as f64 {
-                break;
-            }
-        }
-
-        let merge_start = O::ENABLED.then(Instant::now);
-        let neighbors = lists.iter().map(NeighborList::to_sorted).collect();
-        if let Some(t) = merge_start {
-            obs.on_span(Phase::Merge, t.elapsed());
-        }
-        KnnResult {
-            graph: KnnGraph::from_lists(k, neighbors),
-            stats: BuildStats {
-                similarity_evals: evals,
-                pruned_evals: 0,
-                iterations,
-                wall: start.elapsed(),
-                prep_wall: Duration::ZERO,
-            },
-        }
+    fn candidates(&self, _k: usize, lists: &mut ListsView<'_>, _rng: &mut StdRng) -> Self::Plan {
+        (0..lists.len())
+            .map(|u| lists.with(u, |l| l.users().collect()))
+            .collect()
     }
 
-    /// Multi-threaded variant: pivots are scanned in parallel, neighbour
-    /// lists are guarded by per-node locks (one lock held at a time — no
-    /// nesting, no deadlock). The resulting graph is equivalent in quality
-    /// but not bit-identical across runs, since update interleaving is
-    /// scheduler-dependent.
-    fn build_parallel<S: Similarity, O: BuildObserver>(
+    fn scratch(&self, n: usize) -> VisitStamp {
+        VisitStamp::new(n)
+    }
+
+    fn join_user<J: Joiner>(
         &self,
-        sim: &S,
-        k: usize,
-        obs: &O,
-    ) -> KnnResult {
-        use goldfinger_core::parallel::par_for_each_range;
-        use std::sync::atomic::{AtomicU64, Ordering};
-        use std::sync::Mutex;
-
-        assert!(k > 0, "k must be positive");
-        assert!(self.delta >= 0.0, "delta must be non-negative");
-        let n = sim.n_users();
-        let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut init_evals = 0u64;
-        let lists = random_lists(sim, k, &mut rng, &mut init_evals);
-        let locks: Vec<Mutex<NeighborList>> = lists.into_iter().map(Mutex::new).collect();
-        let evals = AtomicU64::new(init_evals);
-        if O::ENABLED {
-            obs.on_iteration(IterationEvent {
-                iteration: 0,
-                similarity_evals: init_evals,
-                pruned_evals: 0,
-                updates: 0,
-                threshold: 0.0,
-                wall: start.elapsed(),
-            });
+        snapshot: &Self::Plan,
+        u: usize,
+        stamp: &mut VisitStamp,
+        joiner: &mut J,
+    ) {
+        stamp.next_round();
+        stamp.mark(u); // never compare u with itself
+        for &v in &snapshot[u] {
+            stamp.mark(v as usize); // already a neighbour: skip
         }
-        let mut iterations = 0u32;
-
-        while iterations < self.max_iterations {
-            iterations += 1;
-            let iter_start = O::ENABLED.then(Instant::now);
-            let evals_before = evals.load(Ordering::Relaxed);
-            let snapshot: Vec<Vec<u32>> = locks
-                .iter()
-                .map(|l| l.lock().unwrap().users().collect())
-                .collect();
-            if let Some(t) = iter_start {
-                obs.on_span(Phase::CandidateGeneration, t.elapsed());
-            }
-            let scan_start = O::ENABLED.then(Instant::now);
-            let updates = AtomicU64::new(0);
-            par_for_each_range(n, self.threads, |_, lo, hi| {
-                // Per-thread visited stamps.
-                let mut stamp = vec![0u32; n];
-                let mut round = 0u32;
-                for u in lo..hi {
-                    round += 1;
-                    stamp[u] = round;
-                    for &v in &snapshot[u] {
-                        stamp[v as usize] = round;
-                    }
-                    for &v in &snapshot[u] {
-                        for &w in &snapshot[v as usize] {
-                            let w_us = w as usize;
-                            if stamp[w_us] == round {
-                                continue;
-                            }
-                            stamp[w_us] = round;
-                            evals.fetch_add(1, Ordering::Relaxed);
-                            let s = sim.similarity(u as u32, w);
-                            let mut changed = 0u64;
-                            if locks[u].lock().unwrap().insert(w, s) {
-                                changed += 1;
-                            }
-                            if locks[w_us].lock().unwrap().insert(u as u32, s) {
-                                changed += 1;
-                            }
-                            if changed > 0 {
-                                updates.fetch_add(changed, Ordering::Relaxed);
-                            }
-                        }
-                    }
+        for &v in &snapshot[u] {
+            for &w in &snapshot[v as usize] {
+                if stamp.mark(w as usize) {
+                    joiner.join(u as u32, w);
                 }
-            });
-            if O::ENABLED {
-                if let Some(t) = scan_start {
-                    obs.on_span(Phase::Join, t.elapsed());
-                }
-                obs.on_iteration(IterationEvent {
-                    iteration: iterations,
-                    similarity_evals: evals.load(Ordering::Relaxed) - evals_before,
-                    pruned_evals: 0,
-                    updates: updates.load(Ordering::Relaxed),
-                    threshold: self.delta * k as f64 * n as f64,
-                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
-                });
             }
-            if (updates.load(Ordering::Relaxed) as f64) < self.delta * k as f64 * n as f64 {
-                break;
-            }
-        }
-
-        let merge_start = O::ENABLED.then(Instant::now);
-        let neighbors = locks
-            .iter()
-            .map(|l| l.lock().unwrap().to_sorted())
-            .collect();
-        if let Some(t) = merge_start {
-            obs.on_span(Phase::Merge, t.elapsed());
-        }
-        KnnResult {
-            graph: KnnGraph::from_lists(k, neighbors),
-            stats: BuildStats {
-                similarity_evals: evals.load(Ordering::Relaxed),
-                pruned_evals: 0,
-                iterations,
-                wall: start.elapsed(),
-                prep_wall: Duration::ZERO,
-            },
         }
     }
 }

@@ -17,6 +17,8 @@ use crate::graph::{BuildStats, KnnGraph, KnnResult};
 use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::TopK;
+use goldfinger_core::visit::VisitStamp;
+use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use std::time::Instant;
 
 /// KIFF parameters.
@@ -66,7 +68,31 @@ impl Kiff {
     /// # Panics
     /// Panics if `k == 0`, `candidate_factor == 0`, or the populations
     /// disagree.
-    pub fn build<S: Similarity>(&self, profiles: &ProfileStore, sim: &S, k: usize) -> KnnResult {
+    pub fn build<S: Similarity + ?Sized>(
+        &self,
+        profiles: &ProfileStore,
+        sim: &S,
+        k: usize,
+    ) -> KnnResult {
+        self.build_observed(profiles, sim, k, &NoopObserver)
+    }
+
+    /// Builds the graph, reporting progress to `obs`: one span for the
+    /// GoldFinger-immune inverted-index construction
+    /// ([`Phase::CandidateGeneration`]), one for the candidate ranking and
+    /// scoring ([`Phase::Join`]), and a single [`IterationEvent`] with the
+    /// final counters. Observation never changes the output; with the
+    /// default [`NoopObserver`] the hooks compile to nothing.
+    ///
+    /// # Panics
+    /// Same contract as [`Kiff::build`].
+    pub fn build_observed<S: Similarity + ?Sized, O: BuildObserver>(
+        &self,
+        profiles: &ProfileStore,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
         assert!(k > 0, "k must be positive");
         assert!(
             self.candidate_factor > 0,
@@ -81,6 +107,9 @@ impl Kiff {
         let start = Instant::now();
 
         // Inverted index: item → users having it (users arrive in id order).
+        // This phase reads explicit profiles and is not accelerated by
+        // GoldFinger, like LSH's bucketing.
+        let index_start = O::ENABLED.then(Instant::now);
         let bound = profiles.item_universe_bound() as usize;
         let mut index: Vec<Vec<u32>> = vec![Vec::new(); bound];
         for (u, items) in profiles.iter() {
@@ -88,19 +117,22 @@ impl Kiff {
                 index[i as usize].push(u);
             }
         }
+        if let Some(t) = index_start {
+            obs.on_span(Phase::CandidateGeneration, t.elapsed());
+        }
 
         let degree_cap = self.max_item_degree.unwrap_or(usize::MAX);
         let budget = self.candidate_factor * k;
         let mut evals = 0u64;
 
         // Per-user scratch: co-rating counts with stamp-based reset.
+        let score_start = O::ENABLED.then(Instant::now);
         let mut count = vec![0u32; n];
-        let mut stamp = vec![0u32; n];
-        let mut round = 0u32;
+        let mut visited = VisitStamp::new(n);
         let mut neighbors = Vec::with_capacity(n);
         for u in 0..n as u32 {
-            round += 1;
-            stamp[u as usize] = round;
+            visited.next_round();
+            visited.mark(u as usize);
             let mut touched: Vec<u32> = Vec::new();
             for &i in profiles.items(u) {
                 let raters = &index[i as usize];
@@ -111,8 +143,7 @@ impl Kiff {
                     if v == u {
                         continue;
                     }
-                    if stamp[v as usize] != round {
-                        stamp[v as usize] = round;
+                    if visited.mark(v as usize) {
                         count[v as usize] = 0;
                         touched.push(v);
                     }
@@ -133,13 +164,28 @@ impl Kiff {
             neighbors.push(top.into_sorted());
         }
 
+        let wall = start.elapsed();
+        if O::ENABLED {
+            if let Some(t) = score_start {
+                obs.on_span(Phase::Join, t.elapsed());
+            }
+            obs.on_iteration(IterationEvent {
+                iteration: 1,
+                similarity_evals: evals,
+                pruned_evals: 0,
+                updates: 0,
+                threshold: 0.0,
+                wall,
+            });
+        }
+
         KnnResult {
             graph: KnnGraph::from_lists(k, neighbors),
             stats: BuildStats {
                 similarity_evals: evals,
                 pruned_evals: 0,
                 iterations: 1,
-                wall: start.elapsed(),
+                wall,
                 ..BuildStats::default()
             },
         }

@@ -13,6 +13,12 @@
 //! | NNDescent | [`nndescent`] | greedy local joins + reverse graph |
 //! | Hyrec | [`hyrec`] | greedy neighbours-of-neighbours |
 //! | LSH | [`lsh`] | MinHash bucketing, in-bucket scans |
+//! | KIFF | [`kiff`] | inverted-index co-rating candidates |
+//!
+//! All five implement the [`KnnBuilder`] trait ([`builder`]); harnesses
+//! enumerate them through the [`builders`] registry instead of naming
+//! concrete types, and the greedy refiners share the iterative scaffolding
+//! of [`engine::RefineEngine`].
 //!
 //! ```
 //! use goldfinger_core::shf::ShfParams;
@@ -35,7 +41,10 @@
 
 pub mod analysis;
 pub mod brute;
+pub mod builder;
+pub mod builders;
 pub mod dynamic;
+pub mod engine;
 pub mod graph;
 pub mod hyrec;
 pub mod instrument;
@@ -50,7 +59,9 @@ pub use analysis::{degree_stats, edge_overlap, in_degrees, reverse_graph, Degree
 // Observability: every builder also has a `build_observed` variant taking a
 // `BuildObserver` (re-exported from `goldfinger-obs` for convenience).
 pub use brute::BruteForce;
+pub use builder::{BuildInput, ErasedBuilder, KnnBuilder};
 pub use dynamic::DynamicKnn;
+pub use engine::{JoinStrategy, RefineEngine};
 pub use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, RecordingObserver};
 pub use graph::{BuildStats, KnnGraph, KnnResult};
 pub use hyrec::Hyrec;

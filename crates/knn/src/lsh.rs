@@ -17,6 +17,7 @@ use goldfinger_core::hash::splitmix64_mix;
 use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::TopK;
+use goldfinger_core::visit::VisitStamp;
 use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -54,7 +55,12 @@ impl Lsh {
     /// # Panics
     /// Panics if `k == 0`, `tables == 0`, or the provider's population
     /// differs from the profile store's.
-    pub fn build<S: Similarity>(&self, profiles: &ProfileStore, sim: &S, k: usize) -> KnnResult {
+    pub fn build<S: Similarity + ?Sized>(
+        &self,
+        profiles: &ProfileStore,
+        sim: &S,
+        k: usize,
+    ) -> KnnResult {
         self.build_observed(profiles, sim, k, &NoopObserver)
     }
 
@@ -67,7 +73,7 @@ impl Lsh {
     ///
     /// # Panics
     /// Same contract as [`Lsh::build`].
-    pub fn build_observed<S: Similarity, O: BuildObserver>(
+    pub fn build_observed<S: Similarity + ?Sized, O: BuildObserver>(
         &self,
         profiles: &ProfileStore,
         sim: &S,
@@ -117,8 +123,7 @@ impl Lsh {
         // `threads` field), at the price of one O(n) stamp array per thread.
         let scan_start = O::ENABLED.then(Instant::now);
         struct ScanSlot {
-            stamp: Vec<u32>,
-            round: u32,
+            stamp: VisitStamp,
             evals: u64,
             out: Vec<(u32, Vec<goldfinger_core::topk::Scored>)>,
         }
@@ -127,15 +132,14 @@ impl Lsh {
             self.threads,
             32,
             |_| ScanSlot {
-                stamp: vec![0u32; n],
-                round: 0,
+                stamp: VisitStamp::new(n),
                 evals: 0,
                 out: Vec::new(),
             },
             |slot: &mut ScanSlot, u| {
                 let u = u as u32;
-                slot.round += 1;
-                slot.stamp[u as usize] = slot.round;
+                slot.stamp.next_round();
+                slot.stamp.mark(u as usize);
                 let mut top = TopK::new(k);
                 let items = profiles.items(u);
                 if !items.is_empty() {
@@ -148,10 +152,9 @@ impl Lsh {
                             .min()
                             .expect("non-empty profile");
                         for &v in buckets.get(&key).map_or(&[][..], Vec::as_slice) {
-                            if slot.stamp[v as usize] == slot.round {
+                            if !slot.stamp.mark(v as usize) {
                                 continue;
                             }
-                            slot.stamp[v as usize] = slot.round;
                             slot.evals += 1;
                             top.offer(sim.similarity(u, v), v);
                         }

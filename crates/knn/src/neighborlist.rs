@@ -149,7 +149,7 @@ impl NeighborList {
 /// Initialises one random neighbour list per user: `k` distinct random
 /// neighbours (≠ owner), scored with the provider. Counts the similarity
 /// evaluations it performs into `evals`.
-pub fn random_lists<S: goldfinger_core::similarity::Similarity>(
+pub fn random_lists<S: goldfinger_core::similarity::Similarity + ?Sized>(
     sim: &S,
     k: usize,
     rng: &mut StdRng,

@@ -6,15 +6,18 @@
 //! neighbour". Update flags avoid re-comparing pairs that were already
 //! joined, and the reverse graph widens the search. Converges when fewer
 //! than `δ·k·n` updates happen in an iteration, or after `max_iterations`.
+//!
+//! The iterate/converge/finalize scaffolding lives in
+//! [`RefineEngine`](crate::engine::RefineEngine); this module only
+//! contributes the NNDescent [`JoinStrategy`]: sampled new/old neighbour
+//! sets (forward and reverse) per user, joined new×new and new×old.
 
-use crate::graph::{BuildStats, KnnGraph, KnnResult};
-use crate::neighborlist::{random_lists, NeighborList};
+use crate::engine::{JoinStrategy, Joiner, ListsView, RefineEngine};
+use crate::graph::KnnResult;
 use goldfinger_core::similarity::Similarity;
-use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
+use goldfinger_obs::{BuildObserver, NoopObserver};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::time::{Duration, Instant};
 
 /// NNDescent parameters. Defaults follow the paper's evaluation (§3.3):
 /// `δ = 0.001`, at most 30 iterations, full sampling.
@@ -57,11 +60,11 @@ impl NNDescent {
     ///
     /// # Panics
     /// Panics if `k == 0` or the parameters are out of range.
-    pub fn build<S: Similarity>(&self, sim: &S, k: usize) -> KnnResult {
+    pub fn build<S: Similarity + ?Sized>(&self, sim: &S, k: usize) -> KnnResult {
         self.build_observed(sim, k, &NoopObserver)
     }
 
-    /// Builds the graph, reporting progress to `obs`: an [`IterationEvent`]
+    /// Builds the graph, reporting progress to `obs`: an `IterationEvent`
     /// per refinement round (iteration 0 covers the random-graph seeding)
     /// carrying the evaluations performed, the neighbour-list updates and
     /// the `δ·k·n` termination threshold they were compared against, plus
@@ -71,49 +74,51 @@ impl NNDescent {
     ///
     /// # Panics
     /// Panics if `k == 0` or the parameters are out of range.
-    pub fn build_observed<S: Similarity, O: BuildObserver>(
+    pub fn build_observed<S: Similarity + ?Sized, O: BuildObserver>(
         &self,
         sim: &S,
         k: usize,
         obs: &O,
     ) -> KnnResult {
-        if self.threads > 1 {
-            return self.build_parallel(sim, k, obs);
+        RefineEngine {
+            delta: self.delta,
+            max_iterations: self.max_iterations,
+            seed: self.seed,
+            threads: self.threads,
         }
-        assert!(k > 0, "k must be positive");
-        assert!(self.delta >= 0.0, "delta must be non-negative");
+        .run(sim, k, self, obs)
+    }
+}
+
+/// One iteration's sampled join sets: for every user, the "new" neighbours
+/// (taking part in a join for the first time, forward + sampled reverse)
+/// and the "old" ones.
+pub struct NNDescentPlan {
+    new_sets: Vec<Vec<u32>>,
+    old_sets: Vec<Vec<u32>>,
+}
+
+impl JoinStrategy for NNDescent {
+    type Plan = NNDescentPlan;
+    type Scratch = ();
+
+    fn validate(&self) {
         assert!(
             self.sample_rate > 0.0 && self.sample_rate <= 1.0,
             "sample_rate must be in (0, 1]"
         );
-        let n = sim.n_users();
-        let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut evals = 0u64;
-        let mut lists = random_lists(sim, k, &mut rng, &mut evals);
-        if O::ENABLED {
-            obs.on_iteration(IterationEvent {
-                iteration: 0,
-                similarity_evals: evals,
-                pruned_evals: 0,
-                updates: 0,
-                threshold: 0.0,
-                wall: start.elapsed(),
-            });
-        }
+    }
+
+    fn candidates(&self, k: usize, lists: &mut ListsView<'_>, rng: &mut StdRng) -> NNDescentPlan {
+        let n = lists.len();
         let sample_cap = ((k as f64 * self.sample_rate).ceil() as usize).max(1);
-        let mut iterations = 0u32;
 
-        while iterations < self.max_iterations {
-            iterations += 1;
-            let iter_start = O::ENABLED.then(Instant::now);
-            let evals_before = evals;
-
-            // Phase 1: split each list into sampled-new and old, flag the
-            // sampled entries as no-longer-new (they join this round).
-            let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut old_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for (u, list) in lists.iter_mut().enumerate() {
+        // Phase 1: split each list into sampled-new and old, flag the
+        // sampled entries as no-longer-new (they join this round).
+        let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut old_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for u in 0..n {
+            lists.with(u, |list| {
                 let mut fresh: Vec<usize> = list
                     .entries()
                     .iter()
@@ -121,7 +126,7 @@ impl NNDescent {
                     .filter(|(_, e)| e.is_new)
                     .map(|(i, _)| i)
                     .collect();
-                fresh.shuffle(&mut rng);
+                fresh.shuffle(rng);
                 fresh.truncate(sample_cap);
                 // Partition by sampled *index* rather than scanning the
                 // sampled set per entry (which was O(k²) per user).
@@ -137,300 +142,72 @@ impl NNDescent {
                         old_fwd[u].push(e.user);
                     }
                 }
-            }
-
-            // Phase 2: reverse lists.
-            let mut new_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut old_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for u in 0..n {
-                for &v in &new_fwd[u] {
-                    new_rev[v as usize].push(u as u32);
-                }
-                for &v in &old_fwd[u] {
-                    old_rev[v as usize].push(u as u32);
-                }
-            }
-
-            // Phase 3: local joins.
-            if let Some(t) = iter_start {
-                obs.on_span(Phase::CandidateGeneration, t.elapsed());
-            }
-            let join_start = O::ENABLED.then(Instant::now);
-            let mut updates = 0u64;
-            for u in 0..n {
-                let mut new_set = new_fwd[u].clone();
-                {
-                    let rev = &mut new_rev[u];
-                    rev.shuffle(&mut rng);
-                    rev.truncate(sample_cap);
-                    new_set.extend_from_slice(rev);
-                }
-                new_set.sort_unstable();
-                new_set.dedup();
-
-                let mut old_set = old_fwd[u].clone();
-                {
-                    let rev = &mut old_rev[u];
-                    rev.shuffle(&mut rng);
-                    rev.truncate(sample_cap);
-                    old_set.extend_from_slice(rev);
-                }
-                old_set.sort_unstable();
-                old_set.dedup();
-
-                // new × new (exploit id order to join each pair once) …
-                for (i, &a) in new_set.iter().enumerate() {
-                    for &b in &new_set[i + 1..] {
-                        updates += self.join(sim, &mut lists, a, b, &mut evals);
-                    }
-                }
-                // … and new × old.
-                for &a in &new_set {
-                    for &b in &old_set {
-                        if a != b {
-                            updates += self.join(sim, &mut lists, a, b, &mut evals);
-                        }
-                    }
-                }
-            }
-
-            if O::ENABLED {
-                if let Some(t) = join_start {
-                    obs.on_span(Phase::Join, t.elapsed());
-                }
-                obs.on_iteration(IterationEvent {
-                    iteration: iterations,
-                    similarity_evals: evals - evals_before,
-                    pruned_evals: 0,
-                    updates,
-                    threshold: self.delta * k as f64 * n as f64,
-                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
-                });
-            }
-            if (updates as f64) < self.delta * k as f64 * n as f64 {
-                break;
-            }
-        }
-
-        let merge_start = O::ENABLED.then(Instant::now);
-        let neighbors = lists.iter().map(NeighborList::to_sorted).collect();
-        if let Some(t) = merge_start {
-            obs.on_span(Phase::Merge, t.elapsed());
-        }
-        KnnResult {
-            graph: KnnGraph::from_lists(k, neighbors),
-            stats: BuildStats {
-                similarity_evals: evals,
-                pruned_evals: 0,
-                iterations,
-                wall: start.elapsed(),
-                prep_wall: Duration::ZERO,
-            },
-        }
-    }
-
-    /// Multi-threaded variant: candidate sampling (phases 1–2) stays
-    /// sequential and seeded; the local-join phase runs across threads with
-    /// per-node locks (one at a time — no deadlock). Quality-equivalent but
-    /// not bit-identical across runs.
-    fn build_parallel<S: Similarity, O: BuildObserver>(
-        &self,
-        sim: &S,
-        k: usize,
-        obs: &O,
-    ) -> KnnResult {
-        use goldfinger_core::parallel::par_for_each_range;
-        use std::sync::atomic::{AtomicU64, Ordering};
-        use std::sync::Mutex;
-
-        assert!(k > 0, "k must be positive");
-        assert!(self.delta >= 0.0, "delta must be non-negative");
-        assert!(
-            self.sample_rate > 0.0 && self.sample_rate <= 1.0,
-            "sample_rate must be in (0, 1]"
-        );
-        let n = sim.n_users();
-        let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut init_evals = 0u64;
-        let lists = random_lists(sim, k, &mut rng, &mut init_evals);
-        let locks: Vec<Mutex<NeighborList>> = lists.into_iter().map(Mutex::new).collect();
-        let evals = AtomicU64::new(init_evals);
-        if O::ENABLED {
-            obs.on_iteration(IterationEvent {
-                iteration: 0,
-                similarity_evals: init_evals,
-                pruned_evals: 0,
-                updates: 0,
-                threshold: 0.0,
-                wall: start.elapsed(),
             });
         }
-        let sample_cap = ((k as f64 * self.sample_rate).ceil() as usize).max(1);
-        let mut iterations = 0u32;
 
-        while iterations < self.max_iterations {
-            iterations += 1;
-            let iter_start = O::ENABLED.then(Instant::now);
-            let evals_before = evals.load(Ordering::Relaxed);
-
-            // Phases 1–2 (sequential): flag sampling + reverse lists.
-            let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut old_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for (u, lock) in locks.iter().enumerate() {
-                let mut list = lock.lock().unwrap();
-                let mut fresh: Vec<usize> = list
-                    .entries()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.is_new)
-                    .map(|(i, _)| i)
-                    .collect();
-                fresh.shuffle(&mut rng);
-                fresh.truncate(sample_cap);
-                // Partition by sampled *index* rather than scanning the
-                // sampled set per entry (which was O(k²) per user).
-                let mut sampled = vec![false; list.entries().len()];
-                for &i in &fresh {
-                    sampled[i] = true;
-                    let e = &mut list.entries_mut()[i];
-                    e.is_new = false;
-                    new_fwd[u].push(e.user);
-                }
-                for (i, e) in list.entries().iter().enumerate() {
-                    if !sampled[i] {
-                        old_fwd[u].push(e.user);
-                    }
-                }
+        // Phase 2: reverse lists.
+        let mut new_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut old_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for &v in &new_fwd[u] {
+                new_rev[v as usize].push(u as u32);
             }
-            let mut new_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut old_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for u in 0..n {
-                for &v in &new_fwd[u] {
-                    new_rev[v as usize].push(u as u32);
-                }
-                for &v in &old_fwd[u] {
-                    old_rev[v as usize].push(u as u32);
-                }
-            }
-            let mut new_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
-            let mut old_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
-            for u in 0..n {
-                let mut new_set = new_fwd[u].clone();
-                new_rev[u].shuffle(&mut rng);
-                new_rev[u].truncate(sample_cap);
-                new_set.extend_from_slice(&new_rev[u]);
-                new_set.sort_unstable();
-                new_set.dedup();
-                new_sets.push(new_set);
-
-                let mut old_set = old_fwd[u].clone();
-                old_rev[u].shuffle(&mut rng);
-                old_rev[u].truncate(sample_cap);
-                old_set.extend_from_slice(&old_rev[u]);
-                old_set.sort_unstable();
-                old_set.dedup();
-                old_sets.push(old_set);
-            }
-
-            // Phase 3 (parallel): local joins with per-node locks.
-            if let Some(t) = iter_start {
-                obs.on_span(Phase::CandidateGeneration, t.elapsed());
-            }
-            let join_start = O::ENABLED.then(Instant::now);
-            let updates = AtomicU64::new(0);
-            par_for_each_range(n, self.threads, |_, lo, hi| {
-                let join = |a: u32, b: u32| {
-                    evals.fetch_add(1, Ordering::Relaxed);
-                    let s = sim.similarity(a, b);
-                    let mut changed = 0u64;
-                    if locks[a as usize].lock().unwrap().insert(b, s) {
-                        changed += 1;
-                    }
-                    if locks[b as usize].lock().unwrap().insert(a, s) {
-                        changed += 1;
-                    }
-                    if changed > 0 {
-                        updates.fetch_add(changed, Ordering::Relaxed);
-                    }
-                };
-                for u in lo..hi {
-                    let new_set = &new_sets[u];
-                    let old_set = &old_sets[u];
-                    for (i, &a) in new_set.iter().enumerate() {
-                        for &b in &new_set[i + 1..] {
-                            join(a, b);
-                        }
-                    }
-                    for &a in new_set {
-                        for &b in old_set {
-                            if a != b {
-                                join(a, b);
-                            }
-                        }
-                    }
-                }
-            });
-            if O::ENABLED {
-                if let Some(t) = join_start {
-                    obs.on_span(Phase::Join, t.elapsed());
-                }
-                obs.on_iteration(IterationEvent {
-                    iteration: iterations,
-                    similarity_evals: evals.load(Ordering::Relaxed) - evals_before,
-                    pruned_evals: 0,
-                    updates: updates.load(Ordering::Relaxed),
-                    threshold: self.delta * k as f64 * n as f64,
-                    wall: iter_start.map_or(Duration::ZERO, |t| t.elapsed()),
-                });
-            }
-            if (updates.load(Ordering::Relaxed) as f64) < self.delta * k as f64 * n as f64 {
-                break;
+            for &v in &old_fwd[u] {
+                old_rev[v as usize].push(u as u32);
             }
         }
 
-        let merge_start = O::ENABLED.then(Instant::now);
-        let neighbors = locks
-            .iter()
-            .map(|l| l.lock().unwrap().to_sorted())
-            .collect();
-        if let Some(t) = merge_start {
-            obs.on_span(Phase::Merge, t.elapsed());
+        // Per-user join sets: forward plus a sample of reverse, deduplicated.
+        // (Joins never draw from the RNG, so computing every set up front
+        // performs the exact draw sequence of the historical interleaved
+        // loop — the serial output stays bit-identical.)
+        let mut new_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut old_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut new_set = new_fwd[u].clone();
+            new_rev[u].shuffle(rng);
+            new_rev[u].truncate(sample_cap);
+            new_set.extend_from_slice(&new_rev[u]);
+            new_set.sort_unstable();
+            new_set.dedup();
+            new_sets.push(new_set);
+
+            let mut old_set = old_fwd[u].clone();
+            old_rev[u].shuffle(rng);
+            old_rev[u].truncate(sample_cap);
+            old_set.extend_from_slice(&old_rev[u]);
+            old_set.sort_unstable();
+            old_set.dedup();
+            old_sets.push(old_set);
         }
-        KnnResult {
-            graph: KnnGraph::from_lists(k, neighbors),
-            stats: BuildStats {
-                similarity_evals: evals.load(Ordering::Relaxed),
-                pruned_evals: 0,
-                iterations,
-                wall: start.elapsed(),
-                prep_wall: Duration::ZERO,
-            },
-        }
+        NNDescentPlan { new_sets, old_sets }
     }
 
-    #[inline]
-    fn join<S: Similarity>(
+    fn scratch(&self, _n: usize) -> Self::Scratch {}
+
+    fn join_user<J: Joiner>(
         &self,
-        sim: &S,
-        lists: &mut [NeighborList],
-        a: u32,
-        b: u32,
-        evals: &mut u64,
-    ) -> u64 {
-        // Cheap pre-check: if the similarity cannot enter either list, the
-        // estimator call is still needed to know that — but both inserts can
-        // be gated on a single evaluation.
-        *evals += 1;
-        let s = sim.similarity(a, b);
-        let mut updates = 0u64;
-        if lists[a as usize].insert(b, s) {
-            updates += 1;
+        plan: &NNDescentPlan,
+        u: usize,
+        _scratch: &mut Self::Scratch,
+        joiner: &mut J,
+    ) {
+        let new_set = &plan.new_sets[u];
+        let old_set = &plan.old_sets[u];
+        // new × new (exploit id order to join each pair once) …
+        for (i, &a) in new_set.iter().enumerate() {
+            for &b in &new_set[i + 1..] {
+                joiner.join(a, b);
+            }
         }
-        if lists[b as usize].insert(a, s) {
-            updates += 1;
+        // … and new × old.
+        for &a in new_set {
+            for &b in old_set {
+                if a != b {
+                    joiner.join(a, b);
+                }
+            }
         }
-        updates
     }
 }
 

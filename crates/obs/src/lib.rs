@@ -42,6 +42,8 @@ pub mod span;
 
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
-pub use observer::{BuildObserver, IterationEvent, NoopObserver, RecordingObserver};
+pub use observer::{
+    BuildObserver, DynObserver, IterationEvent, NoopObserver, ObserverHooks, RecordingObserver,
+};
 pub use report::{ReportSet, RunReport, Traffic, SCHEMA};
 pub use span::{Phase, PhaseSpan, Span, SpanSet};

@@ -59,6 +59,61 @@ pub trait BuildObserver: Sync {
     fn on_span(&self, _phase: Phase, _wall: Duration) {}
 }
 
+/// The object-safe face of [`BuildObserver`], for erased call sites.
+///
+/// `BuildObserver` itself is not dyn-safe (its `ENABLED` flag is an
+/// associated `const`), so code that holds builders behind `dyn` — the
+/// builder registry, CLI dispatch — routes events through this trait
+/// instead. Every `BuildObserver` is an `ObserverHooks` via the blanket
+/// impl; [`DynObserver`] adapts the other direction.
+///
+/// The hook methods carry distinct names (`hook_*`) so a concrete observer
+/// that implements both traits never hits method-resolution ambiguity.
+pub trait ObserverHooks: Sync {
+    /// Runtime equivalent of [`BuildObserver::ENABLED`]: `false` means the
+    /// caller may skip event bookkeeping entirely.
+    fn enabled(&self) -> bool;
+
+    /// Dyn-safe forward of [`BuildObserver::on_iteration`].
+    fn hook_iteration(&self, event: IterationEvent);
+
+    /// Dyn-safe forward of [`BuildObserver::on_span`].
+    fn hook_span(&self, phase: Phase, wall: Duration);
+}
+
+impl<O: BuildObserver> ObserverHooks for O {
+    fn enabled(&self) -> bool {
+        O::ENABLED
+    }
+
+    fn hook_iteration(&self, event: IterationEvent) {
+        self.on_iteration(event);
+    }
+
+    fn hook_span(&self, phase: Phase, wall: Duration) {
+        self.on_span(phase, wall);
+    }
+}
+
+/// Adapts a `&dyn ObserverHooks` back into a (generic) [`BuildObserver`].
+///
+/// Used by erased builder entry points: the static `ENABLED = true` means
+/// builders keep their bookkeeping on, so callers holding a disabled
+/// observer should test [`ObserverHooks::enabled`] first and pass
+/// [`NoopObserver`] instead to preserve the zero-cost path.
+#[derive(Clone, Copy)]
+pub struct DynObserver<'a>(pub &'a dyn ObserverHooks);
+
+impl BuildObserver for DynObserver<'_> {
+    fn on_iteration(&self, event: IterationEvent) {
+        self.0.hook_iteration(event);
+    }
+
+    fn on_span(&self, phase: Phase, wall: Duration) {
+        self.0.hook_span(phase, wall);
+    }
+}
+
 /// The default observer: ignores everything, compiles to nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopObserver;
@@ -139,5 +194,27 @@ mod tests {
     fn noop_is_disabled() {
         const { assert!(!NoopObserver::ENABLED) };
         const { assert!(RecordingObserver::ENABLED) };
+    }
+
+    #[test]
+    fn events_round_trip_through_the_dyn_shim() {
+        let rec = RecordingObserver::new();
+        let erased: &dyn ObserverHooks = &rec;
+        assert!(erased.enabled());
+        assert!(!ObserverHooks::enabled(&NoopObserver));
+
+        let adapted = DynObserver(erased);
+        adapted.on_iteration(IterationEvent {
+            iteration: 1,
+            similarity_evals: 3,
+            pruned_evals: 1,
+            updates: 2,
+            threshold: 0.5,
+            wall: Duration::ZERO,
+        });
+        adapted.on_span(Phase::Merge, Duration::from_millis(2));
+        assert_eq!(rec.iterations().len(), 1);
+        assert_eq!(rec.iterations()[0].similarity_evals, 3);
+        assert_eq!(rec.phases()[0].phase, Phase::Merge);
     }
 }

@@ -1,13 +1,17 @@
-//! Head-to-head: all four KNN construction algorithms, native vs
-//! GoldFinger, on one dataset — a miniature of the paper's Table 4.
+//! Head-to-head: every registered KNN construction algorithm, native vs
+//! GoldFinger, on one dataset — a miniature of the paper's Table 4 (plus
+//! KIFF from the related-work discussion).
+//!
+//! The example never names a concrete builder type: it iterates the
+//! [`goldfinger::knn::builders`] registry, so a newly registered algorithm
+//! shows up in the table automatically.
 //!
 //! ```text
 //! cargo run --release --example algorithm_comparison
 //! ```
 
-use goldfinger::knn::hyrec::Hyrec;
-use goldfinger::knn::lsh::Lsh;
-use goldfinger::knn::nndescent::NNDescent;
+use goldfinger::knn::builder::BuildInput;
+use goldfinger::knn::builders::{self, BuilderConfig};
 use goldfinger::prelude::*;
 
 fn main() {
@@ -31,33 +35,24 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>8} {:>8} {:>8}",
         "algorithm", "native", "goldfinger", "gain %", "q nat.", "q GolFi"
     );
-    let runs: Vec<(&str, KnnResult, KnnResult)> = vec![
-        (
-            "BruteForce",
-            exact.clone(),
-            BruteForce::default().build(&gf, k),
-        ),
-        (
-            "Hyrec",
-            Hyrec::default().build(&native, k),
-            Hyrec::default().build(&gf, k),
-        ),
-        (
-            "NNDescent",
-            NNDescent::default().build(&native, k),
-            NNDescent::default().build(&gf, k),
-        ),
-        (
-            "LSH",
-            Lsh::default().build(profiles, &native, k),
-            Lsh::default().build(profiles, &gf, k),
-        ),
-    ];
-    for (name, nat, gold) in runs {
+    let cfg = BuilderConfig::default();
+    for spec in builders::all() {
+        let builder = spec.instantiate(&cfg);
+        let nat = builder.build_erased(
+            BuildInput::with_profiles(&native as &dyn Similarity, profiles),
+            k,
+            &NoopObserver,
+        );
+        let gold = builder.build_erased(
+            BuildInput::with_profiles(&gf as &dyn Similarity, profiles),
+            k,
+            &NoopObserver,
+        );
         let t_nat = nat.stats.wall.as_secs_f64();
         let t_gf = gold.stats.wall.as_secs_f64();
         println!(
-            "{name:<12} {:>10.1}ms {:>10.1}ms {:>8.1} {:>8.2} {:>8.2}",
+            "{:<12} {:>10.1}ms {:>10.1}ms {:>8.1} {:>8.2} {:>8.2}",
+            spec.name,
             t_nat * 1e3,
             t_gf * 1e3,
             (1.0 - t_gf / t_nat) * 100.0,

@@ -14,7 +14,8 @@
 
 use goldfinger::datasets::load::{load_edge_list, load_movielens_dat, load_ratings_csv};
 use goldfinger::datasets::stats::DatasetStats;
-use goldfinger::knn::kiff::Kiff;
+use goldfinger::knn::builder::BuildInput;
+use goldfinger::knn::builders::{self, BuilderConfig};
 use goldfinger::knn::serial::write_knn_graph;
 use goldfinger::prelude::*;
 use goldfinger::theory::privacy::guarantees;
@@ -117,15 +118,16 @@ fn build_graph(cli: &Cli, data: &BinaryDataset) -> Result<(KnnResult, bool), Str
     let algo = cli.get_or("algo", "brute");
     let use_gf = cli.has("goldfinger");
     let bits: u32 = cli.parse_num("bits", 1024)?;
+    let seed: u64 = cli.parse_num("seed", 42)?;
     let profiles = data.profiles();
 
     let result = if use_gf {
         let store = ShfParams::new(bits, DynHasher::default()).fingerprint_store(profiles);
         let sim = ShfJaccard::new(&store);
-        dispatch_algo(&algo, profiles, &sim, k)?
+        dispatch_algo(&algo, profiles, &sim, k, seed)?
     } else {
         let sim = ExplicitJaccard::new(profiles);
-        dispatch_algo(&algo, profiles, &sim, k)?
+        dispatch_algo(&algo, profiles, &sim, k, seed)?
     };
     Ok((result, use_gf))
 }
@@ -135,15 +137,15 @@ fn dispatch_algo<S: Similarity>(
     profiles: &ProfileStore,
     sim: &S,
     k: usize,
+    seed: u64,
 ) -> Result<KnnResult, String> {
-    Ok(match algo {
-        "brute" | "bruteforce" => BruteForce::default().build(sim, k),
-        "hyrec" => Hyrec::default().build(sim, k),
-        "nndescent" => NNDescent::default().build(sim, k),
-        "lsh" => Lsh::default().build(profiles, sim, k),
-        "kiff" => Kiff::default().build(profiles, sim, k),
-        other => return Err(format!("unknown --algo {other:?}")),
-    })
+    let spec = builders::get(algo).ok_or_else(|| format!("unknown --algo {algo:?}"))?;
+    let builder = spec.instantiate(&BuilderConfig { seed, threads: 1 });
+    Ok(builder.build_erased(
+        BuildInput::with_profiles(sim as &dyn Similarity, profiles),
+        k,
+        &NoopObserver,
+    ))
 }
 
 fn run() -> Result<(), String> {

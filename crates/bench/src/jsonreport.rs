@@ -11,6 +11,7 @@ use crate::args::Args;
 use crate::workloads::{
     run_observed, shared_pool, AlgoKind, ExperimentConfig, ProviderKind, RunOutcome,
 };
+use goldfinger_core::kernels::{self, KernelStats};
 use goldfinger_core::pool::PoolStats;
 use goldfinger_datasets::model::BinaryDataset;
 use goldfinger_knn::instrument::MemoryTraffic;
@@ -23,7 +24,9 @@ use std::path::Path;
 /// When the run goes through the shared worker pool (`cfg.threads > 1`),
 /// the pool-counter delta attributable to this run is attached to the
 /// report as a `"pool"` extra object (schema-transparent: `extra` fields
-/// round-trip unvalidated).
+/// round-trip unvalidated). Every run also carries a `"kernel"` extra
+/// naming the dispatched similarity kernel and the batched-gather traffic
+/// it handled during this run.
 pub fn observed_run(
     experiment: &str,
     cfg: &ExperimentConfig,
@@ -34,7 +37,9 @@ pub fn observed_run(
     let obs = RecordingObserver::new();
     let pool = (cfg.threads > 1).then(|| shared_pool(cfg.threads));
     let before = pool.as_ref().map(|p| p.stats());
+    let kernel_before = kernels::stats();
     let out = run_observed(cfg, kind, data, provider, &obs);
+    let kernel_delta = kernels::stats().since(&kernel_before);
     let mut report = report_for(experiment, cfg, kind, data, provider, &out, &obs);
     if let (Some(pool), Some(before)) = (&pool, &before) {
         let delta = pool.stats().since(before);
@@ -42,6 +47,9 @@ pub fn observed_run(
             .extra
             .push(("pool".to_string(), pool_stats_json(&delta)));
     }
+    report
+        .extra
+        .push(("kernel".to_string(), kernel_stats_json(&kernel_delta)));
     (out, report)
 }
 
@@ -56,6 +64,18 @@ pub fn pool_stats_json(stats: &PoolStats) -> Json {
         ("parks", Json::Num(stats.parks as f64)),
         ("unparks", Json::Num(stats.unparks as f64)),
         ("spawns_avoided", Json::Num(stats.spawns_avoided as f64)),
+    ])
+}
+
+/// Renders a [`KernelStats`] delta plus the dispatched kernel's name as the
+/// `"kernel"` extra object of a [`RunReport`]. The name answers "which
+/// code path computed the similarities of this run" when reports from
+/// different machines (or `GF_KERNEL` overrides) are compared.
+pub fn kernel_stats_json(stats: &KernelStats) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(kernels::active().name.to_string())),
+        ("batched_calls", Json::Num(stats.batched_calls as f64)),
+        ("batched_rows", Json::Num(stats.batched_rows as f64)),
     ])
 }
 
@@ -249,6 +269,43 @@ mod tests {
         set.runs.push(report);
         let dir = std::env::temp_dir().join("goldfinger-poolreport-test");
         let path = dir.join("pool.json");
+        write_report(&path, &set).unwrap();
+        assert_eq!(read_report(&path).unwrap(), set);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn goldfinger_runs_attach_kernel_counters_that_round_trip() {
+        let cfg = tiny_cfg();
+        let data = build_dataset(&cfg, SynthConfig::ml1m());
+        let (_, report) = observed_run(
+            "test",
+            &cfg,
+            AlgoKind::Lsh,
+            &data,
+            ProviderKind::GoldFinger(256),
+        );
+        let kernel = report
+            .extra
+            .iter()
+            .find(|(k, _)| k == "kernel")
+            .map(|(_, v)| v)
+            .expect("every run must carry kernel info");
+        assert_eq!(
+            kernel.get("name").and_then(Json::as_str),
+            Some(kernels::active().name)
+        );
+        // LSH scores each user's bucket mates through the batched gather.
+        assert!(kernel.get("batched_calls").and_then(Json::as_u64).unwrap() > 0);
+        assert!(
+            kernel.get("batched_rows").and_then(Json::as_u64).unwrap()
+                >= kernel.get("batched_calls").and_then(Json::as_u64).unwrap()
+        );
+
+        let mut set = ReportSet::new("test");
+        set.runs.push(report);
+        let dir = std::env::temp_dir().join("goldfinger-kernelreport-test");
+        let path = dir.join("kernel.json");
         write_report(&path, &set).unwrap();
         assert_eq!(read_report(&path).unwrap(), set);
         std::fs::remove_dir_all(&dir).ok();

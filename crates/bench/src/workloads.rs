@@ -3,6 +3,7 @@
 //! runs.
 
 use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::kernels::KernelStats;
 use goldfinger_core::pool::{Pool, PoolStats};
 use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::shf::{ShfParams, ShfStore};
@@ -236,6 +237,15 @@ pub fn record_pool_stats(reg: &Registry, stats: &PoolStats) {
     reg.counter("pool.spawns_avoided").add(stats.spawns_avoided);
 }
 
+/// Copies a [`KernelStats`] delta into `reg` as `kernel.*` counters, the
+/// similarity-kernel analogue of [`record_pool_stats`]. The active kernel's
+/// name travels in the JSON report's `"kernel"` extra, not the registry
+/// (registries hold numbers).
+pub fn record_kernel_stats(reg: &Registry, stats: &KernelStats) {
+    reg.counter("kernel.batched_calls").add(stats.batched_calls);
+    reg.counter("kernel.batched_rows").add(stats.batched_rows);
+}
+
 /// Runs one `(algorithm, provider)` combination, reporting per-iteration
 /// events and phase spans (fingerprinting included) to `obs`. The
 /// preparation time lands both in [`RunOutcome::prep`] and in
@@ -419,5 +429,18 @@ mod tests {
         assert_eq!(reg.counter("pool.dispatches").get(), 1);
         assert_eq!(reg.counter("pool.tasks_run").get(), 2);
         assert_eq!(reg.counter("pool.spawns_avoided").get(), 2);
+    }
+
+    #[test]
+    fn record_kernel_stats_lands_in_registry() {
+        let reg = Registry::new();
+        let before = goldfinger_core::kernels::stats();
+        let profiles = ProfileStore::from_item_lists(vec![vec![1, 2], vec![2, 3], vec![3, 4]]);
+        let store = ShfParams::default().fingerprint_store(&profiles);
+        let mut out = [0.0f64; 2];
+        store.jaccard_batch(0, &[1, 2], &mut out);
+        record_kernel_stats(&reg, &goldfinger_core::kernels::stats().since(&before));
+        assert!(reg.counter("kernel.batched_calls").get() >= 1);
+        assert!(reg.counter("kernel.batched_rows").get() >= 2);
     }
 }

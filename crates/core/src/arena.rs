@@ -1,0 +1,205 @@
+//! Cache-line-aligned word storage for packed fingerprint arenas.
+//!
+//! The SIMD similarity kernels ([`crate::kernels`]) load fingerprints as
+//! 256-bit vectors; a `Vec<u64>` only guarantees 8-byte alignment, so a row
+//! can straddle cache lines and every vector load can split across two of
+//! them. [`AlignedWords`] is a fixed-length `u64` buffer whose base address
+//! is aligned to [`CACHE_LINE`] bytes. Combined with row strides chosen by
+//! [`row_words_for`], every fingerprint row starts either at a cache-line
+//! boundary or packs a whole number of rows per line — no row ever
+//! straddles a line it did not need to touch.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (and padding quantum) of fingerprint arenas, in bytes.
+pub const CACHE_LINE: usize = 64;
+
+/// Words per cache line (`CACHE_LINE / 8`).
+pub const LINE_WORDS: usize = CACHE_LINE / 8;
+
+/// Row stride (in words) for fingerprints of `w` logical words.
+///
+/// Wide rows are padded up to a whole number of cache lines; narrow rows
+/// are padded to the next power of two, which divides [`LINE_WORDS`], so a
+/// line holds a whole number of rows. Either way a row never straddles a
+/// cache-line boundary gratuitously, and `b = 64` (one word) keeps a
+/// stride of 1 — no memory inflation on the narrowest fingerprints.
+#[inline]
+pub fn row_words_for(w: usize) -> usize {
+    if w == 0 {
+        0
+    } else if w >= LINE_WORDS {
+        w.next_multiple_of(LINE_WORDS)
+    } else {
+        w.next_power_of_two()
+    }
+}
+
+/// A fixed-length, zero-initialised `u64` buffer aligned to [`CACHE_LINE`]
+/// bytes. Dereferences to `[u64]`; the length never changes after
+/// construction.
+pub struct AlignedWords {
+    ptr: NonNull<u64>,
+    len: usize,
+}
+
+// The buffer is owned and uniquely borrowed through &self/&mut self.
+unsafe impl Send for AlignedWords {}
+unsafe impl Sync for AlignedWords {}
+
+impl AlignedWords {
+    /// Allocates `len` zeroed words at [`CACHE_LINE`] alignment.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedWords {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0).
+        let raw = unsafe { alloc_zeroed(layout) } as *mut u64;
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        AlignedWords { ptr, len }
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<u64>(), CACHE_LINE)
+            .expect("arena size overflows a Layout")
+    }
+
+    /// Length in words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for AlignedWords {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        // SAFETY: ptr is valid for len words (or dangling with len == 0).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AlignedWords {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        // SAFETY: ptr is valid for len words and uniquely borrowed.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedWords {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated in `zeroed` with the same layout.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedWords {
+    fn clone(&self) -> Self {
+        let mut copy = AlignedWords::zeroed(self.len);
+        copy.copy_from_slice(self);
+        copy
+    }
+}
+
+impl PartialEq for AlignedWords {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for AlignedWords {}
+
+impl std::fmt::Debug for AlignedWords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedWords({} words)", self.len)
+    }
+}
+
+impl From<&[u64]> for AlignedWords {
+    fn from(words: &[u64]) -> Self {
+        let mut buf = AlignedWords::zeroed(words.len());
+        buf.copy_from_slice(words);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_cache_line_aligned_and_zeroed() {
+        for len in [1usize, 7, 16, 1000] {
+            let a = AlignedWords::zeroed(len);
+            assert_eq!(a.len(), len);
+            assert_eq!(a.as_ptr() as usize % CACHE_LINE, 0, "len = {len}");
+            assert!(a.iter().all(|&w| w == 0));
+        }
+    }
+
+    #[test]
+    fn empty_allocation_is_fine() {
+        let a = AlignedWords::zeroed(0);
+        assert!(a.is_empty());
+        assert_eq!(&*a, &[] as &[u64]);
+        let _ = a.clone();
+    }
+
+    #[test]
+    fn writes_round_trip_and_clone_copies() {
+        let mut a = AlignedWords::zeroed(9);
+        for (i, w) in a.iter_mut().enumerate() {
+            *w = i as u64 * 3;
+        }
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b[8], 24);
+        let c = AlignedWords::from(&b[..4]);
+        assert_eq!(&*c, &[0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn row_stride_never_straddles_lines() {
+        // Narrow rows: power-of-two strides divide the line.
+        assert_eq!(row_words_for(1), 1);
+        assert_eq!(row_words_for(2), 2);
+        assert_eq!(row_words_for(3), 4);
+        assert_eq!(row_words_for(4), 4);
+        assert_eq!(row_words_for(5), 8);
+        assert_eq!(row_words_for(7), 8);
+        // Wide rows: whole cache lines.
+        assert_eq!(row_words_for(8), 8);
+        assert_eq!(row_words_for(9), 16);
+        assert_eq!(row_words_for(16), 16);
+        assert_eq!(row_words_for(17), 24);
+        assert_eq!(row_words_for(0), 0);
+        for w in 1usize..=40 {
+            let stride = row_words_for(w);
+            assert!(stride >= w);
+            if stride < LINE_WORDS {
+                assert_eq!(LINE_WORDS % stride, 0, "w = {w}");
+            } else {
+                assert_eq!(stride % LINE_WORDS, 0, "w = {w}");
+            }
+        }
+    }
+}

@@ -329,6 +329,25 @@ pub fn or_count_words(a: &[u64], b: &[u64]) -> u32 {
     a.iter().zip(b).map(|(x, y)| (x | y).count_ones()).sum()
 }
 
+/// Fused batch kernel: `popcount(query OR fp_i)` for every fingerprint in a
+/// contiguous block — the union-side counterpart of
+/// [`and_count_words_batch`], used by the `jaccard_via_or` ablation so both
+/// estimator forms go through the same batched machinery.
+///
+/// # Panics
+/// Panics (debug) if `block.len() != query.len() * counts.len()`.
+pub fn or_count_words_batch(query: &[u64], block: &[u64], counts: &mut [u32]) {
+    let w = query.len();
+    debug_assert_eq!(block.len(), w * counts.len());
+    if w == 0 {
+        counts.fill(0);
+        return;
+    }
+    for (fp, out) in block.chunks_exact(w).zip(counts.iter_mut()) {
+        *out = or_count_words(query, fp);
+    }
+}
+
 /// Byte-level lookup-table popcount over `a AND b`, kept as an ablation
 /// baseline against the word-level `count_ones` kernel (see DESIGN.md §7).
 pub fn and_count_words_lut(a: &[u64], b: &[u64]) -> u32 {

@@ -27,10 +27,12 @@
 //!
 //! ## Module map
 //!
+//! - [`arena`] — cache-line-aligned word storage for fingerprint arenas.
 //! - [`bits`] — fixed-width bit arrays and popcount kernels.
 //! - [`blip`] — BLIP differential privacy (randomized response) on SHFs.
 //! - [`estimate`] — collision-corrected size/Jaccard estimators.
 //! - [`hash`] — item hash functions (Jenkins' hash is the paper's choice).
+//! - [`kernels`] — runtime-dispatched SIMD popcount kernels (`GF_KERNEL`).
 //! - [`profile`] — explicit sorted-set profiles and their packed store.
 //! - [`serial`] — versioned binary persistence with integrity checks.
 //! - [`shf`] — Single Hash Fingerprints and the packed fingerprint store.
@@ -42,10 +44,12 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bits;
 pub mod blip;
 pub mod estimate;
 pub mod hash;
+pub mod kernels;
 pub mod parallel;
 pub mod pool;
 pub mod profile;
@@ -55,10 +59,12 @@ pub mod similarity;
 pub mod topk;
 pub mod visit;
 
+pub use arena::{AlignedWords, CACHE_LINE};
 pub use bits::BitArray;
 pub use blip::{BlipJaccard, BlipParams, BlipStore};
 pub use estimate::{corrected_jaccard, estimate_set_size, CorrectedShfJaccard};
 pub use hash::{DynHasher, HasherKind, ItemHasher, JenkinsOneAtATime};
+pub use kernels::{KernelStats, SimKernel};
 pub use pool::{Pool, PoolStats};
 pub use profile::{ItemId, Profile, ProfileStore, UserId};
 pub use serial::{

@@ -14,8 +14,10 @@
 //! similarity approximation (see the multi-hash ablation in
 //! `goldfinger-bench`).
 
-use crate::bits::{and_count_words, or_count_words, BitArray};
+use crate::arena::{row_words_for, AlignedWords};
+use crate::bits::BitArray;
 use crate::hash::{DynHasher, ItemHasher};
+use crate::kernels;
 use crate::parallel::par_map_chunks;
 use crate::pool::Pool;
 use crate::profile::{ItemId, ProfileStore};
@@ -84,11 +86,13 @@ impl<H: ItemHasher> ShfParams<H> {
     {
         assert!(hashes > 0, "need at least one hash function");
         let words_per_fp = BitArray::words_for(self.bits);
+        let row_words = row_words_for(words_per_fp);
         let n = profiles.n_users();
-        let mut data = vec![0u64; words_per_fp * n];
+        let mut data = AlignedWords::zeroed(row_words * n);
         let mut cards = vec![0u32; n];
         for (u, items) in profiles.iter() {
-            let chunk = &mut data[u as usize * words_per_fp..(u as usize + 1) * words_per_fp];
+            let start = u as usize * row_words;
+            let chunk = &mut data[start..start + words_per_fp];
             for &it in items {
                 for h in 0..hashes {
                     // Derive per-function inputs by folding the function
@@ -103,6 +107,7 @@ impl<H: ItemHasher> ShfParams<H> {
         ShfStore {
             bits: self.bits,
             words_per_fp,
+            row_words,
             data,
             cards,
         }
@@ -132,26 +137,29 @@ impl<H: ItemHasher> ShfParams<H> {
     /// bit-identical to the serial pass for any thread count.
     pub fn fingerprint_store_threads(&self, profiles: &ProfileStore, threads: usize) -> ShfStore {
         let words_per_fp = BitArray::words_for(self.bits);
+        let row_words = row_words_for(words_per_fp);
         let n = profiles.n_users();
-        let mut data = vec![0u64; words_per_fp * n];
+        let mut data = AlignedWords::zeroed(row_words * n);
         let mut cards = vec![0u32; n];
-        let mut rows: Vec<(&mut [u64], &mut u32)> = data
-            .chunks_mut(words_per_fp)
-            .zip(cards.iter_mut())
-            .collect();
+        // Rows include their cache-line padding; only the leading
+        // `words_per_fp` words of each are ever written, so the padding
+        // stays zero (the arena invariant batched kernels rely on).
+        let mut rows: Vec<(&mut [u64], &mut u32)> =
+            data.chunks_mut(row_words).zip(cards.iter_mut()).collect();
         par_map_chunks(&mut rows, threads, |_, base, rows| {
             for (off, (words, card)) in rows.iter_mut().enumerate() {
                 for &it in profiles.items((base + off) as u32) {
                     let pos = self.hasher.bit_position(it as u64, self.bits);
                     words[(pos / 64) as usize] |= 1u64 << (pos % 64);
                 }
-                **card = words.iter().map(|w| w.count_ones()).sum();
+                **card = words[..words_per_fp].iter().map(|w| w.count_ones()).sum();
             }
         });
         drop(rows);
         ShfStore {
             bits: self.bits,
             words_per_fp,
+            row_words,
             data,
             cards,
         }
@@ -271,26 +279,45 @@ pub fn jaccard_from_counts(intersection: u32, c1: u32, c2: u32) -> f64 {
     }
 }
 
-/// All users' fingerprints packed into one allocation.
+/// Ids per gather chunk in the fused batch estimators: large enough to
+/// amortise the kernel call and keep the prefetch pipeline full, small
+/// enough for the intermediate counts to live on the stack.
+const GATHER_CHUNK: usize = 64;
+
+/// All users' fingerprints packed into one cache-line-aligned arena.
 ///
-/// Fingerprint `u` occupies `data[u*words_per_fp .. (u+1)*words_per_fp]`.
-/// This is the representation every GoldFinger KNN algorithm scans.
+/// Fingerprint `u` occupies the first `words_per_fp` words of row
+/// `data[u*row_words .. (u+1)*row_words]`, where `row_words` is the
+/// [`row_words_for`] stride: the arena base is 64-byte aligned and rows are
+/// padded (with zero words) so no fingerprint straddles a cache line it
+/// did not need to touch. This is the representation every GoldFinger KNN
+/// algorithm scans; batched lookups go through the runtime-dispatched
+/// [`crate::kernels`].
 #[derive(Debug, Clone)]
 pub struct ShfStore {
     bits: u32,
     words_per_fp: usize,
-    data: Vec<u64>,
+    row_words: usize,
+    data: AlignedWords,
     cards: Vec<u32>,
 }
 
 impl ShfStore {
     /// Reassembles a store from raw parts (the inverse of
     /// [`ShfStore::fingerprint_words`] / [`ShfStore::cardinality`] dumps,
-    /// used by [`crate::serial`]).
+    /// used by [`crate::serial`]). `data` is *unpadded* — `words_per_fp`
+    /// words per fingerprint, back to back, the wire layout — and is
+    /// repacked into the aligned padded arena here.
+    ///
+    /// Cached cardinalities are verified against their bit arrays in debug
+    /// builds only: the full popcount pass is an O(n·w) tax on every
+    /// release-mode load, and [`crate::serial::read_shf_store`] already
+    /// validates untrusted bytes at the integrity boundary. Dimensions are
+    /// still checked in release.
     ///
     /// # Panics
-    /// Panics if the dimensions are inconsistent or a cached cardinality
-    /// does not match its bit array.
+    /// Panics if the dimensions are inconsistent, or (debug builds) if a
+    /// cached cardinality does not match its bit array.
     pub fn from_raw_parts(bits: u32, cards: Vec<u32>, data: Vec<u64>) -> Self {
         assert!(bits > 0, "fingerprint width must be positive");
         let words_per_fp = BitArray::words_for(bits);
@@ -299,15 +326,22 @@ impl ShfStore {
             cards.len() * words_per_fp,
             "data length does not match population and width"
         );
+        #[cfg(debug_assertions)]
         for (u, &card) in cards.iter().enumerate() {
             let words = &data[u * words_per_fp..(u + 1) * words_per_fp];
             let actual: u32 = words.iter().map(|w| w.count_ones()).sum();
             assert_eq!(actual, card, "cardinality mismatch for fingerprint {u}");
         }
+        let row_words = row_words_for(words_per_fp);
+        let mut arena = AlignedWords::zeroed(row_words * cards.len());
+        for (u, fp) in data.chunks_exact(words_per_fp).enumerate() {
+            arena[u * row_words..u * row_words + words_per_fp].copy_from_slice(fp);
+        }
         ShfStore {
             bits,
             words_per_fp,
-            data,
+            row_words,
+            data: arena,
             cards,
         }
     }
@@ -336,10 +370,24 @@ impl ShfStore {
         self.words_per_fp
     }
 
-    /// The raw words of fingerprint `u`.
+    /// Row stride of the arena in words (`words_per_fp` plus cache-line
+    /// padding; see [`row_words_for`]).
+    #[inline]
+    pub fn row_words(&self) -> usize {
+        self.row_words
+    }
+
+    /// The whole arena (padded rows), for batched kernels and benches.
+    #[inline]
+    pub fn arena_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// The raw words of fingerprint `u` (without its row padding).
     #[inline]
     pub fn fingerprint_words(&self, u: u32) -> &[u64] {
-        &self.data[u as usize * self.words_per_fp..(u as usize + 1) * self.words_per_fp]
+        let start = u as usize * self.row_words;
+        &self.data[start..start + self.words_per_fp]
     }
 
     /// Cached cardinality of fingerprint `u`.
@@ -351,7 +399,7 @@ impl ShfStore {
     /// Estimated Jaccard index between users `u` and `v` (Eq. 4).
     #[inline]
     pub fn jaccard(&self, u: u32, v: u32) -> f64 {
-        let inter = and_count_words(self.fingerprint_words(u), self.fingerprint_words(v));
+        let inter = kernels::and_count(self.fingerprint_words(u), self.fingerprint_words(v));
         jaccard_from_counts(inter, self.cards[u as usize], self.cards[v as usize])
     }
 
@@ -361,12 +409,86 @@ impl ShfStore {
     pub fn jaccard_via_or(&self, u: u32, v: u32) -> f64 {
         let a = self.fingerprint_words(u);
         let b = self.fingerprint_words(v);
-        let inter = and_count_words(a, b);
-        let union = or_count_words(a, b);
+        let inter = kernels::and_count(a, b);
+        let union = kernels::or_count(a, b);
         if union == 0 {
             0.0
         } else {
             inter as f64 / union as f64
+        }
+    }
+
+    /// Batched `|B_u ∧ B_id|` for a scattered id list, through the active
+    /// kernel's gather entry point (with next-row software prefetch).
+    ///
+    /// # Panics
+    /// Panics if `ids.len() != counts.len()` or any id is out of range.
+    #[inline]
+    pub fn and_counts_gather(&self, u: u32, ids: &[u32], counts: &mut [u32]) {
+        assert_eq!(ids.len(), counts.len());
+        let query = self.fingerprint_words(u);
+        (kernels::active().and_counts_gather)(query, &self.data, self.row_words, ids, counts);
+        kernels::note_batched(ids.len());
+    }
+
+    /// Batched `|B_u ∨ B_id|` — the union-side mirror of
+    /// [`ShfStore::and_counts_gather`], for `jaccard_via_or` ablations.
+    ///
+    /// # Panics
+    /// Panics if `ids.len() != counts.len()` or any id is out of range.
+    #[inline]
+    pub fn or_counts_gather(&self, u: u32, ids: &[u32], counts: &mut [u32]) {
+        assert_eq!(ids.len(), counts.len());
+        let query = self.fingerprint_words(u);
+        (kernels::active().or_counts_gather)(query, &self.data, self.row_words, ids, counts);
+        kernels::note_batched(ids.len());
+    }
+
+    /// Query-major batched Jaccard (Eq. 4): estimates `Ĵ(u, id)` for every
+    /// id, fusing the gather-popcount with the division so callers never
+    /// see intermediate counts. Works in fixed-size stack chunks — no
+    /// allocation, any `ids.len()`.
+    ///
+    /// Values are identical to per-pair [`ShfStore::jaccard`] calls: the
+    /// counts are exact integers and the final division is performed in
+    /// the same order on the same inputs.
+    ///
+    /// # Panics
+    /// Panics if `ids.len() != out.len()` or any id is out of range.
+    pub fn jaccard_batch(&self, u: u32, ids: &[u32], out: &mut [f64]) {
+        assert_eq!(ids.len(), out.len());
+        let c_u = self.cards[u as usize];
+        let mut counts = [0u32; GATHER_CHUNK];
+        for (ids, out) in ids.chunks(GATHER_CHUNK).zip(out.chunks_mut(GATHER_CHUNK)) {
+            let counts = &mut counts[..ids.len()];
+            self.and_counts_gather(u, ids, counts);
+            for ((&inter, &v), o) in counts.iter().zip(ids).zip(out.iter_mut()) {
+                *o = jaccard_from_counts(inter, c_u, self.cards[v as usize]);
+            }
+        }
+    }
+
+    /// Query-major batched cosine: `|B_u ∧ B_id| / √(c_u·c_id)` for every
+    /// id, with the same chunked-gather structure (and the same values) as
+    /// [`ShfStore::jaccard_batch`].
+    ///
+    /// # Panics
+    /// Panics if `ids.len() != out.len()` or any id is out of range.
+    pub fn cosine_batch(&self, u: u32, ids: &[u32], out: &mut [f64]) {
+        assert_eq!(ids.len(), out.len());
+        let c_u = self.cards[u as usize];
+        let mut counts = [0u32; GATHER_CHUNK];
+        for (ids, out) in ids.chunks(GATHER_CHUNK).zip(out.chunks_mut(GATHER_CHUNK)) {
+            let counts = &mut counts[..ids.len()];
+            self.and_counts_gather(u, ids, counts);
+            for ((&inter, &v), o) in counts.iter().zip(ids).zip(out.iter_mut()) {
+                let c_v = self.cards[v as usize];
+                *o = if c_u == 0 || c_v == 0 {
+                    0.0
+                } else {
+                    inter as f64 / ((c_u as f64) * (c_v as f64)).sqrt()
+                };
+            }
         }
     }
 
@@ -378,8 +500,8 @@ impl ShfStore {
     /// Panics if the widths differ or `u` is out of range.
     pub fn set_fingerprint(&mut self, u: u32, shf: &Shf) {
         assert_eq!(shf.width(), self.bits, "fingerprint width mismatch");
-        let chunk =
-            &mut self.data[u as usize * self.words_per_fp..(u as usize + 1) * self.words_per_fp];
+        let start = u as usize * self.row_words;
+        let chunk = &mut self.data[start..start + self.words_per_fp];
         chunk.copy_from_slice(shf.bits().words());
         self.cards[u as usize] = shf.cardinality();
     }
@@ -616,6 +738,97 @@ mod tests {
         let profiles = ProfileStore::from_item_lists(vec![vec![1], vec![2]]);
         let store = params(1024).fingerprint_store(&profiles);
         // 1024 bits = 128 bytes per fingerprint + 4-byte cardinality, ×2.
+        // The model counts logical payload; arena padding is not traffic.
         assert_eq!(store.bytes_per_comparison(), 2 * (128 + 4));
+    }
+
+    #[test]
+    fn arena_rows_are_aligned_and_padding_stays_zero() {
+        // 320 bits = 5 words, padded to a stride of 8 (one cache line).
+        let lists: Vec<Vec<u32>> = (0..6).map(|u| (u * 10..u * 10 + 30).collect()).collect();
+        let store = params(320).fingerprint_store(&ProfileStore::from_item_lists(lists));
+        assert_eq!(store.words_per_fingerprint(), 5);
+        assert_eq!(store.row_words(), 8);
+        assert_eq!(store.arena_words().as_ptr() as usize % 64, 0);
+        for u in 0..store.len() {
+            let row = &store.arena_words()[u * 8..(u + 1) * 8];
+            assert!(row[5..].iter().all(|&w| w == 0), "padding dirty for {u}");
+        }
+        // b = 64 must not inflate: one word per row, stride 1.
+        let narrow = params(64).fingerprint_store(&ProfileStore::from_item_lists(vec![vec![1]]));
+        assert_eq!(narrow.row_words(), 1);
+    }
+
+    fn batch_fixture() -> ShfStore {
+        let lists: Vec<Vec<u32>> = (0..37)
+            .map(|u| ((u * 3)..(u * 3 + 5 + u % 17)).collect())
+            .collect();
+        params(320).fingerprint_store(&ProfileStore::from_item_lists(lists))
+    }
+
+    #[test]
+    fn gather_counts_match_pairwise_kernel() {
+        let store = batch_fixture();
+        // Repeats, non-monotonic order, and more ids than one gather chunk.
+        let ids: Vec<u32> = (0..150u32).map(|i| (i * 13) % 37).collect();
+        let mut and_counts = vec![0u32; ids.len()];
+        let mut or_counts = vec![0u32; ids.len()];
+        store.and_counts_gather(5, &ids, &mut and_counts);
+        store.or_counts_gather(5, &ids, &mut or_counts);
+        for (&v, (&a, &o)) in ids.iter().zip(and_counts.iter().zip(&or_counts)) {
+            assert_eq!(a, store.get(5).bits().and_count(store.get(v).bits()));
+            assert_eq!(o, store.get(5).bits().or_count(store.get(v).bits()));
+        }
+    }
+
+    #[test]
+    fn batched_estimates_equal_per_pair_calls() {
+        let store = batch_fixture();
+        let ids: Vec<u32> = (0..150u32).map(|i| (i * 7) % 37).collect();
+        let mut jac = vec![0.0; ids.len()];
+        let mut cos = vec![0.0; ids.len()];
+        store.jaccard_batch(3, &ids, &mut jac);
+        store.cosine_batch(3, &ids, &mut cos);
+        let q = store.get(3);
+        for ((&v, &j), &c) in ids.iter().zip(&jac).zip(&cos) {
+            let other = store.get(v);
+            // Bit-identical, not merely close: same integer counts, same
+            // division — the determinism contract of the batched path.
+            assert_eq!(j, q.jaccard(&other), "jaccard id {v}");
+            assert_eq!(c, q.cosine(&other), "cosine id {v}");
+        }
+    }
+
+    #[test]
+    fn batched_calls_are_counted() {
+        let store = batch_fixture();
+        let before = kernels::stats();
+        let ids = [0u32, 4, 9];
+        let mut out = [0.0; 3];
+        store.jaccard_batch(0, &ids, &mut out);
+        let delta = kernels::stats().since(&before);
+        assert!(delta.batched_calls >= 1);
+        assert!(delta.batched_rows >= ids.len() as u64);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_through_unpadded_wire_layout() {
+        let store = batch_fixture();
+        let mut data = Vec::new();
+        let mut cards = Vec::new();
+        for u in 0..store.len() as u32 {
+            data.extend_from_slice(store.fingerprint_words(u));
+            cards.push(store.cardinality(u));
+        }
+        let back = ShfStore::from_raw_parts(store.width(), cards, data);
+        assert_eq!(back.data, store.data);
+        assert_eq!(back.cards, store.cards);
+        assert_eq!(back.row_words(), store.row_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_raw_parts_rejects_bad_dimensions_in_release_too() {
+        let _ = ShfStore::from_raw_parts(128, vec![1, 1], vec![1u64; 3]);
     }
 }

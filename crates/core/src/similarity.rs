@@ -44,6 +44,25 @@ pub trait Similarity: Sync {
         let _ = (u, v);
         None
     }
+
+    /// Similarities between user `u` and every user in `vs`, one value per
+    /// candidate in order.
+    ///
+    /// The default loops over [`Similarity::similarity`], so every provider
+    /// keeps its exact semantics (instrumented wrappers count each pair);
+    /// packed-fingerprint providers override it with the batched gather
+    /// kernels of [`ShfStore`]. The contract is strict: `out[i]` must equal
+    /// `self.similarity(u, vs[i])` bit for bit — batching is a scheduling
+    /// change, never a value change.
+    ///
+    /// # Panics
+    /// Panics if `vs.len() != out.len()`.
+    fn similarity_batch(&self, u: u32, vs: &[u32], out: &mut [f64]) {
+        assert_eq!(vs.len(), out.len());
+        for (&v, o) in vs.iter().zip(out.iter_mut()) {
+            *o = self.similarity(u, v);
+        }
+    }
 }
 
 /// `min(c1,c2) / max(c1,c2)`, the Jaccard upper bound (0 when both empty).
@@ -199,6 +218,11 @@ impl Similarity for ShfJaccard<'_> {
             self.store.cardinality(v) as u64,
         ))
     }
+
+    #[inline]
+    fn similarity_batch(&self, u: u32, vs: &[u32], out: &mut [f64]) {
+        self.store.jaccard_batch(u, vs, out);
+    }
 }
 
 /// GoldFinger provider: the SHF cosine estimator.
@@ -226,7 +250,7 @@ impl Similarity for ShfCosine<'_> {
         if cu == 0 || cv == 0 {
             return 0.0;
         }
-        let inter = crate::bits::and_count_words(
+        let inter = crate::kernels::and_count(
             self.store.fingerprint_words(u),
             self.store.fingerprint_words(v),
         ) as f64;
@@ -247,6 +271,11 @@ impl Similarity for ShfCosine<'_> {
             )
             .sqrt(),
         )
+    }
+
+    #[inline]
+    fn similarity_batch(&self, u: u32, vs: &[u32], out: &mut [f64]) {
+        self.store.cosine_batch(u, vs, out);
     }
 }
 
@@ -309,6 +338,27 @@ mod tests {
         let approx = ShfCosine::new(&store);
         assert!((exact.similarity(0, 1) - approx.similarity(0, 1)).abs() < 0.05);
         assert_eq!(approx.similarity(0, 3), 0.0);
+    }
+
+    #[test]
+    fn similarity_batch_is_bit_identical_to_per_pair_for_all_providers() {
+        let profiles = small_store();
+        let store = ShfParams::new(320, DynHasher::new(HasherKind::Jenkins, 7))
+            .fingerprint_store(&profiles);
+        let providers: Vec<Box<dyn Similarity>> = vec![
+            Box::new(ExplicitJaccard::new(&profiles)),
+            Box::new(ExplicitCosine::new(&profiles)),
+            Box::new(ShfJaccard::new(&store)),
+            Box::new(ShfCosine::new(&store)),
+        ];
+        let vs = [1u32, 3, 0, 2, 2, 1];
+        for (i, sim) in providers.iter().enumerate() {
+            let mut out = vec![0.0; vs.len()];
+            sim.similarity_batch(0, &vs, &mut out);
+            for (&v, &got) in vs.iter().zip(&out) {
+                assert_eq!(got, sim.similarity(0, v), "provider {i}, candidate {v}");
+            }
+        }
     }
 
     #[test]

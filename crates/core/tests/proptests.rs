@@ -1,9 +1,11 @@
 //! Property-based tests for the fingerprint kernels.
 
 use goldfinger_core::bits::{
-    and_count_words, and_count_words_batch, and_count_words_lut, BitArray,
+    and_count_words, and_count_words_batch, and_count_words_lut, or_count_words,
+    or_count_words_batch, BitArray,
 };
 use goldfinger_core::hash::{DynHasher, HasherKind, ItemHasher};
+use goldfinger_core::kernels;
 use goldfinger_core::profile::{intersection_size_sorted, Profile, ProfileStore};
 use goldfinger_core::shf::ShfParams;
 use goldfinger_core::similarity::{
@@ -88,6 +90,101 @@ proptest! {
         and_count_words_batch(query.words(), &block, &mut counts);
         for (fp, &got) in fps.iter().zip(&counts) {
             prop_assert_eq!(got, and_count_words_lut(query.words(), fp.words()));
+        }
+    }
+
+    /// The batched OR kernel matches the pairwise scalar baseline on
+    /// arbitrary widths — the union side of the Eq. 4 identity.
+    #[test]
+    fn or_batch_matches_pairwise_scalar(
+        bits in 1u32..600,
+        seeds in proptest::collection::vec(0u64..1000, 1..8),
+        query_seed in 0u64..1000,
+    ) {
+        let fill = |seed: u64| {
+            let positions: Vec<u32> = (0..bits)
+                .filter(|&p| (p as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed).is_multiple_of(3))
+                .collect();
+            BitArray::from_positions(bits, positions)
+        };
+        let query = fill(query_seed);
+        let fps: Vec<BitArray> = seeds.iter().map(|&s| fill(s)).collect();
+        let block: Vec<u64> = fps.iter().flat_map(|f| f.words().iter().copied()).collect();
+        let mut counts = vec![0u32; fps.len()];
+        or_count_words_batch(query.words(), &block, &mut counts);
+        for (fp, &got) in fps.iter().zip(&counts) {
+            prop_assert_eq!(got, or_count_words(query.words(), fp.words()));
+        }
+    }
+
+    /// Every runtime-dispatchable kernel variant available on this host is
+    /// bit-identical to the LUT baseline — pairwise, batched, and gathered —
+    /// on arbitrary widths including non-multiples of 64 and the one-word
+    /// fast-path width.
+    #[test]
+    fn every_kernel_variant_matches_lut_on_arbitrary_widths(
+        bits in prop_oneof![1u32..600, Just(64u32), 600u32..2048],
+        seeds in proptest::collection::vec(0u64..1000, 1..8),
+        query_seed in 0u64..1000,
+    ) {
+        let fill = |seed: u64| {
+            let positions: Vec<u32> = (0..bits)
+                .filter(|&p| (p as u64).wrapping_mul(0x6A09_E667).wrapping_add(seed).is_multiple_of(3))
+                .collect();
+            BitArray::from_positions(bits, positions)
+        };
+        let query = fill(query_seed);
+        let fps: Vec<BitArray> = seeds.iter().map(|&s| fill(s)).collect();
+        let w = query.words().len();
+        let block: Vec<u64> = fps.iter().flat_map(|f| f.words().iter().copied()).collect();
+        let ids: Vec<u32> = (0..fps.len() as u32).collect();
+        for kernel in kernels::available() {
+            // Pairwise entry points vs the LUT baseline.
+            for fp in &fps {
+                let and_want = and_count_words_lut(query.words(), fp.words());
+                let or_want = or_count_words(query.words(), fp.words());
+                prop_assert_eq!(
+                    (kernel.and_count)(query.words(), fp.words()),
+                    and_want,
+                    "{} and_count at {} bits", kernel.name, bits
+                );
+                prop_assert_eq!(
+                    (kernel.or_count)(query.words(), fp.words()),
+                    or_want,
+                    "{} or_count at {} bits", kernel.name, bits
+                );
+            }
+            // Batched and gathered (stride = width: dense block) entry
+            // points, element-wise against the pairwise results.
+            let mut and_batch = vec![0u32; fps.len()];
+            let mut or_batch = vec![0u32; fps.len()];
+            let mut and_gather = vec![0u32; fps.len()];
+            let mut or_gather = vec![0u32; fps.len()];
+            (kernel.and_count_batch)(query.words(), &block, &mut and_batch);
+            (kernel.or_count_batch)(query.words(), &block, &mut or_batch);
+            (kernel.and_counts_gather)(query.words(), &block, w, &ids, &mut and_gather);
+            (kernel.or_counts_gather)(query.words(), &block, w, &ids, &mut or_gather);
+            for (i, fp) in fps.iter().enumerate() {
+                let and_want = and_count_words_lut(query.words(), fp.words());
+                let or_want = or_count_words(query.words(), fp.words());
+                prop_assert_eq!(and_batch[i], and_want, "{} and_batch", kernel.name);
+                prop_assert_eq!(or_batch[i], or_want, "{} or_batch", kernel.name);
+                prop_assert_eq!(and_gather[i], and_want, "{} and_gather", kernel.name);
+                prop_assert_eq!(or_gather[i], or_want, "{} or_gather", kernel.name);
+            }
+        }
+        // The module-level one-word fast path agrees too when applicable.
+        if w == 1 {
+            for fp in &fps {
+                prop_assert_eq!(
+                    kernels::and_count(query.words(), fp.words()),
+                    and_count_words_lut(query.words(), fp.words())
+                );
+                prop_assert_eq!(
+                    kernels::or_count(query.words(), fp.words()),
+                    or_count_words(query.words(), fp.words())
+                );
+            }
         }
     }
 

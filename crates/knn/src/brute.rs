@@ -49,11 +49,14 @@ impl Default for BruteForce {
 }
 
 /// One worker's private fold state: top-k partials over every user plus the
-/// evaluation counters. No locks are taken on the hot path.
+/// evaluation counters and the batched-scoring buffers. No locks are taken
+/// on the hot path.
 struct ScanState {
     tops: Vec<TopK>,
     evals: u64,
     pruned: u64,
+    ids: Vec<u32>,
+    sims: Vec<f64>,
 }
 
 impl BruteForce {
@@ -107,6 +110,8 @@ impl BruteForce {
                 tops: (0..n).map(|_| TopK::new(k)).collect(),
                 evals: 0,
                 pruned: 0,
+                ids: Vec::new(),
+                sims: Vec::new(),
             },
             |state, c| {
                 let (ti, tj) = cells[c];
@@ -114,26 +119,50 @@ impl BruteForce {
                 for u in (ti * tile)..ue {
                     // The diagonal cell covers only its own upper triangle.
                     let v0 = if ti == tj { u + 1 } else { tj * tile };
+                    if !prune {
+                        // No prune decisions to interleave, so the whole row
+                        // of the cell batches through one `similarity_batch`
+                        // call (the gather kernel for fingerprint
+                        // providers); offers happen in the same ascending-v
+                        // order as the per-pair loop.
+                        if v0 >= ve {
+                            continue;
+                        }
+                        let uu = u as u32;
+                        state.ids.clear();
+                        state.ids.extend(v0 as u32..ve as u32);
+                        state.sims.clear();
+                        state.sims.resize(state.ids.len(), 0.0);
+                        sim.similarity_batch(uu, &state.ids, &mut state.sims);
+                        state.evals += state.ids.len() as u64;
+                        for (&vv, &s) in state.ids.iter().zip(&state.sims) {
+                            state.tops[u].offer(s, vv);
+                            state.tops[vv as usize].offer(s, uu);
+                        }
+                        continue;
+                    }
                     for v in v0..ve {
                         let (uu, vv) = (u as u32, v as u32);
-                        if prune {
-                            // Only consult the bound once both sides are
-                            // full: an underfull top-k admits everything.
-                            if let (Some(tu), Some(tv)) =
-                                (state.tops[u].threshold(), state.tops[v].threshold())
+                        // Only consult the bound once both sides are full:
+                        // an underfull top-k admits everything. The prune
+                        // check reads both endpoints' *evolving* thresholds,
+                        // so pruned scans stay per-pair — deferring offers
+                        // behind a batch would change which pairs get
+                        // pruned, breaking the pinned counters.
+                        if let (Some(tu), Some(tv)) =
+                            (state.tops[u].threshold(), state.tops[v].threshold())
+                        {
+                            // Strictly below both thresholds ⇒ `offer`
+                            // would reject the pair on both sides even
+                            // on a similarity tie (ties are admitted
+                            // towards lower user ids, hence the strict
+                            // comparison).
+                            if sim
+                                .similarity_upper_bound(uu, vv)
+                                .is_some_and(|b| b < tu && b < tv)
                             {
-                                // Strictly below both thresholds ⇒ `offer`
-                                // would reject the pair on both sides even
-                                // on a similarity tie (ties are admitted
-                                // towards lower user ids, hence the strict
-                                // comparison).
-                                if sim
-                                    .similarity_upper_bound(uu, vv)
-                                    .is_some_and(|b| b < tu && b < tv)
-                                {
-                                    state.pruned += 1;
-                                    continue;
-                                }
+                                state.pruned += 1;
+                                continue;
                             }
                         }
                         let s = sim.similarity(uu, vv);

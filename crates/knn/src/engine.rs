@@ -38,14 +38,30 @@ pub trait Joiner {
     /// Evaluates `similarity(a, b)` once and offers it to both `a`'s and
     /// `b`'s neighbour lists.
     fn join(&mut self, a: u32, b: u32);
+
+    /// Joins `a` against every candidate in `bs`, in order.
+    ///
+    /// Semantically identical to `for &b in bs { self.join(a, b) }` — same
+    /// pairs, same order, same values, same counters — which is also the
+    /// default implementation. The engine joiners override it to score the
+    /// whole candidate list through [`Similarity::similarity_batch`] (the
+    /// gather kernels for fingerprint providers) before applying the list
+    /// inserts in the original order.
+    fn join_batch(&mut self, a: u32, bs: &[u32]) {
+        for &b in bs {
+            self.join(a, b);
+        }
+    }
 }
 
-/// The serial joiner: exclusive access to the lists, plain counters.
+/// The serial joiner: exclusive access to the lists, plain counters, and a
+/// reusable similarity buffer for batched joins.
 pub struct SerialJoiner<'a, S: ?Sized> {
     lists: &'a mut [NeighborList],
     sim: &'a S,
     evals: &'a mut u64,
     updates: &'a mut u64,
+    batch: Vec<f64>,
 }
 
 impl<S: Similarity + ?Sized> Joiner for SerialJoiner<'_, S> {
@@ -59,15 +75,38 @@ impl<S: Similarity + ?Sized> Joiner for SerialJoiner<'_, S> {
             *self.updates += 1;
         }
     }
+
+    fn join_batch(&mut self, a: u32, bs: &[u32]) {
+        if bs.len() < 2 {
+            // Nothing to amortise; skip the buffer bookkeeping.
+            for &b in bs {
+                self.join(a, b);
+            }
+            return;
+        }
+        self.batch.clear();
+        self.batch.resize(bs.len(), 0.0);
+        self.sim.similarity_batch(a, bs, &mut self.batch);
+        *self.evals += bs.len() as u64;
+        for (&b, &s) in bs.iter().zip(&self.batch) {
+            if self.lists[a as usize].insert(b, s) {
+                *self.updates += 1;
+            }
+            if self.lists[b as usize].insert(a, s) {
+                *self.updates += 1;
+            }
+        }
+    }
 }
 
 /// The parallel joiner: per-node locks (one held at a time — no nesting, no
-/// deadlock) and atomic counters.
+/// deadlock), atomic counters, and a per-worker similarity buffer.
 pub struct ParJoiner<'a, S: ?Sized> {
     locks: &'a [Mutex<NeighborList>],
     sim: &'a S,
     evals: &'a AtomicU64,
     updates: &'a AtomicU64,
+    batch: Vec<f64>,
 }
 
 impl<S: Similarity + ?Sized> Joiner for ParJoiner<'_, S> {
@@ -80,6 +119,31 @@ impl<S: Similarity + ?Sized> Joiner for ParJoiner<'_, S> {
         }
         if self.locks[b as usize].lock().unwrap().insert(a, s) {
             changed += 1;
+        }
+        if changed > 0 {
+            self.updates.fetch_add(changed, Ordering::Relaxed);
+        }
+    }
+
+    fn join_batch(&mut self, a: u32, bs: &[u32]) {
+        if bs.len() < 2 {
+            for &b in bs {
+                self.join(a, b);
+            }
+            return;
+        }
+        self.batch.clear();
+        self.batch.resize(bs.len(), 0.0);
+        self.sim.similarity_batch(a, bs, &mut self.batch);
+        self.evals.fetch_add(bs.len() as u64, Ordering::Relaxed);
+        let mut changed = 0u64;
+        for (&b, &s) in bs.iter().zip(&self.batch) {
+            if self.locks[a as usize].lock().unwrap().insert(b, s) {
+                changed += 1;
+            }
+            if self.locks[b as usize].lock().unwrap().insert(a, s) {
+                changed += 1;
+            }
         }
         if changed > 0 {
             self.updates.fetch_add(changed, Ordering::Relaxed);
@@ -238,6 +302,7 @@ impl RefineEngine {
                     sim,
                     evals: &mut evals,
                     updates: &mut updates,
+                    batch: Vec::new(),
                 };
                 for u in 0..n {
                     strategy.join_user(&plan, u, &mut scratch, &mut joiner);
@@ -325,6 +390,7 @@ impl RefineEngine {
                     sim,
                     evals: &evals,
                     updates: &updates,
+                    batch: Vec::new(),
                 };
                 for u in lo..hi {
                     strategy.join_user(&plan, u, &mut scratch, &mut joiner);

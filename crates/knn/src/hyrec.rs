@@ -89,7 +89,8 @@ impl JoinStrategy for Hyrec {
     /// Snapshot of every user's neighbour ids as the iteration starts:
     /// Hyrec explores the graph as it stood, not as it mutates.
     type Plan = Vec<Vec<u32>>;
-    type Scratch = VisitStamp;
+    /// Visited stamp plus a candidate buffer for the batched join.
+    type Scratch = (VisitStamp, Vec<u32>);
 
     fn candidates(&self, _k: usize, lists: &mut ListsView<'_>, _rng: &mut StdRng) -> Self::Plan {
         (0..lists.len())
@@ -97,15 +98,15 @@ impl JoinStrategy for Hyrec {
             .collect()
     }
 
-    fn scratch(&self, n: usize) -> VisitStamp {
-        VisitStamp::new(n)
+    fn scratch(&self, n: usize) -> Self::Scratch {
+        (VisitStamp::new(n), Vec::new())
     }
 
     fn join_user<J: Joiner>(
         &self,
         snapshot: &Self::Plan,
         u: usize,
-        stamp: &mut VisitStamp,
+        (stamp, candidates): &mut Self::Scratch,
         joiner: &mut J,
     ) {
         stamp.next_round();
@@ -113,13 +114,18 @@ impl JoinStrategy for Hyrec {
         for &v in &snapshot[u] {
             stamp.mark(v as usize); // already a neighbour: skip
         }
+        // Dedup the two-hop frontier first, then score it as one batch
+        // against u — same candidates in the same order as the nested
+        // per-pair loop, but through the gather kernel.
+        candidates.clear();
         for &v in &snapshot[u] {
             for &w in &snapshot[v as usize] {
                 if stamp.mark(w as usize) {
-                    joiner.join(u as u32, w);
+                    candidates.push(w);
                 }
             }
         }
+        joiner.join_batch(u as u32, candidates);
     }
 }
 

@@ -129,6 +129,7 @@ impl Kiff {
         let score_start = O::ENABLED.then(Instant::now);
         let mut count = vec![0u32; n];
         let mut visited = VisitStamp::new(n);
+        let mut sims: Vec<f64> = Vec::new();
         let mut neighbors = Vec::with_capacity(n);
         for u in 0..n as u32 {
             visited.next_round();
@@ -156,10 +157,16 @@ impl Kiff {
                 count[b as usize].cmp(&count[a as usize]).then(a.cmp(&b))
             });
             touched.truncate(budget);
+            // Score the whole ranked shortlist in one batched call (the
+            // gather kernel for fingerprint providers), then offer the
+            // values in the same ranked order as the per-pair loop did.
+            evals += touched.len() as u64;
+            sims.clear();
+            sims.resize(touched.len(), 0.0);
+            sim.similarity_batch(u, &touched, &mut sims);
             let mut top = TopK::new(k);
-            for &v in &touched {
-                evals += 1;
-                top.offer(sim.similarity(u, v), v);
+            for (&v, &s) in touched.iter().zip(&sims) {
+                top.offer(s, v);
             }
             neighbors.push(top.into_sorted());
         }

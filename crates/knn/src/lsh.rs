@@ -124,6 +124,8 @@ impl Lsh {
         let scan_start = O::ENABLED.then(Instant::now);
         struct ScanSlot {
             stamp: VisitStamp,
+            candidates: Vec<u32>,
+            sims: Vec<f64>,
             evals: u64,
             out: Vec<(u32, Vec<goldfinger_core::topk::Scored>)>,
         }
@@ -133,6 +135,8 @@ impl Lsh {
             32,
             |_| ScanSlot {
                 stamp: VisitStamp::new(n),
+                candidates: Vec::new(),
+                sims: Vec::new(),
                 evals: 0,
                 out: Vec::new(),
             },
@@ -140,8 +144,13 @@ impl Lsh {
                 let u = u as u32;
                 slot.stamp.next_round();
                 slot.stamp.mark(u as usize);
-                let mut top = TopK::new(k);
                 let items = profiles.items(u);
+                // Collect this user's bucket mates across every table (in
+                // table order, stamp-deduplicated) first, then score the
+                // whole list in one batched call — same candidates in the
+                // same order as offering per pair, but through the gather
+                // kernel for fingerprint providers.
+                slot.candidates.clear();
                 if !items.is_empty() {
                     for (t, buckets) in tables.iter().enumerate() {
                         let table_seed =
@@ -152,13 +161,19 @@ impl Lsh {
                             .min()
                             .expect("non-empty profile");
                         for &v in buckets.get(&key).map_or(&[][..], Vec::as_slice) {
-                            if !slot.stamp.mark(v as usize) {
-                                continue;
+                            if slot.stamp.mark(v as usize) {
+                                slot.candidates.push(v);
                             }
-                            slot.evals += 1;
-                            top.offer(sim.similarity(u, v), v);
                         }
                     }
+                }
+                slot.evals += slot.candidates.len() as u64;
+                slot.sims.clear();
+                slot.sims.resize(slot.candidates.len(), 0.0);
+                sim.similarity_batch(u, &slot.candidates, &mut slot.sims);
+                let mut top = TopK::new(k);
+                for (&v, &s) in slot.candidates.iter().zip(&slot.sims) {
+                    top.offer(s, v);
                 }
                 slot.out.push((u, top.into_sorted()));
             },

@@ -100,7 +100,8 @@ pub struct NNDescentPlan {
 
 impl JoinStrategy for NNDescent {
     type Plan = NNDescentPlan;
-    type Scratch = ();
+    /// Candidate buffer for filtered new×old batches.
+    type Scratch = Vec<u32>;
 
     fn validate(&self) {
         assert!(
@@ -183,30 +184,31 @@ impl JoinStrategy for NNDescent {
         NNDescentPlan { new_sets, old_sets }
     }
 
-    fn scratch(&self, _n: usize) -> Self::Scratch {}
+    fn scratch(&self, _n: usize) -> Self::Scratch {
+        Vec::new()
+    }
 
     fn join_user<J: Joiner>(
         &self,
         plan: &NNDescentPlan,
         u: usize,
-        _scratch: &mut Self::Scratch,
+        scratch: &mut Self::Scratch,
         joiner: &mut J,
     ) {
         let new_set = &plan.new_sets[u];
         let old_set = &plan.old_sets[u];
-        // new × new (exploit id order to join each pair once) …
+        // new × new (exploit id order to join each pair once): each a_i is
+        // batched against the tail of the set — same pairs, same order as
+        // the nested per-pair loop, scored through the gather kernel.
         for (i, &a) in new_set.iter().enumerate() {
-            for &b in &new_set[i + 1..] {
-                joiner.join(a, b);
-            }
+            joiner.join_batch(a, &new_set[i + 1..]);
         }
-        // … and new × old.
+        // … and new × old, filtering self-pairs into the scratch buffer so
+        // the remaining candidates batch.
         for &a in new_set {
-            for &b in old_set {
-                if a != b {
-                    joiner.join(a, b);
-                }
-            }
+            scratch.clear();
+            scratch.extend(old_set.iter().copied().filter(|&b| b != a));
+            joiner.join_batch(a, scratch);
         }
     }
 }

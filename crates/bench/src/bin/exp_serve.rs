@@ -1,0 +1,234 @@
+//! Online-serving replay driver: sharded `KnnService` under a
+//! deterministic interleaved stream of profile updates and top-k lookups.
+//!
+//! The paper's §1.2 motivation — "web real-time" services refreshing
+//! suggestions on fresh data — is exercised end to end: the driver builds
+//! an initial GoldFinger graph, partitions it into shards, replays a
+//! seeded op log (updates queue batched repairs; lookups read epoch
+//! snapshots), and reports p50/p99 latencies plus sustained throughput
+//! through the `goldfinger-bench/v1` `RunReport` schema.
+//!
+//! ```text
+//! cargo run --release -p goldfinger-bench --bin exp_serve [-- \
+//!     --ops 100000 --batch 256 --update-pct 30 --shards 8 \
+//!     --verify-serial --json results/serve.json]
+//! ```
+//!
+//! `--verify-serial` replays the identical op log a second time on a
+//! fresh single-threaded service and asserts both runs produced the same
+//! lookup and graph digests — the CI legs run this at `GF_THREADS ∈
+//! {1,4}` so a thread-count-dependent drain cannot land.
+
+use goldfinger_bench::workloads::{build_dataset, shared_pool};
+use goldfinger_bench::{emit_if_requested, Args, ExperimentConfig, Table};
+use goldfinger_core::hash::DynHasher;
+use goldfinger_core::shf::ShfParams;
+use goldfinger_core::similarity::ShfJaccard;
+use goldfinger_datasets::synth::SynthConfig;
+use goldfinger_knn::brute::BruteForce;
+use goldfinger_knn::serve::{replay, synth_ops, KnnService, ReplayOutcome, ServeConfig};
+use goldfinger_obs::{Json, Registry, ReportSet, RunReport};
+use std::time::{Duration, Instant};
+
+struct ServeRun {
+    outcome: ReplayOutcome,
+    wall: Duration,
+    registry: Registry,
+}
+
+fn run_replay(
+    data: &goldfinger_datasets::model::BinaryDataset,
+    cfg: &ExperimentConfig,
+    serve: &ServeConfig,
+    ops: &[goldfinger_knn::serve::Op],
+) -> ServeRun {
+    let params = ShfParams::new(cfg.bits, DynHasher::default());
+    let store = params.fingerprint_store(data.profiles());
+    let graph = BruteForce::default()
+        .build(&ShfJaccard::new(&store), cfg.k)
+        .graph;
+    let registry = Registry::new();
+    let svc = KnnService::new(&graph, &store, *params.hasher(), serve.clone(), &registry);
+    let t0 = Instant::now();
+    let outcome = if serve.threads > 1 {
+        shared_pool(serve.threads).install(|| replay(&svc, ops))
+    } else {
+        replay(&svc, ops)
+    };
+    ServeRun {
+        outcome,
+        wall: t0.elapsed(),
+        registry,
+    }
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExperimentConfig::from_args(&args);
+    let n_ops = args.get_usize("ops", 100_000);
+    let serve = ServeConfig {
+        shards: args.get_usize("shards", 8),
+        batch: args.get_usize("batch", 256),
+        probes: args.get_usize("probes", 4),
+        seed: cfg.seed,
+        threads: cfg.threads,
+    };
+    let update_pct = args.get_usize("update-pct", 30) as u32;
+
+    let data = build_dataset(&cfg, SynthConfig::ml1m());
+    let n = data.n_users();
+    println!(
+        "dataset: {n} users, {} items — replaying {n_ops} ops \
+         ({update_pct}% updates, batch {}, {} shards, {} threads)\n",
+        data.n_items(),
+        serve.batch,
+        serve.shards,
+        serve.threads
+    );
+
+    let ops = synth_ops(
+        n,
+        data.n_items() as u32,
+        n_ops,
+        update_pct,
+        cfg.seed ^ 0x0b5,
+    );
+    let run = run_replay(&data, &cfg, &serve, &ops);
+
+    if args.has_flag("verify-serial") {
+        let serial = run_replay(
+            &data,
+            &cfg,
+            &ServeConfig {
+                threads: 1,
+                ..serve.clone()
+            },
+            &ops,
+        );
+        assert_eq!(
+            run.outcome, serial.outcome,
+            "replay diverged from the single-threaded reference"
+        );
+        println!(
+            "verify-serial: {}-thread replay matches the serial reference",
+            serve.threads
+        );
+    }
+
+    let snap = run.registry.snapshot();
+    let get = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let reg = &run.registry;
+    let lookup_lat = reg.histogram("serve.lookup_latency");
+    let update_lat = reg.histogram("serve.update_latency");
+    let repairs = get("serve.repairs");
+    let evals = get("serve.repair_evals");
+    let drains = get("serve.drains");
+    let throughput = n_ops as f64 / run.wall.as_secs_f64();
+    let evals_per_repair = if repairs == 0 {
+        0.0
+    } else {
+        evals as f64 / repairs as f64
+    };
+
+    let mut table = Table::new("Online serving — replay summary", &["metric", "value"]);
+    table.push(vec!["ops".into(), n_ops.to_string()]);
+    table.push(vec![
+        "throughput (ops/s)".into(),
+        format!("{throughput:.0}"),
+    ]);
+    table.push(vec![
+        "lookup p50/p99 (µs)".into(),
+        format!(
+            "{:.1} / {:.1}",
+            micros(lookup_lat.quantile_upper_bound(0.5)),
+            micros(lookup_lat.quantile_upper_bound(0.99))
+        ),
+    ]);
+    table.push(vec![
+        "update p50/p99 (µs)".into(),
+        format!(
+            "{:.1} / {:.1}",
+            micros(update_lat.quantile_upper_bound(0.5)),
+            micros(update_lat.quantile_upper_bound(0.99))
+        ),
+    ]);
+    table.push(vec!["drains / epochs".into(), drains.to_string()]);
+    table.push(vec!["repairs".into(), repairs.to_string()]);
+    table.push(vec![
+        "evals per repair".into(),
+        format!("{evals_per_repair:.1}"),
+    ]);
+    table.push(vec![
+        "final digest".into(),
+        format!("{:016x}", run.outcome.final_digest),
+    ]);
+    table.print();
+
+    let mut report = RunReport {
+        experiment: "serve".to_string(),
+        dataset: data.name().to_string(),
+        algo: "serve-replay".to_string(),
+        provider: "goldfinger".to_string(),
+        n_users: n as u64,
+        k: cfg.k as u64,
+        bits: cfg.bits as u64,
+        seed: cfg.seed,
+        similarity_evals: evals,
+        wall: run.wall,
+        ..RunReport::default()
+    };
+    for (name, value) in [
+        ("ops", n_ops as f64),
+        ("updates", run.outcome.updates as f64),
+        ("lookups", run.outcome.lookups as f64),
+        ("update_pct", update_pct as f64),
+        ("shards", serve.shards as f64),
+        ("batch", serve.batch as f64),
+        ("threads", serve.threads as f64),
+        ("drains", drains as f64),
+        ("repairs", repairs as f64),
+        ("repair_evals", evals as f64),
+        ("evals_per_repair", evals_per_repair),
+        ("throughput_ops_per_sec", throughput),
+        (
+            "lookup_p50_us",
+            micros(lookup_lat.quantile_upper_bound(0.5)),
+        ),
+        (
+            "lookup_p99_us",
+            micros(lookup_lat.quantile_upper_bound(0.99)),
+        ),
+        (
+            "update_p50_us",
+            micros(update_lat.quantile_upper_bound(0.5)),
+        ),
+        (
+            "update_p99_us",
+            micros(update_lat.quantile_upper_bound(0.99)),
+        ),
+        ("final_epoch", run.outcome.final_epoch as f64),
+    ] {
+        report.extra.push((name.to_string(), Json::Num(value)));
+    }
+    report.extra.push((
+        "final_digest".to_string(),
+        Json::Str(format!("{:016x}", run.outcome.final_digest)),
+    ));
+    report.extra.push((
+        "lookup_digest".to_string(),
+        Json::Str(format!("{:016x}", run.outcome.lookup_digest)),
+    ));
+
+    let mut set = ReportSet::new("serve");
+    set.runs.push(report);
+    emit_if_requested(&args, &set);
+}

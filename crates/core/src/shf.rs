@@ -492,6 +492,56 @@ impl ShfStore {
         }
     }
 
+    /// Copies the contiguous user range `lo..hi` into its own store — the
+    /// shard-slice constructor of the serving layer: each shard owns the
+    /// aligned arena rows (and cached cardinalities) of its users and
+    /// mutates them through [`ShfStore::set_fingerprint`] /
+    /// [`ShfStore::insert_items`] without touching any other shard's
+    /// slice. Rows are cache-line aligned in the slice exactly as in the
+    /// parent, so batched kernels work unchanged.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > len()`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> ShfStore {
+        assert!(lo <= hi && hi <= self.len(), "invalid slice {lo}..{hi}");
+        let mut data = AlignedWords::zeroed(self.row_words * (hi - lo));
+        data.copy_from_slice(&self.data[lo * self.row_words..hi * self.row_words]);
+        ShfStore {
+            bits: self.bits,
+            words_per_fp: self.words_per_fp,
+            row_words: self.row_words,
+            data,
+            cards: self.cards[lo..hi].to_vec(),
+        }
+    }
+
+    /// Folds fresh items into fingerprint `u` in place — delta
+    /// fingerprinting: bits are OR-ed directly into the arena row and the
+    /// cached cardinality is maintained incrementally, so an update costs
+    /// `O(|items|)` instead of the `O(bits)` extract–modify–write of
+    /// [`ShfStore::get`] + [`ShfStore::set_fingerprint`]. Returns the
+    /// number of bits newly set (items whose hash collided with an
+    /// existing bit set none).
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn insert_items<H: ItemHasher>(&mut self, u: u32, items: &[ItemId], hasher: &H) -> u32 {
+        let start = u as usize * self.row_words;
+        let row = &mut self.data[start..start + self.words_per_fp];
+        let mut added = 0u32;
+        for &it in items {
+            let pos = hasher.bit_position(it as u64, self.bits);
+            let word = &mut row[(pos / 64) as usize];
+            let mask = 1u64 << (pos % 64);
+            if *word & mask == 0 {
+                *word |= mask;
+                added += 1;
+            }
+        }
+        self.cards[u as usize] += added;
+        added
+    }
+
     /// Replaces fingerprint `u` with an updated one (e.g. after folding
     /// fresh activity into a user's [`Shf`] with [`Shf::insert_item`]) —
     /// the write half of the real-time maintenance story.
@@ -809,6 +859,67 @@ mod tests {
         let delta = kernels::stats().since(&before);
         assert!(delta.batched_calls >= 1);
         assert!(delta.batched_rows >= ids.len() as u64);
+    }
+
+    #[test]
+    fn slice_rows_matches_parent_rows() {
+        let store = batch_fixture();
+        let slice = store.slice_rows(10, 25);
+        assert_eq!(slice.len(), 15);
+        assert_eq!(slice.width(), store.width());
+        assert_eq!(slice.row_words(), store.row_words());
+        assert_eq!(slice.arena_words().as_ptr() as usize % 64, 0);
+        for local in 0..15u32 {
+            let global = local + 10;
+            assert_eq!(
+                slice.fingerprint_words(local),
+                store.fingerprint_words(global)
+            );
+            assert_eq!(slice.cardinality(local), store.cardinality(global));
+        }
+        // Cross-slice similarities equal parent similarities: rows are
+        // bit-identical, cards travel with them.
+        let other = store.slice_rows(0, 10);
+        let inter = kernels::and_count(other.fingerprint_words(3), slice.fingerprint_words(2));
+        assert_eq!(
+            jaccard_from_counts(inter, other.cardinality(3), slice.cardinality(2)),
+            store.jaccard(3, 12)
+        );
+        // Degenerate slices are fine.
+        assert!(store.slice_rows(5, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slice")]
+    fn slice_rows_rejects_out_of_range() {
+        let _ = batch_fixture().slice_rows(30, 40);
+    }
+
+    #[test]
+    fn insert_items_matches_extract_modify_write() {
+        let p = params(256);
+        let profiles =
+            ProfileStore::from_item_lists(vec![(0..40).collect(), (10..60).collect(), vec![]]);
+        let mut delta = p.fingerprint_store(&profiles);
+        let mut reference = delta.clone();
+        let fresh: Vec<u32> = (1000..1030).chain(0..5).collect(); // new + colliding
+        let added = delta.insert_items(1, &fresh, p.hasher());
+        // Reference path: extract, fold one by one, write back.
+        let mut shf = reference.get(1);
+        let mut expect_added = 0;
+        for &it in &fresh {
+            if shf.insert_item(it, p.hasher()) {
+                expect_added += 1;
+            }
+        }
+        reference.set_fingerprint(1, &shf);
+        assert_eq!(added, expect_added);
+        assert!(added > 0);
+        assert_eq!(delta.fingerprint_words(1), reference.fingerprint_words(1));
+        assert_eq!(delta.cardinality(1), reference.cardinality(1));
+        // Untouched rows stay untouched; re-inserting is a no-op.
+        assert_eq!(delta.fingerprint_words(0), reference.fingerprint_words(0));
+        assert_eq!(delta.insert_items(1, &fresh, p.hasher()), 0);
     }
 
     #[test]

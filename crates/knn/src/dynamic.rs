@@ -8,11 +8,48 @@
 //! neighbours, their neighbours, and its reverse neighbours — updating both
 //! sides. One repair touches `O(k²)` similarities instead of `O(n·k)`-plus
 //! for a full rebuild.
+//!
+//! Reverse neighbours come from a maintained inverted index
+//! ([`DynamicKnn::reverse_neighbors`]), updated on every insert and
+//! eviction, so discovering them is `O(|rev(u)|)` — *not* a scan of all
+//! `n` lists. That index is what makes the repair genuinely local; the
+//! sharded serving layer ([`crate::serve`]) keeps the same index per
+//! shard.
 
 use crate::graph::KnnGraph;
-use crate::neighborlist::NeighborList;
+use crate::neighborlist::{NeighborList, Offer};
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::Scored;
+
+/// Mixes a per-user repair counter into the probe seed.
+///
+/// Seeding with `seed ^ u` alone makes every repair of the same user draw
+/// the *same* probes, so re-repairing can never explore new candidates;
+/// folding a monotonic counter through a splitmix64-style finalizer gives
+/// each `(user, repair)` pair an independent stream while staying
+/// deterministic for replay.
+pub fn probe_seed(seed: u64, u: u32, counter: u64) -> u64 {
+    let mut z = seed
+        ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ counter.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Inserts `v` into a sorted id vector (no-op when present).
+pub(crate) fn sorted_insert(ids: &mut Vec<u32>, v: u32) {
+    if let Err(i) = ids.binary_search(&v) {
+        ids.insert(i, v);
+    }
+}
+
+/// Removes `v` from a sorted id vector (no-op when absent).
+pub(crate) fn sorted_remove(ids: &mut Vec<u32>, v: u32) {
+    if let Ok(i) = ids.binary_search(&v) {
+        ids.remove(i);
+    }
+}
 
 /// A KNN graph in mutable form, supporting local repairs.
 ///
@@ -37,12 +74,19 @@ use goldfinger_core::topk::Scored;
 pub struct DynamicKnn {
     k: usize,
     lists: Vec<NeighborList>,
+    /// `rev[u]` = sorted ids of the users whose list contains `u`, kept in
+    /// lock-step with every membership change of `lists`.
+    rev: Vec<Vec<u32>>,
+    /// Number of repairs performed per user, mixed into probe seeds so
+    /// consecutive repairs explore different random candidates.
+    repairs: Vec<u64>,
 }
 
 impl DynamicKnn {
     /// Adopts a built graph.
     pub fn from_graph(graph: &KnnGraph) -> Self {
-        let lists = (0..graph.n_users() as u32)
+        let n = graph.n_users();
+        let lists: Vec<NeighborList> = (0..n as u32)
             .map(|u| {
                 let mut list = NeighborList::new(graph.k());
                 for s in graph.neighbors(u) {
@@ -51,9 +95,20 @@ impl DynamicKnn {
                 list
             })
             .collect();
+        let mut rev = vec![Vec::new(); n];
+        for (u, list) in lists.iter().enumerate() {
+            for v in list.users() {
+                rev[v as usize].push(u as u32);
+            }
+        }
+        for ids in &mut rev {
+            ids.sort_unstable();
+        }
         DynamicKnn {
             k: graph.k(),
             lists,
+            rev,
+            repairs: vec![0; n],
         }
     }
 
@@ -72,6 +127,13 @@ impl DynamicKnn {
         self.lists[u as usize].to_sorted()
     }
 
+    /// Users whose neighbour list currently contains `u` (sorted) — the
+    /// maintained inverted index repairs read instead of scanning all `n`
+    /// lists.
+    pub fn reverse_neighbors(&self, u: u32) -> &[u32] {
+        &self.rev[u as usize]
+    }
+
     /// Repairs the graph after user `u`'s profile changed: rebuilds `u`'s
     /// scores and offers `u` to the candidates' lists. Returns the number
     /// of similarity evaluations spent.
@@ -88,7 +150,8 @@ impl DynamicKnn {
     /// Like [`DynamicKnn::repair_user`], but additionally scores `probes`
     /// uniformly random users — the greedy-plus-exploration recipe of
     /// NNDescent-style maintenance, needed when an update invalidates the
-    /// whole old neighbourhood.
+    /// whole old neighbourhood. Each repair of the same user draws a fresh
+    /// probe set (a per-user repair counter is mixed into the seed).
     pub fn repair_user_with_probes<S: Similarity>(
         &mut self,
         u: u32,
@@ -96,11 +159,13 @@ impl DynamicKnn {
         probes: usize,
         seed: u64,
     ) -> u64 {
+        let counter = self.repairs[u as usize];
+        self.repairs[u as usize] += 1;
         let mut candidates = self.candidate_set(u);
         if probes > 0 && self.lists.len() > 1 {
             use rand::rngs::StdRng;
             use rand::{Rng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(seed ^ u as u64);
+            let mut rng = StdRng::seed_from_u64(probe_seed(seed, u, counter));
             let n = self.lists.len();
             for _ in 0..probes {
                 let v = rng.gen_range(0..n) as u32;
@@ -118,12 +183,10 @@ impl DynamicKnn {
             evals += 1;
             let s = sim.similarity(u, v);
             fresh.insert(v, s);
-            // Symmetric offer: v may now like the updated u better. Its
-            // other entries are still valid (only u changed).
-            self.remove_entry(v, u);
-            self.lists[v as usize].insert(u, s);
+            // Symmetric side: v may still (or newly) want the updated u.
+            self.offer_entry(v, u, s);
         }
-        self.lists[u as usize] = fresh;
+        self.replace_list(u, fresh);
         evals
     }
 
@@ -136,6 +199,8 @@ impl DynamicKnn {
     pub fn add_user<S: Similarity>(&mut self, sim: &S, seeds: &[u32]) -> u32 {
         let u = self.lists.len() as u32;
         self.lists.push(NeighborList::new(self.k));
+        self.rev.push(Vec::new());
+        self.repairs.push(0);
         assert_eq!(
             sim.n_users(),
             self.lists.len(),
@@ -151,8 +216,8 @@ impl DynamicKnn {
         candidates.retain(|&v| v != u);
         for v in candidates {
             let s = sim.similarity(u, v);
-            self.lists[u as usize].insert(v, s);
-            self.lists[v as usize].insert(u, s);
+            self.insert_entry(u, v, s);
+            self.insert_entry(v, u, s);
         }
         u
     }
@@ -164,39 +229,62 @@ impl DynamicKnn {
     }
 
     /// Hyrec-style candidate set for `u`: neighbours, their neighbours,
-    /// and reverse neighbours.
+    /// and reverse neighbours (read from the maintained inverted index —
+    /// `O(k² + |rev(u)|)`, independent of the population size).
     fn candidate_set(&self, u: u32) -> Vec<u32> {
         let mut out: Vec<u32> = Vec::new();
         for v in self.lists[u as usize].users() {
             out.push(v);
             out.extend(self.lists[v as usize].users());
         }
-        for (w, list) in self.lists.iter().enumerate() {
-            if list.contains(u) {
-                out.push(w as u32);
-            }
-        }
+        out.extend_from_slice(&self.rev[u as usize]);
         out.sort_unstable();
         out.dedup();
         out.retain(|&v| v != u);
         out
     }
 
-    fn remove_entry(&mut self, owner: u32, neighbor: u32) {
-        let list = &mut self.lists[owner as usize];
-        if list.contains(neighbor) {
-            let kept: Vec<(u32, f64)> = list
-                .entries()
-                .iter()
-                .filter(|e| e.user != neighbor)
-                .map(|e| (e.user, e.sim))
-                .collect();
-            let mut rebuilt = NeighborList::new(list.k());
-            for (user, sim) in kept {
-                rebuilt.insert(user, sim);
+    /// Offers `(neighbor, sim)` to `owner`'s list, maintaining the reverse
+    /// index through whatever membership change results.
+    fn insert_entry(&mut self, owner: u32, neighbor: u32, sim: f64) {
+        match self.lists[owner as usize].offer(neighbor, sim) {
+            Offer::Added => sorted_insert(&mut self.rev[neighbor as usize], owner),
+            Offer::Replaced(evicted) => {
+                sorted_insert(&mut self.rev[neighbor as usize], owner);
+                sorted_remove(&mut self.rev[evicted as usize], owner);
             }
-            *list = rebuilt;
+            Offer::Rejected | Offer::Duplicate => {}
         }
+    }
+
+    /// The symmetric half of a repair: `u`'s similarity to `v` changed to
+    /// `s`. If `u` already sits in `v`'s list its stored similarity is
+    /// updated **in place** — a downgrade must not be laundered into a
+    /// remove-then-insert, which would always succeed (the removal frees a
+    /// slot) and re-admit `u` no matter how bad the new similarity is.
+    /// If `u` is absent it is offered normally and must beat the current
+    /// worst to enter.
+    fn offer_entry(&mut self, v: u32, u: u32, s: f64) {
+        if !self.lists[v as usize].update_sim(u, s) {
+            self.insert_entry(v, u, s);
+        }
+    }
+
+    /// Replaces `u`'s whole list, updating the reverse index for every
+    /// membership delta.
+    fn replace_list(&mut self, u: u32, fresh: NeighborList) {
+        let old: Vec<u32> = self.lists[u as usize].users().collect();
+        for &w in &old {
+            if !fresh.contains(w) {
+                sorted_remove(&mut self.rev[w as usize], u);
+            }
+        }
+        for w in fresh.users() {
+            if !old.contains(&w) {
+                sorted_insert(&mut self.rev[w as usize], u);
+            }
+        }
+        self.lists[u as usize] = fresh;
     }
 }
 
@@ -207,6 +295,22 @@ mod tests {
     use goldfinger_core::profile::ProfileStore;
     use goldfinger_core::shf::ShfParams;
     use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard};
+
+    /// `clusters` clusters of 6 users over disjoint item ranges; every
+    /// cluster has the same internal similarity structure (15 shared items
+    /// plus one private item per user), shifted in id space.
+    fn clustered_profiles(clusters: u32) -> Vec<Vec<u32>> {
+        let mut lists = Vec::new();
+        for c in 0..clusters {
+            for u in 0..6u32 {
+                let base = c * 1000;
+                let mut items: Vec<u32> = (base..base + 15).collect();
+                items.push(base + 100 + u);
+                lists.push(items);
+            }
+        }
+        lists
+    }
 
     /// Two clusters of 6 users over disjoint item ranges.
     fn profiles() -> Vec<Vec<u32>> {
@@ -224,12 +328,28 @@ mod tests {
         lists
     }
 
+    fn rev_invariant(d: &DynamicKnn) {
+        // The maintained index must equal the index recomputed from the
+        // lists after any sequence of repairs.
+        let mut expect = vec![Vec::new(); d.n_users()];
+        for u in 0..d.n_users() as u32 {
+            for v in d.lists[u as usize].users() {
+                expect[v as usize].push(u);
+            }
+        }
+        for ids in &mut expect {
+            ids.sort_unstable();
+        }
+        assert_eq!(d.rev, expect, "reverse index out of sync");
+    }
+
     #[test]
     fn adoption_roundtrips() {
         let store = ProfileStore::from_item_lists(profiles());
         let sim = ExplicitJaccard::new(&store);
         let graph = BruteForce::default().build(&sim, 3).graph;
         let dynamic = DynamicKnn::from_graph(&graph);
+        rev_invariant(&dynamic);
         let back = dynamic.into_graph();
         for u in 0..12u32 {
             assert_eq!(back.neighbors(u), graph.neighbors(u));
@@ -258,6 +378,7 @@ mod tests {
         let evals1 = dynamic.repair_user_with_probes(0, &new_sim, 8, 42);
         assert!(evals1 > 0);
         let _ = dynamic.repair_user(0, &new_sim);
+        rev_invariant(&dynamic);
         let repaired = dynamic.into_graph();
         assert!(
             repaired.neighbors(0).iter().all(|s| s.user >= 6),
@@ -314,6 +435,7 @@ mod tests {
         let new_sim = ExplicitJaccard::new(&grown);
         let id = dynamic.add_user(&new_sim, &[0]);
         assert_eq!(id, 12);
+        rev_invariant(&dynamic);
         let graph = dynamic.into_graph();
         assert!(!graph.neighbors(12).is_empty());
         assert!(graph.neighbors(12).iter().all(|s| s.user < 6));
@@ -340,5 +462,166 @@ mod tests {
         let evals = dynamic.repair_user(0, &sim);
         // Candidate set ≤ k + k² + reverse ≈ well below n·(n−1).
         assert!(evals <= (3 + 9 + 12) as u64);
+    }
+
+    #[test]
+    fn repair_cost_is_independent_of_population_size() {
+        // Regression for the O(n·k) reverse-neighbour scan: the same user
+        // in the same cluster structure must cost the *same* number of
+        // evaluations whether the population holds 2 clusters or 20 —
+        // repairs read the maintained reverse index, never all n lists.
+        let mut costs = Vec::new();
+        for clusters in [2u32, 20] {
+            let store = ProfileStore::from_item_lists(clustered_profiles(clusters));
+            let sim = ExplicitJaccard::new(&store);
+            let graph = BruteForce::default().build(&sim, 3).graph;
+            // Sanity: the exact graph keeps user 0 inside its own cluster,
+            // so the candidate set cannot grow with the cluster count.
+            assert!(graph.neighbors(0).iter().all(|s| s.user < 6));
+            let mut dynamic = DynamicKnn::from_graph(&graph);
+            costs.push(dynamic.repair_user(0, &sim));
+            rev_invariant(&dynamic);
+        }
+        assert_eq!(
+            costs[0], costs[1],
+            "repair cost changed with population size: {costs:?}"
+        );
+        assert!(costs[0] <= (3 + 9 + 6) as u64);
+    }
+
+    #[test]
+    fn consecutive_probe_repairs_draw_different_probe_sets() {
+        // Regression for `seed ^ u` probe seeding: the counter mixed into
+        // the seed must give each repair of the same user a fresh stream.
+        for u in [0u32, 3, 17] {
+            let a = probe_seed(42, u, 0);
+            let b = probe_seed(42, u, 1);
+            assert_ne!(a, b, "user {u}: counter did not change the seed");
+        }
+
+        // End to end: two consecutive probe repairs of a user with an
+        // empty neighbourhood must visit different candidates. With 64
+        // users and 4 probes, identical draws would be a ~1-in-500k fluke
+        // — and the old `seed ^ u` scheme made them *always* identical.
+        // A recording provider observes exactly which pairs each repair
+        // scores; user 0 is fully isolated, so those pairs *are* the
+        // probe set.
+        struct RecordingSim {
+            pairs: std::sync::Mutex<Vec<u32>>,
+        }
+        impl Similarity for RecordingSim {
+            fn n_users(&self) -> usize {
+                64
+            }
+            fn similarity(&self, _u: u32, v: u32) -> f64 {
+                self.pairs.lock().unwrap().push(v);
+                0.1
+            }
+            fn bytes_per_eval(&self, _u: u32, _v: u32) -> u64 {
+                0
+            }
+        }
+        let mut lists = vec![Vec::new(); 64];
+        for v in 1..64u32 {
+            // A ring over users 1..64 that never touches user 0.
+            let w = if v == 63 { 1 } else { v + 1 };
+            lists[v as usize] = vec![Scored { sim: 0.5, user: w }];
+        }
+        let graph = KnnGraph::from_lists(3, lists);
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+        let sim = RecordingSim {
+            pairs: std::sync::Mutex::new(Vec::new()),
+        };
+        // Draw, then fully re-isolate user 0 (drop its list and every
+        // adoption) so the *only* state surviving to the next draw is the
+        // repair counter — making the probe sets directly comparable.
+        let draw = |d: &mut DynamicKnn| -> Vec<u32> {
+            sim.pairs.lock().unwrap().clear();
+            d.repair_user_with_probes(0, &sim, 4, 7);
+            let mut ids = sim.pairs.lock().unwrap().clone();
+            ids.sort_unstable();
+            d.replace_list(0, NeighborList::new(3));
+            for w in d.rev[0].clone() {
+                d.lists[w as usize].remove(0);
+                sorted_remove(&mut d.rev[0], w);
+            }
+            rev_invariant(d);
+            ids
+        };
+        let first = draw(&mut dynamic);
+        let second = draw(&mut dynamic);
+        assert!(!first.is_empty() && !second.is_empty());
+        assert_ne!(
+            first, second,
+            "two consecutive probe repairs explored the same probe set"
+        );
+    }
+
+    #[test]
+    fn downgraded_member_loses_to_a_fresh_better_candidate() {
+        // Regression for the symmetric-offer downgrade: when a member's
+        // similarity collapses, the entry must be updated in place (and
+        // become evictable), not removed-and-reinserted as if it were a
+        // winning fresh offer.
+        let mut lists = profiles();
+        let store = ProfileStore::from_item_lists(lists.clone());
+        let sim = ExplicitJaccard::new(&store);
+        let graph = BruteForce::default().build(&sim, 3).graph;
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+        let victim = 1u32; // a cluster-A user listing user 0
+        assert!(dynamic.lists[victim as usize].contains(0));
+
+        // User 0's tastes collapse to a single alien item: sim(0, ·) ≈ 0.
+        lists[0] = vec![9999];
+        let crashed = ProfileStore::from_item_lists(lists.clone());
+        let crashed_sim = ExplicitJaccard::new(&crashed);
+        dynamic.repair_user(0, &crashed_sim);
+        rev_invariant(&dynamic);
+        // In place: still a member (nothing displaced it yet), but at the
+        // collapsed similarity...
+        let entry = dynamic
+            .neighbors(victim)
+            .into_iter()
+            .find(|s| s.user == 0)
+            .expect("downgraded entry should remain until displaced");
+        assert!(entry.sim < 0.05, "stale similarity kept: {}", entry.sim);
+
+        // ...so the next fresh candidate that beats it must evict it. A
+        // newcomer with exactly cluster A's tastes scores ~1 against the
+        // victim's full list, whose worst entry is now the downgraded 0.
+        lists.push((0..15).collect());
+        let grown = ProfileStore::from_item_lists(lists);
+        let grown_sim = ExplicitJaccard::new(&grown);
+        let newcomer = dynamic.add_user(&grown_sim, &[victim]);
+        rev_invariant(&dynamic);
+        let after = dynamic.neighbors(victim);
+        assert!(
+            after.iter().any(|s| s.user == newcomer),
+            "victim did not adopt the better fresh candidate: {after:?}"
+        );
+        assert!(
+            after.iter().all(|s| s.user != 0),
+            "full list retained the downgraded user over a better \
+             candidate: {after:?}"
+        );
+    }
+
+    #[test]
+    fn reverse_index_tracks_repairs() {
+        let store = ProfileStore::from_item_lists(profiles());
+        let sim = ExplicitJaccard::new(&store);
+        let graph = BruteForce::default().build(&sim, 3).graph;
+        let mut dynamic = DynamicKnn::from_graph(&graph);
+        rev_invariant(&dynamic);
+        for u in 0..dynamic.n_users() as u32 {
+            dynamic.repair_user_with_probes(u, &sim, 3, 99);
+            rev_invariant(&dynamic);
+        }
+        // Reverse neighbours are exactly the users listing u.
+        for u in 0..dynamic.n_users() as u32 {
+            for &w in dynamic.reverse_neighbors(u) {
+                assert!(dynamic.lists[w as usize].contains(u));
+            }
+        }
     }
 }

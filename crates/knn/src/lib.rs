@@ -54,6 +54,8 @@ pub mod metrics;
 pub mod neighborlist;
 pub mod nndescent;
 pub mod serial;
+pub mod serve;
+pub mod shard;
 
 pub use analysis::{degree_stats, edge_overlap, in_degrees, reverse_graph, DegreeStats};
 // Observability: every builder also has a `build_observed` variant taking a
@@ -71,3 +73,5 @@ pub use lsh::Lsh;
 pub use metrics::{average_similarity, edge_recall, quality};
 pub use nndescent::NNDescent;
 pub use serial::{read_knn_graph, write_knn_graph};
+pub use serve::{replay, synth_ops, KnnService, Op, ReplayOutcome, ServeConfig, ServiceSnapshot};
+pub use shard::{Repair, Shard, ShardSet};

@@ -27,6 +27,30 @@ pub struct NeighborList {
     entries: Vec<NeighborEntry>,
 }
 
+/// What happened to an offered candidate — the eviction-reporting variant
+/// of [`NeighborList::insert`] that reverse-adjacency maintenance needs:
+/// every membership change the list makes is visible to the caller, so an
+/// inverted index can be updated without rescanning the list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The candidate was already present; the list is unchanged.
+    Duplicate,
+    /// The list was full and the candidate did not beat the worst entry.
+    Rejected,
+    /// The candidate was appended to a non-full list.
+    Added,
+    /// The candidate replaced the worst entry; the evicted user is carried
+    /// so reverse indices can drop the stale edge.
+    Replaced(u32),
+}
+
+impl Offer {
+    /// True when the offer changed the list's membership.
+    pub fn accepted(&self) -> bool {
+        matches!(self, Offer::Added | Offer::Replaced(_))
+    }
+}
+
 impl NeighborList {
     /// Creates an empty list of capacity `k`.
     ///
@@ -66,9 +90,16 @@ impl NeighborList {
     /// candidate is strictly better (ties towards lower user id). Inserted
     /// entries carry `is_new = true`.
     pub fn insert(&mut self, user: u32, sim: f64) -> bool {
+        self.offer(user, sim).accepted()
+    }
+
+    /// [`NeighborList::insert`] with a full account of the outcome: whether
+    /// the candidate was a duplicate, was rejected, was appended, or
+    /// replaced (and if so, whom it evicted).
+    pub fn offer(&mut self, user: u32, sim: f64) -> Offer {
         debug_assert!(!sim.is_nan(), "similarity must not be NaN");
         if self.contains(user) {
-            return false;
+            return Offer::Duplicate;
         }
         let entry = NeighborEntry {
             sim,
@@ -77,15 +108,46 @@ impl NeighborList {
         };
         if self.entries.len() < self.k {
             self.entries.push(entry);
-            return true;
+            return Offer::Added;
         }
         let worst = self.worst_index();
         let w = self.entries[worst];
         if sim > w.sim || (sim == w.sim && user < w.user) {
             self.entries[worst] = entry;
-            true
+            Offer::Replaced(w.user)
         } else {
-            false
+            Offer::Rejected
+        }
+    }
+
+    /// Overwrites the stored similarity of `user` in place, preserving its
+    /// membership and `is_new` flag. Returns `false` when `user` is not in
+    /// the list.
+    ///
+    /// This is the correct move when a *member's* similarity changes (e.g.
+    /// its profile was updated): the entry may now be the worst and get
+    /// displaced by future candidates, but it must not jump the
+    /// replace-the-worst queue the way a remove-then-insert would.
+    pub fn update_sim(&mut self, user: u32, sim: f64) -> bool {
+        debug_assert!(!sim.is_nan(), "similarity must not be NaN");
+        match self.entries.iter_mut().find(|e| e.user == user) {
+            Some(e) => {
+                e.sim = sim;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `user` from the list; returns `true` if it was present.
+    /// Entries are unordered, so removal is a swap-delete.
+    pub fn remove(&mut self, user: u32) -> bool {
+        match self.entries.iter().position(|e| e.user == user) {
+            Some(i) => {
+                self.entries.swap_remove(i);
+                true
+            }
+            None => false,
         }
     }
 
@@ -193,6 +255,45 @@ mod tests {
         assert!(!l.contains(2));
         assert!(!l.insert(4, 0.1));
         assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn offer_reports_membership_changes() {
+        let mut l = NeighborList::new(2);
+        assert_eq!(l.offer(1, 0.5), Offer::Added);
+        assert_eq!(l.offer(1, 0.9), Offer::Duplicate);
+        assert_eq!(l.offer(2, 0.3), Offer::Added);
+        assert_eq!(l.offer(3, 0.4), Offer::Replaced(2));
+        assert_eq!(l.offer(4, 0.1), Offer::Rejected);
+        assert!(Offer::Added.accepted() && Offer::Replaced(7).accepted());
+        assert!(!Offer::Rejected.accepted() && !Offer::Duplicate.accepted());
+    }
+
+    #[test]
+    fn update_sim_changes_value_in_place() {
+        let mut l = NeighborList::new(2);
+        l.insert(1, 0.5);
+        l.insert(2, 0.8);
+        l.entries_mut()[0].is_new = false;
+        assert!(l.update_sim(1, 0.1));
+        assert!(!l.update_sim(9, 0.7), "absent user cannot be updated");
+        let e = l.entries().iter().find(|e| e.user == 1).unwrap();
+        assert_eq!(e.sim, 0.1);
+        assert!(!e.is_new, "in-place update must preserve the flag");
+        assert_eq!(l.len(), 2);
+        // The downgraded entry is now the worst and loses to a fresh offer.
+        assert_eq!(l.offer(3, 0.4), Offer::Replaced(1));
+    }
+
+    #[test]
+    fn remove_deletes_membership() {
+        let mut l = NeighborList::new(3);
+        l.insert(1, 0.5);
+        l.insert(2, 0.8);
+        assert!(l.remove(1));
+        assert!(!l.remove(1), "second removal is a no-op");
+        assert!(!l.contains(1));
+        assert_eq!(l.len(), 1);
     }
 
     #[test]

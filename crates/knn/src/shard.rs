@@ -1,0 +1,488 @@
+//! User-id-partitioned shards of a dynamic KNN graph.
+//!
+//! The serving layer ([`crate::serve`]) splits the population into
+//! contiguous user-id ranges. Each [`Shard`] owns its range's slice of the
+//! fingerprint arena (cut with `ShfStore::slice_rows`, so profile updates
+//! write only the owner's rows), the range's neighbour lists, the
+//! reverse-adjacency index for the owned users, and their repair counters.
+//! The [`ShardSet`] wraps the shards behind a [`DynamicKnn`]-shaped
+//! repair API split into a **read-only planning half**
+//! ([`ShardSet::plan_repair`], safe to fan out across threads over a
+//! frozen set) and a **serial application half**
+//! ([`ShardSet::apply_repair`], cheap `O(k)` list surgery), which is what
+//! makes batched drains deterministic for any thread count.
+//!
+//! [`DynamicKnn`]: crate::dynamic::DynamicKnn
+
+use crate::dynamic::{probe_seed, sorted_insert, sorted_remove};
+use crate::graph::KnnGraph;
+use crate::neighborlist::{NeighborList, Offer};
+use goldfinger_core::hash::ItemHasher;
+use goldfinger_core::kernels;
+use goldfinger_core::shf::{jaccard_from_counts, ShfStore};
+use goldfinger_core::topk::Scored;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One contiguous user-id range of the service: rows `lo .. lo + len` of
+/// the global population. Neighbour and reverse-neighbour ids stored
+/// inside a shard are **global**; only the vector indices are local.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    lo: u32,
+    store: ShfStore,
+    lists: Vec<NeighborList>,
+    /// `rev[local]` = sorted global ids of users whose list contains
+    /// `lo + local` (those users may live on any shard).
+    rev: Vec<Vec<u32>>,
+    /// Per-owned-user repair counters, mixed into probe seeds.
+    repairs: Vec<u64>,
+}
+
+impl Shard {
+    /// First global user id owned by this shard.
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Number of users owned by this shard.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when the shard owns no users (never produced by
+    /// [`ShardSet::partition`], but the type allows it).
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The owned slice of the fingerprint arena.
+    pub fn store(&self) -> &ShfStore {
+        &self.store
+    }
+
+    /// Neighbour list of local user `local` (entries hold global ids).
+    pub fn list(&self, local: usize) -> &NeighborList {
+        &self.lists[local]
+    }
+
+    /// Reverse neighbours (global ids, sorted) of local user `local`.
+    pub fn reverse(&self, local: usize) -> &[u32] {
+        &self.rev[local]
+    }
+
+    /// Folds `items` into the owned user's fingerprint in place and
+    /// returns how many bits were newly set. This is the per-shard write
+    /// path of a profile update: only the owner's arena slice is touched.
+    pub fn apply_update<H: ItemHasher>(&mut self, local: usize, items: &[u32], hasher: &H) -> u32 {
+        self.store.insert_items(local as u32, items, hasher)
+    }
+
+    /// Returns the repair counter for `local` and advances it — one call
+    /// per scheduled repair, so consecutive repairs of the same user draw
+    /// distinct probe streams (see [`probe_seed`]).
+    pub fn bump_repair(&mut self, local: usize) -> u64 {
+        let c = self.repairs[local];
+        self.repairs[local] += 1;
+        c
+    }
+}
+
+/// The planned outcome of repairing one user against a frozen
+/// [`ShardSet`]: the user's rebuilt neighbour list plus every scored
+/// candidate (for the symmetric offers). Produced by the parallel
+/// read-only phase, consumed by the serial apply phase.
+#[derive(Debug, Clone)]
+pub struct Repair {
+    /// The repaired user (global id).
+    pub user: u32,
+    /// Similarity evaluations this plan spent.
+    pub evals: u64,
+    fresh: NeighborList,
+    scored: Vec<(u32, f64)>,
+}
+
+/// A full population partitioned into contiguous [`Shard`]s, with the
+/// cross-shard repair operations of [`crate::dynamic::DynamicKnn`] split
+/// into a parallel-safe planning half and a serial applying half.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    k: usize,
+    n: usize,
+    /// Users per shard (`ceil(n / shards)`); `owner(u) = u / per`.
+    per: usize,
+    shards: Vec<Shard>,
+    /// Shards whose neighbour lists changed since [`ShardSet::take_dirty`]
+    /// — the snapshot rebuild set.
+    dirty: Vec<bool>,
+}
+
+impl ShardSet {
+    /// Partitions a built graph and its fingerprint store into (at most)
+    /// `shards` contiguous user-id ranges.
+    ///
+    /// # Panics
+    /// Panics when the store and graph disagree on the population or the
+    /// population is empty.
+    pub fn partition(graph: &KnnGraph, store: &ShfStore, shards: usize) -> Self {
+        let n = graph.n_users();
+        assert!(n > 0, "cannot partition an empty population");
+        assert_eq!(store.len(), n, "store/graph population mismatch");
+        let per = n.div_ceil(shards.clamp(1, n));
+        let n_shards = n.div_ceil(per);
+        let mut out: Vec<Shard> = (0..n_shards)
+            .map(|s| {
+                let lo = s * per;
+                let hi = ((s + 1) * per).min(n);
+                let lists = (lo..hi)
+                    .map(|u| {
+                        let mut list = NeighborList::new(graph.k());
+                        for sc in graph.neighbors(u as u32) {
+                            list.insert(sc.user, sc.sim);
+                        }
+                        list
+                    })
+                    .collect();
+                Shard {
+                    lo: lo as u32,
+                    store: store.slice_rows(lo, hi),
+                    lists,
+                    rev: vec![Vec::new(); hi - lo],
+                    repairs: vec![0; hi - lo],
+                }
+            })
+            .collect();
+        // Second pass: the reverse index. `u` lists `v` → `v`'s owner
+        // records `u`, wherever the two live.
+        for u in 0..n as u32 {
+            for sc in graph.neighbors(u) {
+                let (s, l) = (sc.user as usize / per, sc.user as usize % per);
+                out[s].rev[l].push(u);
+            }
+        }
+        for shard in &mut out {
+            for ids in &mut shard.rev {
+                ids.sort_unstable();
+            }
+        }
+        ShardSet {
+            k: graph.k(),
+            n,
+            per,
+            shards: out,
+            dirty: vec![false; n_shards],
+        }
+    }
+
+    /// Total number of users.
+    pub fn n_users(&self) -> usize {
+        self.n
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index owning global user `u`.
+    pub fn owner(&self, u: u32) -> usize {
+        u as usize / self.per
+    }
+
+    /// `u`'s index inside its owner shard.
+    pub fn local(&self, u: u32) -> usize {
+        u as usize % self.per
+    }
+
+    /// The shards, immutable (snapshot building, planning).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The shards, mutable — for the parallel per-shard update phase
+    /// (each worker writes only its own shards' arena slices).
+    pub fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
+    /// Returns which shards' lists changed since the last call and
+    /// resets the flags. [`ShardSet::apply_repair`] marks precisely the
+    /// shards whose neighbour lists it mutated, so unchanged shards can
+    /// reuse their published snapshot verbatim.
+    pub fn take_dirty(&mut self) -> Vec<bool> {
+        std::mem::replace(&mut self.dirty, vec![false; self.shards.len()])
+    }
+
+    /// Fingerprint similarity of two global users, computed straight from
+    /// the owning shards' arena slices (cross-shard reads are plain
+    /// immutable loads).
+    pub fn similarity(&self, u: u32, v: u32) -> f64 {
+        let (a, ca) = self.fp(u);
+        let (b, cb) = self.fp(v);
+        jaccard_from_counts(kernels::and_count(a, b), ca, cb)
+    }
+
+    fn fp(&self, u: u32) -> (&[u64], u32) {
+        let shard = &self.shards[self.owner(u)];
+        let l = self.local(u) as u32;
+        (shard.store.fingerprint_words(l), shard.store.cardinality(l))
+    }
+
+    /// Current neighbours of `u`, sorted by decreasing similarity.
+    pub fn neighbors(&self, u: u32) -> Vec<Scored> {
+        self.shards[self.owner(u)].lists[self.local(u)].to_sorted()
+    }
+
+    /// Hyrec-style candidate set of `u`: neighbours, their neighbours,
+    /// and the maintained reverse neighbours — `O(k² + |rev(u)|)`,
+    /// independent of both the population and the shard count.
+    pub fn candidate_set(&self, u: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        let nbrs: Vec<u32> = self.shards[self.owner(u)].lists[self.local(u)]
+            .users()
+            .collect();
+        for v in nbrs {
+            out.push(v);
+            out.extend(self.shards[self.owner(v)].lists[self.local(v)].users());
+        }
+        out.extend_from_slice(&self.shards[self.owner(u)].rev[self.local(u)]);
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&v| v != u);
+        out
+    }
+
+    /// Read-only planning half of a repair: scores `u` against its
+    /// candidate set plus `probes` random users (stream selected by
+    /// `(seed, u, counter)`, see [`probe_seed`]) and returns the rebuilt
+    /// list plus all scored pairs. Takes `&self` — many plans can run
+    /// concurrently over a frozen set, and a plan depends only on that
+    /// frozen state, never on sibling plans.
+    pub fn plan_repair(&self, u: u32, counter: u64, probes: usize, seed: u64) -> Repair {
+        let mut candidates = self.candidate_set(u);
+        if probes > 0 && self.n > 1 {
+            let mut rng = StdRng::seed_from_u64(probe_seed(seed, u, counter));
+            for _ in 0..probes {
+                let v = rng.gen_range(0..self.n) as u32;
+                if v != u {
+                    candidates.push(v);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+        let mut fresh = NeighborList::new(self.k);
+        let mut scored = Vec::with_capacity(candidates.len());
+        for &v in &candidates {
+            let s = self.similarity(u, v);
+            fresh.insert(v, s);
+            scored.push((v, s));
+        }
+        Repair {
+            user: u,
+            evals: scored.len() as u64,
+            fresh,
+            scored,
+        }
+    }
+
+    /// Serial application half: installs a planned repair, mirroring
+    /// [`crate::dynamic::DynamicKnn`]'s semantics — symmetric offers
+    /// first (a member's changed similarity is updated **in place**, a
+    /// non-member must beat the worst), then the rebuilt list, with the
+    /// reverse index maintained through every membership change.
+    pub fn apply_repair(&mut self, r: &Repair) {
+        for &(v, s) in &r.scored {
+            self.offer_entry(v, r.user, s);
+        }
+        self.replace_list(r.user, r.fresh.clone());
+    }
+
+    /// The symmetric half of a repair, cross-shard (see
+    /// `DynamicKnn::offer_entry` for the downgrade rationale).
+    fn offer_entry(&mut self, v: u32, u: u32, s: f64) {
+        let (sv, lv) = (self.owner(v), self.local(v));
+        if self.shards[sv].lists[lv].update_sim(u, s) {
+            self.dirty[sv] = true;
+            return;
+        }
+        match self.shards[sv].lists[lv].offer(u, s) {
+            Offer::Added => {
+                self.dirty[sv] = true;
+                self.rev_insert(u, v);
+            }
+            Offer::Replaced(evicted) => {
+                self.dirty[sv] = true;
+                self.rev_insert(u, v);
+                self.rev_remove(evicted, v);
+            }
+            Offer::Rejected | Offer::Duplicate => {}
+        }
+    }
+
+    /// Replaces `u`'s whole list, routing every reverse-index delta to
+    /// the affected user's owner shard.
+    fn replace_list(&mut self, u: u32, fresh: NeighborList) {
+        let (su, lu) = (self.owner(u), self.local(u));
+        let old: Vec<u32> = self.shards[su].lists[lu].users().collect();
+        for &w in &old {
+            if !fresh.contains(w) {
+                self.rev_remove(w, u);
+            }
+        }
+        let added: Vec<u32> = fresh.users().filter(|w| !old.contains(w)).collect();
+        for w in added {
+            self.rev_insert(w, u);
+        }
+        self.shards[su].lists[lu] = fresh;
+        self.dirty[su] = true;
+    }
+
+    /// Records "`w` lists `u`" on `u`'s owner.
+    fn rev_insert(&mut self, u: u32, w: u32) {
+        let (s, l) = (self.owner(u), self.local(u));
+        sorted_insert(&mut self.shards[s].rev[l], w);
+    }
+
+    /// Drops "`w` lists `u`" from `u`'s owner.
+    fn rev_remove(&mut self, u: u32, w: u32) {
+        let (s, l) = (self.owner(u), self.local(u));
+        sorted_remove(&mut self.shards[s].rev[l], w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use goldfinger_core::hash::DynHasher;
+    use goldfinger_core::profile::ProfileStore;
+    use goldfinger_core::shf::ShfParams;
+    use goldfinger_core::similarity::ShfJaccard;
+
+    fn fixture(clusters: u32) -> (KnnGraph, ShfStore, ShfParams<DynHasher>) {
+        let mut lists = Vec::new();
+        for c in 0..clusters {
+            for u in 0..6u32 {
+                let base = c * 1000;
+                let mut items: Vec<u32> = (base..base + 15).collect();
+                items.push(base + 100 + u);
+                lists.push(items);
+            }
+        }
+        let params = ShfParams::new(1024, DynHasher::default());
+        let store = params.fingerprint_store(&ProfileStore::from_item_lists(lists));
+        let graph = BruteForce::default()
+            .build(&ShfJaccard::new(&store), 3)
+            .graph;
+        (graph, store, params)
+    }
+
+    fn rev_invariant(set: &ShardSet) {
+        let mut expect = vec![Vec::new(); set.n_users()];
+        for u in 0..set.n_users() as u32 {
+            for v in set.shards()[set.owner(u)].lists[set.local(u)].users() {
+                expect[v as usize].push(u);
+            }
+        }
+        for ids in &mut expect {
+            ids.sort_unstable();
+        }
+        for u in 0..set.n_users() as u32 {
+            assert_eq!(
+                set.shards()[set.owner(u)].reverse(set.local(u)),
+                &expect[u as usize][..],
+                "reverse index out of sync for user {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_covers_the_population_and_preserves_the_graph() {
+        let (graph, store, _) = fixture(3); // 18 users
+        for shards in [1usize, 3, 4, 18, 99] {
+            let set = ShardSet::partition(&graph, &store, shards);
+            assert!(set.n_shards() <= 18);
+            let total: usize = set.shards().iter().map(Shard::len).sum();
+            assert_eq!(total, 18);
+            for u in 0..18u32 {
+                let s = &set.shards()[set.owner(u)];
+                assert!(!s.is_empty());
+                assert_eq!(
+                    (u - s.lo()) as usize,
+                    set.local(u),
+                    "owner/local disagree for u={u}, shards={shards}"
+                );
+                assert_eq!(set.neighbors(u), graph.neighbors(u).to_vec());
+                // The owned arena slice carries the user's exact row.
+                assert_eq!(
+                    s.store().fingerprint_words(set.local(u) as u32),
+                    store.fingerprint_words(u)
+                );
+            }
+            rev_invariant(&set);
+        }
+    }
+
+    #[test]
+    fn cross_shard_similarity_matches_the_unsharded_store() {
+        let (graph, store, _) = fixture(2);
+        let set = ShardSet::partition(&graph, &store, 4);
+        let sim = ShfJaccard::new(&store);
+        use goldfinger_core::similarity::Similarity;
+        for u in 0..12u32 {
+            for v in 0..12u32 {
+                assert_eq!(set.similarity(u, v), sim.similarity(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_and_apply_mirror_dynamic_repairs() {
+        // One planned repair applied to a sharded set must equal the same
+        // repair on the monolithic DynamicKnn (same frozen input state).
+        let (graph, store, _) = fixture(2);
+        let mut set = ShardSet::partition(&graph, &store, 3);
+        let mut dynamic = crate::dynamic::DynamicKnn::from_graph(&graph);
+        let sim = ShfJaccard::new(&store);
+        let plan = set.plan_repair(0, 0, 4, 42);
+        assert!(plan.evals > 0);
+        set.apply_repair(&plan);
+        let evals = dynamic.repair_user_with_probes(0, &sim, 4, 42);
+        assert_eq!(plan.evals, evals);
+        for u in 0..12u32 {
+            assert_eq!(set.neighbors(u), dynamic.neighbors(u), "user {u} diverged");
+        }
+        rev_invariant(&set);
+    }
+
+    #[test]
+    fn apply_update_tracks_dirty_shards_and_fingerprints() {
+        let (graph, store, params) = fixture(2);
+        let mut set = ShardSet::partition(&graph, &store, 3);
+        assert!(set.take_dirty().iter().all(|&d| !d), "clean at rest");
+        // Fold new items into user 9's fingerprint on its owner shard.
+        let (s, l) = (set.owner(9), set.local(9));
+        let before = set.similarity(9, 0);
+        let added =
+            set.shards_mut()[s].apply_update(l, &(0..15).collect::<Vec<_>>(), params.hasher());
+        assert!(added > 0);
+        assert!(
+            set.similarity(9, 0) > before,
+            "update did not move similarity"
+        );
+        // Updates alone don't dirty lists; a repair does.
+        assert!(set.take_dirty().iter().all(|&d| !d));
+        let counter = set.shards_mut()[s].bump_repair(l);
+        let plan = set.plan_repair(9, counter, 2, 7);
+        set.apply_repair(&plan);
+        let dirty = set.take_dirty();
+        assert!(dirty[s], "owner shard must be rebuilt");
+        rev_invariant(&set);
+    }
+}

@@ -6,6 +6,7 @@
 //! goldfinger knn         --synth ml1m --algo hyrec --k 30 [--goldfinger] --out graph.gfg
 //! goldfinger recommend   --synth ml1m --algo brute --k 30 --user 0 --n 10
 //! goldfinger privacy     --items 171356 --bits 1024 --cardinality 56
+//! goldfinger serve       --synth ml1m --replay 100000 [--shards 8 --batch 256]
 //! ```
 //!
 //! Datasets come either from `--synth {ml1m,ml10m,ml20m,am,dblp,gowalla}`
@@ -71,7 +72,7 @@ impl Cli {
 }
 
 fn usage() -> &'static str {
-    "usage: goldfinger <stats|generate|fingerprint|knn|recommend|privacy> [options]\n\
+    "usage: goldfinger <stats|generate|fingerprint|knn|recommend|privacy|serve> [options]\n\
      \n\
      dataset options (stats/fingerprint/knn/recommend):\n\
        --synth ml1m|ml10m|ml20m|am|dblp|gowalla   synthetic dataset (default ml1m)\n\
@@ -84,7 +85,12 @@ fn usage() -> &'static str {
      knn:         --algo brute|hyrec|nndescent|lsh|kiff (default brute)\n\
                   --k K (default 30)  --goldfinger [--bits B]  --out FILE (GFG1)\n\
      recommend:   knn options plus --user U (default 0) --n N (default 10)\n\
-     privacy:     --items M --bits B --cardinality C"
+     privacy:     --items M --bits B --cardinality C\n\
+     serve:       --replay N (ops, default 100000)  --update-pct P (default 30)\n\
+                  --shards S (default 8)  --batch B (default 256)\n\
+                  --probes P (default 4)  --threads T (default 1)\n\
+                  replays an interleaved update+lookup log against the sharded\n\
+                  online service and reports latency/throughput"
 }
 
 fn load_dataset(cli: &Cli) -> Result<BinaryDataset, String> {
@@ -266,6 +272,67 @@ fn run() -> Result<(), String> {
                 raw.ratings().len(),
                 raw.n_users()
             );
+        }
+        "serve" => {
+            use goldfinger::knn::serve::{replay, synth_ops, KnnService, ServeConfig};
+            use goldfinger::obs::Registry;
+
+            let data = load_dataset(&cli)?;
+            let n = data.n_users();
+            let k: usize = cli.parse_num("k", 30)?;
+            let bits: u32 = cli.parse_num("bits", 1024)?;
+            let seed: u64 = cli.parse_num("seed", 42)?;
+            let n_ops: usize = cli.parse_num("replay", 100_000)?;
+            let update_pct: u32 = cli.parse_num("update-pct", 30)?;
+            let cfg = ServeConfig {
+                shards: cli.parse_num("shards", 8)?,
+                batch: cli.parse_num("batch", 256)?,
+                probes: cli.parse_num("probes", 4)?,
+                seed,
+                threads: cli.parse_num("threads", 1)?,
+            };
+
+            let params = ShfParams::new(bits, DynHasher::default());
+            let store = params.fingerprint_store(data.profiles());
+            let sim = ShfJaccard::new(&store);
+            let result = dispatch_algo("brute", data.profiles(), &sim, k, seed)?;
+
+            let reg = Registry::new();
+            let svc = KnnService::new(&result.graph, &store, *params.hasher(), cfg, &reg);
+            let ops = synth_ops(n, data.n_items() as u32, n_ops, update_pct, seed ^ 0x0b5);
+            let t0 = std::time::Instant::now();
+            let outcome = replay(&svc, &ops);
+            let wall = t0.elapsed();
+
+            let p = |h: &goldfinger::obs::Histogram, q: f64| {
+                h.quantile_upper_bound(q).as_secs_f64() * 1e6
+            };
+            let lookup = reg.histogram("serve.lookup_latency");
+            let update = reg.histogram("serve.update_latency");
+            println!(
+                "served {n_ops} ops over {n} users in {wall:?} \
+                 ({:.0} ops/s)",
+                n_ops as f64 / wall.as_secs_f64()
+            );
+            println!(
+                "  lookups {:>8}   p50 {:>9.1}µs   p99 {:>9.1}µs",
+                outcome.lookups,
+                p(&lookup, 0.5),
+                p(&lookup, 0.99)
+            );
+            println!(
+                "  updates {:>8}   p50 {:>9.1}µs   p99 {:>9.1}µs",
+                outcome.updates,
+                p(&update, 0.5),
+                p(&update, 0.99)
+            );
+            println!(
+                "  epochs {} · repairs {} · evals {}",
+                outcome.final_epoch,
+                reg.counter("serve.repairs").get(),
+                reg.counter("serve.repair_evals").get()
+            );
+            println!("  final digest {:016x}", outcome.final_digest);
         }
         "privacy" => {
             let items: usize = cli.parse_num("items", 171_356)?;

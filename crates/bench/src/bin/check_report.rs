@@ -1,7 +1,10 @@
 //! CI gate for machine-readable reports: parses each given file with the
 //! hand-rolled JSON parser, checks the schema tag, and asserts structural
 //! validity (non-empty run set, per-iteration traces summing to the
-//! reported totals). Exits non-zero on any missing or malformed report.
+//! reported totals) plus the strict invariants: no `*_p50_*` extra above
+//! its `*_p99_*` counterpart (histogram-resolution regressions), and a
+//! non-empty `phases` list on every build (non-serve) run. Exits non-zero
+//! on any missing or malformed report.
 //!
 //! ```text
 //! cargo run --release -p goldfinger-bench --bin check_report -- results/fig12.json
@@ -19,12 +22,13 @@ fn main() {
     let mut failed = false;
     for path in &paths {
         let checked = read_report(Path::new(path)).and_then(|set| {
-            set.validate()?;
+            set.validate_strict()?;
             Ok(set)
         });
         match checked {
             Ok(set) => println!(
-                "{path}: ok — experiment {:?}, {} run(s), all traces consistent",
+                "{path}: ok — experiment {:?}, {} run(s), traces consistent, \
+                 quantiles ordered, phases attributed",
                 set.experiment,
                 set.runs.len()
             ),

@@ -1,0 +1,174 @@
+//! CI gate for flight-recorder traces: parses a Chrome-trace-event JSON
+//! file emitted via `GF_TRACE`, checks that every `B` has a matching `E`
+//! (LIFO per thread), that timestamps are finite and non-negative, that
+//! nothing was dropped, and — optionally — that a set of required
+//! categories actually appears (e.g. `pool` only exists on multi-thread
+//! legs, so CI passes `--require` per matrix leg).
+//!
+//! ```text
+//! GF_TRACE=trace.json cargo run --release -p goldfinger-bench --bin exp_serve -- --ops 10000
+//! cargo run --release -p goldfinger-bench --bin check_trace -- trace.json --require serve,pool,phase
+//! ```
+
+use goldfinger_obs::Json;
+use std::collections::{BTreeMap, BTreeSet};
+
+struct TraceSummary {
+    events: usize,
+    spans: usize,
+    threads: usize,
+    categories: BTreeSet<String>,
+}
+
+fn check(json: &Json) -> Result<TraceSummary, String> {
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    let dropped = json
+        .get("otherData")
+        .and_then(|o| o.get("dropped"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if dropped > 0 {
+        return Err(format!(
+            "{dropped} events were dropped (ring overflow) — raise GF_TRACE_CAP"
+        ));
+    }
+    let mut stacks: BTreeMap<u64, Vec<(String, String)>> = BTreeMap::new();
+    let mut categories = BTreeSet::new();
+    let mut threads = BTreeSet::new();
+    let mut spans = 0usize;
+    let mut n_events = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event #{i}: missing ph"))?;
+        if ph == "M" {
+            continue; // metadata (thread names) carries no timestamp
+        }
+        n_events += 1;
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event #{i}: missing ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event #{i}: bad timestamp {ts}"));
+        }
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or(format!("event #{i}: missing tid"))?;
+        threads.insert(tid);
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let cat = e
+            .get("cat")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        categories.insert(cat.clone());
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => {
+                spans += 1;
+                stack.push((cat, name));
+            }
+            "E" => match stack.pop() {
+                Some(top) if top == (cat.clone(), name.clone()) => {}
+                Some(top) => {
+                    return Err(format!(
+                        "event #{i}: E {cat}:{name} does not match open span {}:{}",
+                        top.0, top.1
+                    ))
+                }
+                None => return Err(format!("event #{i}: E {cat}:{name} with empty stack")),
+            },
+            "i" => {}
+            other => return Err(format!("event #{i}: unexpected ph {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some((cat, name)) = stack.last() {
+            return Err(format!("tid {tid}: span {cat}:{name} never closed"));
+        }
+    }
+    if n_events == 0 {
+        return Err("trace contains no events".to_string());
+    }
+    Ok(TraceSummary {
+        events: n_events,
+        spans,
+        threads: threads.len(),
+        categories,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--require" {
+            let list = it.next().unwrap_or_else(|| {
+                eprintln!("--require needs a comma-separated category list");
+                std::process::exit(2);
+            });
+            required.extend(list.split(',').map(|c| c.trim().to_string()));
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: check_trace FILE.json [--require cat1,cat2,…]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("{e}"))
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("{e}")))
+            .and_then(|json| check(&json));
+        match result {
+            Ok(summary) => {
+                let missing: Vec<&String> = required
+                    .iter()
+                    .filter(|c| !summary.categories.contains(c.as_str()))
+                    .collect();
+                if missing.is_empty() {
+                    println!(
+                        "{path}: ok — {} events, {} spans, {} thread(s), categories [{}]",
+                        summary.events,
+                        summary.spans,
+                        summary.threads,
+                        summary
+                            .categories
+                            .iter()
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                } else {
+                    eprintln!(
+                        "{path}: INVALID — required categories missing: {missing:?} \
+                         (present: {:?})",
+                        summary.categories
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -14,9 +14,10 @@ use goldfinger_bench::{
     emit_if_requested, observed_run, AlgoKind, Args, ExperimentConfig, ProviderKind, Table,
 };
 use goldfinger_datasets::synth::SynthConfig;
-use goldfinger_obs::{Json, ReportSet};
+use goldfinger_obs::{Json, ReportSet, TraceSession};
 
 fn main() {
+    let _trace = TraceSession::from_env();
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
     let widths = args.get_u32_list("bits", &[64, 128, 256, 512, 1024, 2048, 4096, 8192]);

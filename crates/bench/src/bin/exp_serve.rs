@@ -18,47 +18,58 @@
 //! fresh single-threaded service and asserts both runs produced the same
 //! lookup and graph digests — the CI legs run this at `GF_THREADS ∈
 //! {1,4}` so a thread-count-dependent drain cannot land.
+//!
+//! Observability hooks: `GF_TRACE=path.json` flight-records the build and
+//! the replay (drain phases, pool tasks, kernel batches) into a
+//! Chrome-trace file, and `--metrics-addr HOST:PORT` serves live
+//! `/metrics` + `/healthz` + `/epoch` from the replay's registry for the
+//! duration of the run.
 
-use goldfinger_bench::workloads::{build_dataset, shared_pool};
-use goldfinger_bench::{emit_if_requested, Args, ExperimentConfig, Table};
+use goldfinger_bench::workloads::{build_dataset, record_mem_gauges, shared_pool};
+use goldfinger_bench::{emit_if_requested, mem_json, Args, ExperimentConfig, Table};
 use goldfinger_core::hash::DynHasher;
 use goldfinger_core::shf::ShfParams;
 use goldfinger_core::similarity::ShfJaccard;
 use goldfinger_datasets::synth::SynthConfig;
 use goldfinger_knn::brute::BruteForce;
 use goldfinger_knn::serve::{replay, synth_ops, KnnService, ReplayOutcome, ServeConfig};
-use goldfinger_obs::{Json, Registry, ReportSet, RunReport};
+use goldfinger_obs::{Json, MetricsServer, Registry, ReportSet, RunReport, StatusFn, TraceSession};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct ServeRun {
     outcome: ReplayOutcome,
     wall: Duration,
-    registry: Registry,
 }
 
-fn run_replay(
+fn build_service(
     data: &goldfinger_datasets::model::BinaryDataset,
     cfg: &ExperimentConfig,
     serve: &ServeConfig,
-    ops: &[goldfinger_knn::serve::Op],
-) -> ServeRun {
+    registry: &Registry,
+) -> KnnService<DynHasher> {
     let params = ShfParams::new(cfg.bits, DynHasher::default());
     let store = params.fingerprint_store(data.profiles());
     let graph = BruteForce::default()
         .build(&ShfJaccard::new(&store), cfg.k)
         .graph;
-    let registry = Registry::new();
-    let svc = KnnService::new(&graph, &store, *params.hasher(), serve.clone(), &registry);
+    KnnService::new(&graph, &store, *params.hasher(), serve.clone(), registry)
+}
+
+fn run_replay(
+    svc: &KnnService<DynHasher>,
+    serve: &ServeConfig,
+    ops: &[goldfinger_knn::serve::Op],
+) -> ServeRun {
     let t0 = Instant::now();
     let outcome = if serve.threads > 1 {
-        shared_pool(serve.threads).install(|| replay(&svc, ops))
+        shared_pool(serve.threads).install(|| replay(svc, ops))
     } else {
-        replay(&svc, ops)
+        replay(svc, ops)
     };
     ServeRun {
         outcome,
         wall: t0.elapsed(),
-        registry,
     }
 }
 
@@ -67,6 +78,7 @@ fn micros(d: Duration) -> f64 {
 }
 
 fn main() {
+    let _trace = TraceSession::from_env();
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
     let n_ops = args.get_usize("ops", 100_000);
@@ -97,18 +109,34 @@ fn main() {
         update_pct,
         cfg.seed ^ 0x0b5,
     );
-    let run = run_replay(&data, &cfg, &serve, &ops);
+    let registry = Arc::new(Registry::new());
+    let svc = Arc::new(build_service(&data, &cfg, &serve, &registry));
+    // Live exposition while the replay runs: /metrics from the replay's
+    // registry, /epoch reporting the service's published epoch + digest.
+    let server = args.get("metrics-addr").map(|addr| {
+        let svc = svc.clone();
+        let status: StatusFn = Box::new(move || {
+            let snap = svc.snapshot();
+            Json::obj(vec![
+                ("epoch", Json::Num(snap.epoch() as f64)),
+                ("digest", Json::Str(format!("{:016x}", snap.digest()))),
+            ])
+        });
+        let server = MetricsServer::start(addr, registry.clone(), Some(status))
+            .expect("bind --metrics-addr");
+        println!("metrics: http://{}/metrics", server.local_addr());
+        server
+    });
+    let run = run_replay(&svc, &serve, &ops);
 
     if args.has_flag("verify-serial") {
-        let serial = run_replay(
-            &data,
-            &cfg,
-            &ServeConfig {
-                threads: 1,
-                ..serve.clone()
-            },
-            &ops,
-        );
+        let serial_cfg = ServeConfig {
+            threads: 1,
+            ..serve.clone()
+        };
+        let serial_registry = Registry::new();
+        let serial_svc = build_service(&data, &cfg, &serial_cfg, &serial_registry);
+        let serial = run_replay(&serial_svc, &serial_cfg, &ops);
         assert_eq!(
             run.outcome, serial.outcome,
             "replay diverged from the single-threaded reference"
@@ -119,16 +147,16 @@ fn main() {
         );
     }
 
-    let snap = run.registry.snapshot();
+    record_mem_gauges(&registry);
+    let snap = registry.snapshot();
     let get = |name: &str| {
         snap.counters
             .iter()
             .find(|(n, _)| n == name)
             .map_or(0, |(_, v)| *v)
     };
-    let reg = &run.registry;
-    let lookup_lat = reg.histogram("serve.lookup_latency");
-    let update_lat = reg.histogram("serve.update_latency");
+    let lookup_lat = registry.histogram("serve.lookup_latency");
+    let update_lat = registry.histogram("serve.update_latency");
     let repairs = get("serve.repairs");
     let evals = get("serve.repair_evals");
     let drains = get("serve.drains");
@@ -227,8 +255,12 @@ fn main() {
         "lookup_digest".to_string(),
         Json::Str(format!("{:016x}", run.outcome.lookup_digest)),
     ));
+    report.extra.push(("mem".to_string(), mem_json()));
 
     let mut set = ReportSet::new("serve");
     set.runs.push(report);
     emit_if_requested(&args, &set);
+    if let Some(server) = server {
+        server.stop();
+    }
 }

@@ -26,7 +26,10 @@ use std::path::Path;
 /// report as a `"pool"` extra object (schema-transparent: `extra` fields
 /// round-trip unvalidated). Every run also carries a `"kernel"` extra
 /// naming the dispatched similarity kernel and the batched-gather traffic
-/// it handled during this run.
+/// it handled during this run, plus a `"mem"` extra with the live
+/// fingerprint-arena bytes and the process peak RSS at report time. When
+/// flight-recorder tracing is active (`GF_TRACE`), the run is wrapped in
+/// a `bench:run` span so per-run boundaries are visible on the timeline.
 pub fn observed_run(
     experiment: &str,
     cfg: &ExperimentConfig,
@@ -38,7 +41,9 @@ pub fn observed_run(
     let pool = (cfg.threads > 1).then(|| shared_pool(cfg.threads));
     let before = pool.as_ref().map(|p| p.stats());
     let kernel_before = kernels::stats();
+    let run_trace = goldfinger_obs::trace::span("bench", "run");
     let out = run_observed(cfg, kind, data, provider, &obs);
+    drop(run_trace);
     let kernel_delta = kernels::stats().since(&kernel_before);
     let mut report = report_for(experiment, cfg, kind, data, provider, &out, &obs);
     if let (Some(pool), Some(before)) = (&pool, &before) {
@@ -50,7 +55,24 @@ pub fn observed_run(
     report
         .extra
         .push(("kernel".to_string(), kernel_stats_json(&kernel_delta)));
+    report.extra.push(("mem".to_string(), mem_json()));
     (out, report)
+}
+
+/// Renders the current memory gauges as the `"mem"` extra object of a
+/// [`RunReport`]: live arena bytes and peak RSS (`0` where `/proc` is
+/// unavailable).
+pub fn mem_json() -> Json {
+    Json::obj(vec![
+        (
+            "arena_bytes",
+            Json::Num(goldfinger_core::arena::live_arena_bytes() as f64),
+        ),
+        (
+            "rss_peak_kb",
+            Json::Num(goldfinger_obs::mem::rss_peak_kb().unwrap_or(0) as f64),
+        ),
+    ])
 }
 
 /// Renders a [`PoolStats`] (usually a [`PoolStats::since`] delta) as the

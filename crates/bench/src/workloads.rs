@@ -143,6 +143,7 @@ impl ExperimentConfig {
 /// Generates the synthetic counterpart of one preset at the configured
 /// scale and runs the paper's preparation pipeline.
 pub fn build_dataset(cfg: &ExperimentConfig, preset: SynthConfig) -> BinaryDataset {
+    let _t = goldfinger_obs::trace::span("phase", "dataset_prep");
     let factor = if cfg.scale > 0.0 {
         cfg.scale
     } else {
@@ -244,6 +245,18 @@ pub fn record_pool_stats(reg: &Registry, stats: &PoolStats) {
 pub fn record_kernel_stats(reg: &Registry, stats: &KernelStats) {
     reg.counter("kernel.batched_calls").add(stats.batched_calls);
     reg.counter("kernel.batched_rows").add(stats.batched_rows);
+}
+
+/// Records the process memory gauges — `mem.arena_bytes` (live fingerprint
+/// arena allocation, from `goldfinger-core`'s accounting) and
+/// `mem.rss_peak_kb` (`VmHWM`, 0 off Linux) — into `reg`. Called at
+/// report time so the peak covers the whole run (ROADMAP item 4
+/// groundwork).
+pub fn record_mem_gauges(reg: &Registry) {
+    reg.gauge("mem.arena_bytes")
+        .set(goldfinger_core::arena::live_arena_bytes() as i64);
+    reg.gauge("mem.rss_peak_kb")
+        .set(goldfinger_obs::mem::rss_peak_kb().unwrap_or(0) as i64);
 }
 
 /// Runs one `(algorithm, provider)` combination, reporting per-iteration

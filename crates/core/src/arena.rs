@@ -12,9 +12,20 @@
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut};
 use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Alignment (and padding quantum) of fingerprint arenas, in bytes.
 pub const CACHE_LINE: usize = 64;
+
+/// Bytes currently held by live [`AlignedWords`] buffers, process-wide.
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes currently allocated across every live [`AlignedWords`] arena —
+/// all `ShfStore` fingerprints in the process are backed by these, so
+/// this is the `mem.arena_bytes` gauge the bench reports surface.
+pub fn live_arena_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
 
 /// Words per cache line (`CACHE_LINE / 8`).
 pub const LINE_WORDS: usize = CACHE_LINE / 8;
@@ -64,6 +75,7 @@ impl AlignedWords {
         let Some(ptr) = NonNull::new(raw) else {
             handle_alloc_error(layout);
         };
+        LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         AlignedWords { ptr, len }
     }
 
@@ -106,8 +118,10 @@ impl DerefMut for AlignedWords {
 impl Drop for AlignedWords {
     fn drop(&mut self) {
         if self.len > 0 {
+            let layout = Self::layout(self.len);
             // SAFETY: allocated in `zeroed` with the same layout.
-            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, layout) };
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -175,6 +189,19 @@ mod tests {
         assert_eq!(b[8], 24);
         let c = AlignedWords::from(&b[..4]);
         assert_eq!(&*c, &[0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn live_bytes_track_alloc_and_drop() {
+        // Concurrent tests also touch the global counter, so allocate an
+        // arena far larger than their noise and assert on deltas.
+        const WORDS: usize = 1 << 20; // 8 MB
+        let before = live_arena_bytes();
+        let a = AlignedWords::zeroed(WORDS);
+        let held = live_arena_bytes();
+        assert!(held >= before + (WORDS * 8) as u64);
+        drop(a);
+        assert!(live_arena_bytes() <= held - (WORDS * 8) as u64 + (1 << 20));
     }
 
     #[test]

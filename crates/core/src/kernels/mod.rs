@@ -225,6 +225,7 @@ pub fn stats() -> KernelStats {
 pub(crate) fn note_batched(rows: usize) {
     BATCHED_CALLS.fetch_add(1, Ordering::Relaxed);
     BATCHED_ROWS.fetch_add(rows as u64, Ordering::Relaxed);
+    goldfinger_obs::trace::instant("kernel", "batched", rows as u64);
 }
 
 /// Prefetches the cache line at `data[idx]` into all cache levels, when the

@@ -43,6 +43,7 @@
 //! storage and stitch in slot order, so results are bit-identical to the
 //! spawn-per-call path (property-tested in `goldfinger-knn`).
 
+use goldfinger_obs::trace;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -139,6 +140,7 @@ impl JobCore<'_> {
             if slot >= self.slots {
                 return ran;
             }
+            let _task = trace::span_arg("pool", "task", slot as u64);
             let result = catch_unwind(AssertUnwindSafe(|| (self.body)(slot)));
             if let Err(payload) = result {
                 let mut first = self.panic.lock().unwrap();
@@ -320,6 +322,7 @@ impl Pool {
             return;
         }
 
+        let _dispatch = trace::span_arg("pool", "dispatch", slots as u64);
         let core = JobCore {
             body,
             next: AtomicUsize::new(0),
@@ -416,7 +419,11 @@ fn worker_loop(shared: &Shared) {
                     continue;
                 }
                 shared.counters.parks.fetch_add(1, Ordering::Relaxed);
+                // Instants, not a span: a worker still blocked in `wait`
+                // when the trace drains would leave the span unclosed.
+                trace::instant("pool", "park", 0);
                 slot = shared.work_cv.wait(slot).unwrap();
+                trace::instant("pool", "unpark", 0);
                 shared.counters.unparks.fetch_add(1, Ordering::Relaxed);
             }
         };
@@ -498,6 +505,7 @@ impl StealRegions {
                 f(start, (start + self.grain).min(hi));
                 if turn > 0 {
                     steals += 1;
+                    trace::instant("pool", "steal", victim as u64);
                 }
             }
         }

@@ -136,6 +136,8 @@ impl<H: ItemHasher> ShfParams<H> {
     /// pair is computed from that user's profile alone, making the output
     /// bit-identical to the serial pass for any thread count.
     pub fn fingerprint_store_threads(&self, profiles: &ProfileStore, threads: usize) -> ShfStore {
+        let _t =
+            goldfinger_obs::trace::span_arg("phase", "fingerprinting", profiles.n_users() as u64);
         let words_per_fp = BitArray::words_for(self.bits);
         let row_words = row_words_for(words_per_fp);
         let n = profiles.n_users();

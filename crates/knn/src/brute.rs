@@ -13,6 +13,7 @@ use crate::graph::{BuildStats, KnnGraph, KnnResult};
 use goldfinger_core::parallel::par_fold_dynamic;
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::TopK;
+use goldfinger_obs::trace;
 use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use std::time::{Duration, Instant};
 
@@ -102,6 +103,7 @@ impl BruteForce {
         }
         let prune = self.prune;
         let scan_start = O::ENABLED.then(Instant::now);
+        let scan_trace = trace::span_arg("phase", "join", cells.len() as u64);
         let mut states = par_fold_dynamic(
             cells.len(),
             self.threads,
@@ -173,6 +175,7 @@ impl BruteForce {
                 }
             },
         );
+        drop(scan_trace);
         if let Some(t) = scan_start {
             obs.on_span(Phase::Join, t.elapsed());
         }
@@ -181,6 +184,7 @@ impl BruteForce {
         // order, so the merge result is independent of how cells were
         // distributed across threads.
         let merge_start = O::ENABLED.then(Instant::now);
+        let merge_trace = trace::span("phase", "merge");
         let mut merged = states.remove(0);
         for state in states {
             merged.evals += state.evals;
@@ -192,6 +196,7 @@ impl BruteForce {
             }
         }
         let neighbors: Vec<_> = merged.tops.into_iter().map(TopK::into_sorted).collect();
+        drop(merge_trace);
         let wall = start.elapsed();
         if O::ENABLED {
             if let Some(t) = merge_start {

@@ -24,6 +24,7 @@ use crate::graph::{BuildStats, KnnGraph, KnnResult};
 use crate::neighborlist::{random_lists, NeighborList};
 use goldfinger_core::parallel::par_for_each_range;
 use goldfinger_core::similarity::Similarity;
+use goldfinger_obs::trace;
 use goldfinger_obs::{BuildObserver, IterationEvent, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -286,10 +287,14 @@ impl RefineEngine {
 
         while iterations < self.max_iterations {
             iterations += 1;
+            let _iter = trace::span_arg("engine", "iteration", iterations as u64);
             let iter_start = O::ENABLED.then(Instant::now);
             let evals_before = evals;
 
-            let plan = strategy.candidates(k, &mut ListsView::Serial(&mut lists), &mut rng);
+            let plan = {
+                let _t = trace::span("phase", "candidate_generation");
+                strategy.candidates(k, &mut ListsView::Serial(&mut lists), &mut rng)
+            };
             if let Some(t) = iter_start {
                 obs.on_span(Phase::CandidateGeneration, t.elapsed());
             }
@@ -297,6 +302,7 @@ impl RefineEngine {
             let join_start = O::ENABLED.then(Instant::now);
             let mut updates = 0u64;
             {
+                let _t = trace::span("phase", "join");
                 let mut joiner = SerialJoiner {
                     lists: &mut lists,
                     sim,
@@ -328,7 +334,9 @@ impl RefineEngine {
         }
 
         let merge_start = O::ENABLED.then(Instant::now);
+        let merge_trace = trace::span("phase", "merge");
         let neighbors = lists.iter().map(NeighborList::to_sorted).collect();
+        drop(merge_trace);
         if let Some(t) = merge_start {
             obs.on_span(Phase::Merge, t.elapsed());
         }
@@ -372,16 +380,21 @@ impl RefineEngine {
 
         while iterations < self.max_iterations {
             iterations += 1;
+            let _iter = trace::span_arg("engine", "iteration", iterations as u64);
             let iter_start = O::ENABLED.then(Instant::now);
             let evals_before = evals.load(Ordering::Relaxed);
 
             // Planning stays sequential and seeded; only the joins fan out.
-            let plan = strategy.candidates(k, &mut ListsView::Shared(&locks), &mut rng);
+            let plan = {
+                let _t = trace::span("phase", "candidate_generation");
+                strategy.candidates(k, &mut ListsView::Shared(&locks), &mut rng)
+            };
             if let Some(t) = iter_start {
                 obs.on_span(Phase::CandidateGeneration, t.elapsed());
             }
 
             let join_start = O::ENABLED.then(Instant::now);
+            let join_trace = trace::span("phase", "join");
             let updates = AtomicU64::new(0);
             par_for_each_range(n, self.threads, |_, lo, hi| {
                 let mut scratch = strategy.scratch(n);
@@ -396,6 +409,7 @@ impl RefineEngine {
                     strategy.join_user(&plan, u, &mut scratch, &mut joiner);
                 }
             });
+            drop(join_trace);
 
             if O::ENABLED {
                 if let Some(t) = join_start {
@@ -416,10 +430,12 @@ impl RefineEngine {
         }
 
         let merge_start = O::ENABLED.then(Instant::now);
+        let merge_trace = trace::span("phase", "merge");
         let neighbors = locks
             .iter()
             .map(|l| l.lock().unwrap().to_sorted())
             .collect();
+        drop(merge_trace);
         if let Some(t) = merge_start {
             obs.on_span(Phase::Merge, t.elapsed());
         }

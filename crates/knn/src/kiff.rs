@@ -18,6 +18,7 @@ use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::TopK;
 use goldfinger_core::visit::VisitStamp;
+use goldfinger_obs::trace;
 use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use std::time::Instant;
 
@@ -110,6 +111,7 @@ impl Kiff {
         // This phase reads explicit profiles and is not accelerated by
         // GoldFinger, like LSH's bucketing.
         let index_start = O::ENABLED.then(Instant::now);
+        let index_trace = trace::span("phase", "candidate_generation");
         let bound = profiles.item_universe_bound() as usize;
         let mut index: Vec<Vec<u32>> = vec![Vec::new(); bound];
         for (u, items) in profiles.iter() {
@@ -117,6 +119,7 @@ impl Kiff {
                 index[i as usize].push(u);
             }
         }
+        drop(index_trace);
         if let Some(t) = index_start {
             obs.on_span(Phase::CandidateGeneration, t.elapsed());
         }
@@ -127,6 +130,7 @@ impl Kiff {
 
         // Per-user scratch: co-rating counts with stamp-based reset.
         let score_start = O::ENABLED.then(Instant::now);
+        let score_trace = trace::span("phase", "join");
         let mut count = vec![0u32; n];
         let mut visited = VisitStamp::new(n);
         let mut sims: Vec<f64> = Vec::new();
@@ -170,6 +174,7 @@ impl Kiff {
             }
             neighbors.push(top.into_sorted());
         }
+        drop(score_trace);
 
         let wall = start.elapsed();
         if O::ENABLED {

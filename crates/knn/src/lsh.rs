@@ -18,6 +18,7 @@ use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::similarity::Similarity;
 use goldfinger_core::topk::TopK;
 use goldfinger_core::visit::VisitStamp;
+use goldfinger_obs::trace;
 use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -92,6 +93,7 @@ impl Lsh {
 
         // Bucketing: the expensive, GoldFinger-immune phase.
         let bucket_start = O::ENABLED.then(Instant::now);
+        let bucket_trace = trace::span("phase", "candidate_generation");
         let mut tables: Vec<HashMap<u64, Vec<u32>>> = Vec::with_capacity(self.tables);
         for t in 0..self.tables {
             let table_seed = splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
@@ -110,6 +112,7 @@ impl Lsh {
             tables.push(buckets);
         }
 
+        drop(bucket_trace);
         if let Some(t) = bucket_start {
             obs.on_span(Phase::CandidateGeneration, t.elapsed());
         }
@@ -122,6 +125,7 @@ impl Lsh {
         // bit-identical to the serial scan for any thread count (the
         // `threads` field), at the price of one O(n) stamp array per thread.
         let scan_start = O::ENABLED.then(Instant::now);
+        let scan_trace = trace::span("phase", "join");
         struct ScanSlot {
             stamp: VisitStamp,
             candidates: Vec<u32>,
@@ -186,6 +190,7 @@ impl Lsh {
                 neighbors[u as usize] = list;
             }
         }
+        drop(scan_trace);
         let wall = start.elapsed();
         if O::ENABLED {
             if let Some(t) = scan_start {

@@ -34,6 +34,7 @@ use goldfinger_core::hash::ItemHasher;
 use goldfinger_core::parallel::{par_map_chunks, par_map_indexed};
 use goldfinger_core::shf::ShfStore;
 use goldfinger_core::topk::Scored;
+use goldfinger_obs::trace;
 use goldfinger_obs::{Counter, Gauge, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -385,6 +386,7 @@ impl<H: ItemHasher> KnnService<H> {
     /// The five-phase batched drain. Runs under the writer lock; only
     /// phase 5's pointer swap touches the reader path.
     fn drain(&self, w: &mut Writer<H>) {
+        let _drain = trace::span_arg("serve", "drain", w.queue.len() as u64);
         let threads = self.cfg.threads.max(1);
         let queue = std::mem::take(&mut w.queue);
         let Writer { set, hasher, .. } = w;
@@ -401,6 +403,7 @@ impl<H: ItemHasher> KnnService<H> {
 
         // Phase 1: fold items into the owner shards' arena slices, in
         // parallel — each worker writes only its own shards.
+        let apply_trace = trace::span_arg("serve", "apply_updates", queue.len() as u64);
         par_map_chunks(set.shards_mut(), threads, |_, base, chunk| {
             for (i, shard) in chunk.iter_mut().enumerate() {
                 for (local, items) in &by_shard[base + i] {
@@ -409,8 +412,11 @@ impl<H: ItemHasher> KnnService<H> {
             }
         });
 
+        drop(apply_trace);
+
         // Phase 2: one repair per dirty user; the counter selects this
         // repair's probe stream.
+        let bump_trace = trace::span_arg("serve", "bump_counters", dirty_users.len() as u64);
         let counters: Vec<u64> = dirty_users
             .iter()
             .map(|&u| {
@@ -419,23 +425,30 @@ impl<H: ItemHasher> KnnService<H> {
             })
             .collect();
 
+        drop(bump_trace);
+
         // Phase 3: read-only planning fan-out over the frozen set. Plans
         // land in ascending-user order regardless of thread count.
+        let plan_trace = trace::span_arg("serve", "plan_repairs", dirty_users.len() as u64);
         let frozen: &ShardSet = set;
         let plans: Vec<Repair> = par_map_indexed(dirty_users.len(), threads, |i| {
             frozen.plan_repair(dirty_users[i], counters[i], self.cfg.probes, self.cfg.seed)
         });
+        drop(plan_trace);
 
         // Phase 4: serial application in plan order — O(k) list surgery
         // per plan, deterministic by construction.
+        let apply_repairs_trace = trace::span_arg("serve", "apply_repairs", plans.len() as u64);
         let mut evals = 0u64;
         for plan in &plans {
             evals += plan.evals;
             set.apply_repair(plan);
         }
+        drop(apply_repairs_trace);
 
         // Phase 5: rebuild only the dirty shards' snapshots (parallel),
         // publish the new epoch with a single pointer swap.
+        let rebuild_trace = trace::span("serve", "rebuild_snapshots");
         let dirty_shards = set.take_dirty();
         let previous = self.snapshot();
         let frozen: &ShardSet = set;
@@ -448,10 +461,13 @@ impl<H: ItemHasher> KnnService<H> {
             .enumerate()
             .map(|(s, fresh)| fresh.unwrap_or_else(|| previous.shards[s].clone()))
             .collect();
+        drop(rebuild_trace);
         let epoch = previous.epoch + 1;
+        let publish_trace = trace::span_arg("serve", "publish", epoch);
         let snap = ServiceSnapshot::publish(epoch, previous.per, previous.n, shards);
         *self.snapshot.write().expect("snapshot lock") = snap;
         self.epoch.store(epoch, Ordering::Release);
+        drop(publish_trace);
 
         let published = Instant::now();
         for p in &queue {

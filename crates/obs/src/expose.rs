@@ -1,0 +1,267 @@
+//! Live metrics exposition over plain `std::net`: a tiny single-threaded
+//! HTTP/1.1 server rendering a [`Registry`] in the Prometheus text format.
+//!
+//! The build container is offline, so no `hyper`/`axum` — the server
+//! speaks just enough HTTP for `curl` and a Prometheus scraper: it reads
+//! the request line, matches the path, writes one `Connection: close`
+//! response, and moves on. Routes:
+//!
+//! - `GET /metrics` — Prometheus text format (version 0.0.4) rendered
+//!   from [`Registry::snapshot`]; histograms appear as cumulative
+//!   `_bucket{le="..."}` series in seconds plus `_sum`/`_count`.
+//! - `GET /healthz` — `200 ok`, for liveness probes.
+//! - `GET /epoch` — caller-provided JSON status (the serving layer
+//!   reports its current epoch and graph digest); `404` when the server
+//!   was started without a status callback.
+//!
+//! Shutdown is cooperative: [`MetricsServer::stop`] (or drop) raises a
+//! flag and pokes the listener with a loopback connection so the accept
+//! loop observes it promptly.
+
+use crate::json::Json;
+use crate::metrics::{bucket_upper_bound_nanos, MetricsSnapshot, Registry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Callback producing the `/epoch` JSON body on each request.
+pub type StatusFn = Box<dyn Fn() -> Json + Send + Sync>;
+
+/// A running exposition server; stops when dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`, port `0` for ephemeral) and
+    /// serves the registry until [`stop`](MetricsServer::stop) or drop.
+    pub fn start(
+        addr: &str,
+        registry: Arc<Registry>,
+        status: Option<StatusFn>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("gf-metrics".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = handle_conn(stream, &registry, status.as_deref());
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; an ignored error just means the
+        // listener already died.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    registry: &Registry,
+    status: Option<&(dyn Fn() -> Json + Send + Sync)>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut line = String::new();
+    BufReader::new(stream.try_clone()?).read_line(&mut line)?;
+    let path = line.split_whitespace().nth(1).unwrap_or("");
+    let (status_line, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&registry.snapshot()),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/epoch" => match status {
+            Some(f) => ("200 OK", "application/json", f().render()),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no status\n".to_string(),
+            ),
+        },
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status_line}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Maps an instrument name onto the Prometheus grammar:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, so `serve.lookup_latency` becomes
+/// `serve_lookup_latency`.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Duration
+/// histograms are emitted in seconds, as cumulative buckets whose `le`
+/// bounds come from [`bucket_upper_bound_nanos`] (only occupied buckets
+/// are listed — cumulative semantics make the ladder still well-formed).
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for h in &snap.histograms {
+        let n = format!("{}_seconds", sanitize(&h.name));
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (bucket, count) in &h.buckets {
+            cumulative += count;
+            let le = bucket_upper_bound_nanos(*bucket as usize) as f64 / 1e9;
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n", h.sum.as_secs_f64()));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn renders_prometheus_text() {
+        let reg = Registry::new();
+        reg.counter("serve.lookups").add(42);
+        reg.gauge("serve.queue_depth").set(-3);
+        let h = reg.histogram("serve.lookup_latency");
+        h.observe(Duration::from_micros(10));
+        h.observe(Duration::from_micros(100));
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE serve_lookups counter\nserve_lookups 42\n"));
+        assert!(text.contains("serve_queue_depth -3\n"));
+        assert!(text.contains("# TYPE serve_lookup_latency_seconds histogram\n"));
+        assert!(text.contains("serve_lookup_latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("serve_lookup_latency_seconds_count 2\n"));
+        // Cumulative: the last finite bucket line must already count both.
+        let last_finite = text
+            .lines()
+            .rfind(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 2"), "{last_finite}");
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("serve.lookup_latency"), "serve_lookup_latency");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn serves_all_routes_over_a_socket() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("hits").inc();
+        let status: StatusFn = Box::new(|| Json::obj(vec![("epoch", Json::Num(7.0))]));
+        let server = MetricsServer::start("127.0.0.1:0", reg.clone(), Some(status)).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("hits 1\n"));
+
+        let (head, body) = get(addr, "/epoch");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert_eq!(
+            Json::parse(&body).unwrap().get("epoch").unwrap().as_u64(),
+            Some(7)
+        );
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn epoch_without_status_is_404() {
+        let reg = Arc::new(Registry::new());
+        let server = MetricsServer::start("127.0.0.1:0", reg, None).unwrap();
+        let (head, _) = get(server.local_addr(), "/epoch");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+}

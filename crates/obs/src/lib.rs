@@ -14,7 +14,12 @@
 //!   default that compiles to nothing;
 //! - [`json`] — a minimal JSON value, writer and parser;
 //! - [`report`] — the [`RunReport`]/[`ReportSet`] schema behind
-//!   `--json PATH` and `results/bench.json`.
+//!   `--json PATH` and `results/bench.json`;
+//! - [`trace`] — a flight recorder: per-thread lock-free event rings
+//!   (enabled by `GF_TRACE=path.json`) exported as Chrome-trace JSON;
+//! - [`expose`] — a dependency-free `/metrics`+`/healthz`+`/epoch` HTTP
+//!   server rendering a [`Registry`] in the Prometheus text format;
+//! - [`mem`] — peak-RSS introspection via `/proc/self/status`.
 //!
 //! ```
 //! use goldfinger_obs::{Phase, RecordingObserver, BuildObserver, SpanSet};
@@ -34,12 +39,16 @@
 
 #![warn(missing_docs)]
 
+pub mod expose;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod observer;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use expose::{render_prometheus, MetricsServer, StatusFn};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use observer::{
@@ -47,3 +56,4 @@ pub use observer::{
 };
 pub use report::{ReportSet, RunReport, Traffic, SCHEMA};
 pub use span::{Phase, PhaseSpan, Span, SpanSet};
+pub use trace::{Timeline, TraceEvent, TraceKind, TraceSession};

@@ -1,0 +1,34 @@
+//! Process memory introspection: peak RSS from `/proc/self/status`.
+//!
+//! Linux-only by nature; other platforms get a graceful `None` so report
+//! glue can record a zero without conditional compilation at call sites.
+
+/// Peak resident set size of this process in kilobytes (`VmHWM`), or
+/// `None` when `/proc/self/status` is unavailable or unparsable (non-Linux
+/// platforms, restricted mounts).
+pub fn rss_peak_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.split_whitespace().next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        match rss_peak_kb() {
+            // A live process has touched at least a few pages.
+            Some(kb) => assert!(kb > 0),
+            None => {
+                let linux = cfg!(target_os = "linux");
+                assert!(!linux, "Linux must expose VmHWM");
+            }
+        }
+    }
+}

@@ -57,18 +57,44 @@ impl Gauge {
     }
 }
 
-/// Number of histogram buckets: bucket `i` (for `i > 0`) holds durations
-/// whose nanosecond count has `i` significant bits, i.e. `[2^(i-1), 2^i)`;
-/// bucket 0 holds zero-length observations. 64 bits of nanoseconds cover
-/// every representable `Duration` this registry will ever see.
-pub const HISTOGRAM_BUCKETS: usize = 65;
+/// Linear subdivisions per power-of-two major bucket, as a bit count:
+/// each `[2^b, 2^(b+1))` decade splits into `2^HISTOGRAM_SUB_BITS` equal
+/// minors, bounding quantile error at `2^-HISTOGRAM_SUB_BITS` (12.5%)
+/// instead of the factor-of-two a pure log2 scheme gives.
+pub const HISTOGRAM_SUB_BITS: u32 = 3;
 
-/// Duration histogram with logarithmic (power-of-two nanosecond) buckets.
+const SUBS: usize = 1 << HISTOGRAM_SUB_BITS;
+
+/// Number of histogram buckets under the log-linear scheme: buckets
+/// `0..2^SUB_BITS` hold that exact nanosecond value (`bucket 0` = zero),
+/// then every major exponent `b ∈ [SUB_BITS, 64)` contributes `2^SUB_BITS`
+/// linear minors of width `2^(b - SUB_BITS)`. The ranges tile `u64`
+/// exactly, so every representable `Duration` lands in one bucket.
+pub const HISTOGRAM_BUCKETS: usize = SUBS + (64 - HISTOGRAM_SUB_BITS as usize) * SUBS;
+
+/// Duration histogram with log-linear nanosecond buckets (log2 majors,
+/// `2^`[`HISTOGRAM_SUB_BITS`] linear minors per major — HDR-style).
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum_nanos: AtomicU64,
+}
+
+/// Largest nanosecond value that lands in `bucket` — the inclusive upper
+/// bound used both for quantile estimates and Prometheus `le` labels.
+/// Strictly increasing in `bucket`; `bucket_upper_bound_nanos(0) == 0`.
+pub fn bucket_upper_bound_nanos(bucket: usize) -> u64 {
+    debug_assert!(bucket < HISTOGRAM_BUCKETS);
+    if bucket < SUBS {
+        return bucket as u64;
+    }
+    let major = ((bucket - SUBS) / SUBS) as u32; // exponent b = SUB_BITS + major
+    let minor = ((bucket - SUBS) % SUBS) as u64;
+    let width = 1u64 << major;
+    // Subtract before adding: the top bucket's bound is exactly u64::MAX,
+    // so `base + span` would overflow one past it.
+    ((1u64 << (HISTOGRAM_SUB_BITS + major)) - 1) + (minor + 1) * width
 }
 
 impl Default for Histogram {
@@ -83,7 +109,12 @@ impl Default for Histogram {
 
 impl Histogram {
     fn bucket_of(nanos: u64) -> usize {
-        (u64::BITS - nanos.leading_zeros()) as usize
+        if nanos < SUBS as u64 {
+            return nanos as usize;
+        }
+        let b = 63 - nanos.leading_zeros(); // 2^b <= nanos, b >= SUB_BITS
+        let minor = ((nanos >> (b - HISTOGRAM_SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        SUBS + (b - HISTOGRAM_SUB_BITS) as usize * SUBS + minor
     }
 
     /// Records one observation.
@@ -115,7 +146,8 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket at which the cumulative count reaches
-    /// quantile `q ∈ [0, 1]` — a conservative estimate within a factor of 2.
+    /// quantile `q ∈ [0, 1]` — a conservative estimate within one linear
+    /// minor, i.e. `2^-`[`HISTOGRAM_SUB_BITS`] relative error.
     pub fn quantile_upper_bound(&self, q: f64) -> Duration {
         let count = self.count();
         if count == 0 {
@@ -126,15 +158,14 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                let upper = if i == 0 { 0 } else { 1u64 << i.min(63) };
-                return Duration::from_nanos(upper);
+                return Duration::from_nanos(bucket_upper_bound_nanos(i));
             }
         }
         Duration::from_nanos(u64::MAX)
     }
 
-    /// Non-empty buckets as `(bucket_index, count)`; bucket `i > 0` covers
-    /// nanosecond values in `[2^(i-1), 2^i)`.
+    /// Non-empty buckets as `(bucket_index, count)`; see
+    /// [`bucket_upper_bound_nanos`] for the value range an index covers.
     pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
         self.buckets
             .iter()
@@ -259,18 +290,52 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_log2() {
+    fn histogram_buckets_are_log_linear() {
         let h = Histogram::default();
-        h.observe(Duration::ZERO); // bucket 0
-        h.observe(Duration::from_nanos(1)); // bucket 1: [1, 2)
+        h.observe(Duration::ZERO); // bucket 0 (exact)
+        h.observe(Duration::from_nanos(1)); // bucket 1 (exact)
         h.observe(Duration::from_nanos(1)); // bucket 1 again
-        h.observe(Duration::from_nanos(1000)); // bucket 10: [512, 1024)
+        h.observe(Duration::from_nanos(1000)); // major 2^9, minor (1000-512)/64
         assert_eq!(h.count(), 4);
         assert_eq!(h.sum(), Duration::from_nanos(1002));
-        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (10, 1)]);
-        // Median falls into bucket 1, upper bound 2 ns.
-        assert_eq!(h.quantile_upper_bound(0.5), Duration::from_nanos(2));
-        assert_eq!(h.quantile_upper_bound(1.0), Duration::from_nanos(1024));
+        let b1000 = 8 + 6 * 8 + 7; // b=9 → major group 6, minor 7: [960, 1024)
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (b1000 as u32, 1)]);
+        // Median falls into bucket 1, which holds exactly {1}.
+        assert_eq!(h.quantile_upper_bound(0.5), Duration::from_nanos(1));
+        assert_eq!(h.quantile_upper_bound(1.0), Duration::from_nanos(1023));
+    }
+
+    #[test]
+    fn buckets_tile_u64_without_gaps() {
+        // bucket_of is monotone, starts at 0, ends at the last bucket, and
+        // every bucket's inclusive upper bound is its largest member.
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound_nanos(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        let mut prev_upper = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let upper = bucket_upper_bound_nanos(i);
+            assert_eq!(Histogram::bucket_of(upper), i, "upper of bucket {i}");
+            if i > 0 {
+                assert!(upper > prev_upper, "le bounds must strictly increase");
+                // The value one past the previous bucket lands here: no gaps.
+                assert_eq!(Histogram::bucket_of(prev_upper + 1), i);
+            }
+            prev_upper = upper;
+        }
+    }
+
+    #[test]
+    fn tail_quantiles_are_resolvable() {
+        // The PR6 failure mode: p50 == p99 for a spread of multi-ms values
+        // because pure log2 buckets collapsed [16.7ms, 33.5ms) into one.
+        let h = Histogram::default();
+        for i in 0..100u64 {
+            h.observe(Duration::from_micros(20_000 + 80 * i)); // 20ms..28ms
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p50 < p99, "p50 {p50:?} must resolve below p99 {p99:?}");
     }
 
     #[test]

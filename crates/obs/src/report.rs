@@ -336,6 +336,48 @@ impl ReportSet {
         }
         Ok(())
     }
+
+    /// Everything [`validate`](ReportSet::validate) checks, plus the
+    /// stricter invariants CI's `check_report` gate enforces on emitted
+    /// files:
+    ///
+    /// - any `*_p50_*` extra must not exceed its `*_p99_*` counterpart
+    ///   (a p50 above p99 means the histogram collapsed, the PR6 serve
+    ///   bench failure mode);
+    /// - build runs (every experiment except `"serve"`) must report a
+    ///   non-empty `phases` list — a build with no phase attribution is
+    ///   an instrumentation regression.
+    pub fn validate_strict(&self) -> Result<(), String> {
+        self.validate()?;
+        for (i, run) in self.runs.iter().enumerate() {
+            let at = |msg: String| {
+                format!(
+                    "run #{i} ({}/{}/{}): {msg}",
+                    run.dataset, run.algo, run.provider
+                )
+            };
+            for (key, value) in &run.extra {
+                let Some(pos) = key.find("_p50_") else {
+                    continue;
+                };
+                let counterpart = format!("{}_p99_{}", &key[..pos], &key[pos + 5..]);
+                let p99 = run
+                    .extra
+                    .iter()
+                    .find(|(k, _)| *k == counterpart)
+                    .and_then(|(_, v)| v.as_f64());
+                if let (Some(p50), Some(p99)) = (value.as_f64(), p99) {
+                    if p50 > p99 {
+                        return Err(at(format!("{key} = {p50} exceeds {counterpart} = {p99}")));
+                    }
+                }
+            }
+            if run.experiment != "serve" && run.phases.is_empty() {
+                return Err(at("build run reports an empty phases list".to_string()));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +471,34 @@ mod tests {
         assert!(ReportSet::new("x").validate().is_err());
         let bad = Json::obj(vec![("schema", Json::from("other/v9"))]);
         assert!(ReportSet::from_json(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn strict_validation_rejects_inverted_quantiles() {
+        let mut set = ReportSet::new("serve");
+        let mut run = sample_report();
+        run.extra = vec![
+            ("lookup_p50_us".to_string(), Json::Num(10.0)),
+            ("lookup_p99_us".to_string(), Json::Num(90.0)),
+        ];
+        set.runs.push(run);
+        assert!(set.validate_strict().is_ok());
+        set.runs[0].extra[0].1 = Json::Num(120.0); // p50 above p99
+        let err = set.validate_strict().unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn strict_validation_requires_phases_for_build_runs() {
+        let mut set = ReportSet::new("fig12");
+        let mut run = sample_report();
+        run.phases.clear();
+        set.runs.push(run);
+        let err = set.validate_strict().unwrap_err();
+        assert!(err.contains("phases"), "{err}");
+        // Serve runs are exempt: they have drain phases, not build phases.
+        set.runs[0].experiment = "serve".to_string();
+        assert!(set.validate_strict().is_ok());
     }
 
     #[test]

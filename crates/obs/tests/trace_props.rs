@@ -1,0 +1,133 @@
+//! Property tests for the flight-recorder event ring (`obs::trace`).
+//!
+//! Tracing is process-global, so every test takes a shared mutex before
+//! touching `enable`/`disable_and_drain` — the properties themselves still
+//! exercise multi-threaded recording inside each locked section.
+
+use goldfinger_obs::trace;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Opens `depth` strictly nested spans (closed LIFO by stack unwinding)
+/// with an instant at the innermost level.
+fn nest(depth: usize) {
+    if depth == 0 {
+        trace::instant("prop", "leaf", 0);
+        return;
+    }
+    let _span = trace::span_arg("prop", "nested", depth as u64);
+    nest(depth - 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Below ring capacity no event is lost: every thread's instants come
+    /// back, in recording order, with an exact drop count of zero.
+    #[test]
+    fn below_capacity_loses_nothing(threads in 1usize..5, per_thread in 1usize..200) {
+        let _guard = lock();
+        trace::enable(512);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        trace::instant("prop", "evt", (t * 1000 + i) as u64);
+                    }
+                });
+            }
+        });
+        let timeline = trace::disable_and_drain();
+        prop_assert_eq!(timeline.dropped, 0);
+        prop_assert_eq!(timeline.events.len(), threads * per_thread);
+        prop_assert_eq!(timeline.threads.len(), threads);
+        // Per recording thread the args must read back 0..per_thread in
+        // order: the ring preserves push order and the merge sort is stable.
+        for t in 0..threads {
+            let args: Vec<u64> = timeline
+                .events
+                .iter()
+                .filter(|e| e.arg / 1000 == t as u64)
+                .map(|e| e.arg % 1000)
+                .collect();
+            let expect: Vec<u64> = (0..per_thread as u64).collect();
+            prop_assert_eq!(args, expect);
+        }
+    }
+
+    /// Above capacity the ring keeps the oldest events (drop-new policy)
+    /// and counts exactly the surplus.
+    #[test]
+    fn overflow_drops_exactly_the_surplus(capacity in 1usize..64, extra in 1usize..64) {
+        let _guard = lock();
+        trace::enable(capacity);
+        for i in 0..capacity + extra {
+            trace::instant("prop", "evt", i as u64);
+        }
+        let timeline = trace::disable_and_drain();
+        prop_assert_eq!(timeline.dropped, extra as u64);
+        prop_assert_eq!(timeline.events.len(), capacity);
+        let kept: Vec<u64> = timeline.events.iter().map(|e| e.arg).collect();
+        let expect: Vec<u64> = (0..capacity as u64).collect();
+        prop_assert_eq!(kept, expect);
+    }
+
+    /// Concurrently recorded span trees always validate: every end matches
+    /// the innermost open begin on its own thread.
+    #[test]
+    fn spans_nest_per_thread(depths in proptest::collection::vec(1usize..6, 1..4)) {
+        let _guard = lock();
+        trace::enable(4096);
+        std::thread::scope(|scope| {
+            for &depth in &depths {
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        nest(depth);
+                    }
+                });
+            }
+        });
+        let timeline = trace::disable_and_drain();
+        prop_assert_eq!(timeline.dropped, 0);
+        prop_assert!(timeline.validate_nesting().is_ok());
+        let begins = timeline
+            .events
+            .iter()
+            .filter(|e| e.kind == trace::TraceKind::Begin)
+            .count();
+        prop_assert_eq!(begins, depths.iter().map(|d| d * 3).sum::<usize>());
+    }
+
+    /// The merged timeline is globally ordered by (timestamp, tid), no
+    /// matter how the per-thread rings interleaved.
+    #[test]
+    fn merge_is_timestamp_ordered(threads in 1usize..5, per_thread in 1usize..100) {
+        let _guard = lock();
+        trace::enable(512);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        trace::instant("prop", "evt", (t * 1000 + i) as u64);
+                    }
+                });
+            }
+        });
+        let timeline = trace::disable_and_drain();
+        for pair in timeline.events.windows(2) {
+            prop_assert!(
+                (pair[0].ts_nanos, pair[0].tid) <= (pair[1].ts_nanos, pair[1].tid),
+                "events out of order: {:?} then {:?}",
+                (pair[0].ts_nanos, pair[0].tid),
+                (pair[1].ts_nanos, pair[1].tid)
+            );
+        }
+    }
+}

@@ -89,8 +89,16 @@ fn usage() -> &'static str {
      serve:       --replay N (ops, default 100000)  --update-pct P (default 30)\n\
                   --shards S (default 8)  --batch B (default 256)\n\
                   --probes P (default 4)  --threads T (default 1)\n\
+                  --metrics-addr HOST:PORT   serve /metrics, /healthz and /epoch\n\
+                  --hold SECS                keep the exposition server up after\n\
+                                             the replay finishes (default 0)\n\
                   replays an interleaved update+lookup log against the sharded\n\
-                  online service and reports latency/throughput"
+                  online service and reports latency/throughput\n\
+     \n\
+     environment:\n\
+       GF_TRACE=FILE.json      record a flight-recorder trace of the run and\n\
+                               write it as Chrome trace-event JSON on exit\n\
+       GF_TRACE_CAP=N          per-thread event-ring capacity (default 2^20)"
 }
 
 fn load_dataset(cli: &Cli) -> Result<BinaryDataset, String> {
@@ -275,7 +283,8 @@ fn run() -> Result<(), String> {
         }
         "serve" => {
             use goldfinger::knn::serve::{replay, synth_ops, KnnService, ServeConfig};
-            use goldfinger::obs::Registry;
+            use goldfinger::obs::{Json, MetricsServer, Registry, StatusFn};
+            use std::sync::Arc;
 
             let data = load_dataset(&cli)?;
             let n = data.n_users();
@@ -297,11 +306,44 @@ fn run() -> Result<(), String> {
             let sim = ShfJaccard::new(&store);
             let result = dispatch_algo("brute", data.profiles(), &sim, k, seed)?;
 
-            let reg = Registry::new();
-            let svc = KnnService::new(&result.graph, &store, *params.hasher(), cfg, &reg);
+            let reg = Arc::new(Registry::new());
+            let svc = Arc::new(KnnService::new(
+                &result.graph,
+                &store,
+                *params.hasher(),
+                cfg,
+                &reg,
+            ));
+            // Optional live exposition: /metrics from the replay's registry,
+            // /epoch reporting the service's published epoch + digest.
+            let server = match cli.get("metrics-addr") {
+                Some(addr) => {
+                    let status_svc = svc.clone();
+                    let status: StatusFn = Box::new(move || {
+                        let snap = status_svc.snapshot();
+                        Json::obj(vec![
+                            ("epoch", Json::Num(snap.epoch() as f64)),
+                            ("digest", Json::Str(format!("{:016x}", snap.digest()))),
+                        ])
+                    });
+                    let server = MetricsServer::start(addr, reg.clone(), Some(status))
+                        .map_err(|e| format!("binding --metrics-addr {addr}: {e}"))?;
+                    println!("metrics: http://{}/metrics", server.local_addr());
+                    Some(server)
+                }
+                None => None,
+            };
             let ops = synth_ops(n, data.n_items() as u32, n_ops, update_pct, seed ^ 0x0b5);
             let t0 = std::time::Instant::now();
-            let outcome = replay(&svc, &ops);
+            // Route the parallel drain phases through the work-stealing
+            // pool (rather than the raw scoped-thread fallback) so traced
+            // runs attribute them to pool tasks.
+            let threads: usize = cli.parse_num("threads", 1)?;
+            let outcome = if threads > 1 {
+                goldfinger::core::pool::Pool::new(threads).install(|| replay(&svc, &ops))
+            } else {
+                replay(&svc, &ops)
+            };
             let wall = t0.elapsed();
 
             let p = |h: &goldfinger::obs::Histogram, q: f64| {
@@ -333,6 +375,14 @@ fn run() -> Result<(), String> {
                 reg.counter("serve.repair_evals").get()
             );
             println!("  final digest {:016x}", outcome.final_digest);
+            if let Some(server) = server {
+                let hold: u64 = cli.parse_num("hold", 0)?;
+                if hold > 0 {
+                    println!("holding http://{}/metrics for {hold}s", server.local_addr());
+                    std::thread::sleep(std::time::Duration::from_secs(hold));
+                }
+                server.stop();
+            }
         }
         "privacy" => {
             let items: usize = cli.parse_num("items", 171_356)?;
@@ -351,6 +401,8 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Armed by GF_TRACE=FILE.json; drains and writes the trace on exit.
+    let _trace = goldfinger::obs::TraceSession::from_env();
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

@@ -2,9 +2,11 @@
 //! hand-rolled JSON parser, checks the schema tag, and asserts structural
 //! validity (non-empty run set, per-iteration traces summing to the
 //! reported totals) plus the strict invariants: no `*_p50_*` extra above
-//! its `*_p99_*` counterpart (histogram-resolution regressions), and a
-//! non-empty `phases` list on every build (non-serve) run. Exits non-zero
-//! on any missing or malformed report.
+//! its `*_p99_*` counterpart (histogram-resolution regressions), a
+//! non-empty `phases` list on every build (non-serve) run, and a `"prep"`
+//! extra (sketch name + `prep_secs`) on every run so the preparation/build
+//! split stays recoverable. Exits non-zero on any missing or malformed
+//! report.
 //!
 //! ```text
 //! cargo run --release -p goldfinger-bench --bin check_report -- results/fig12.json
@@ -28,7 +30,7 @@ fn main() {
         match checked {
             Ok(set) => println!(
                 "{path}: ok — experiment {:?}, {} run(s), traces consistent, \
-                 quantiles ordered, phases attributed",
+                 quantiles ordered, phases attributed, prep split present",
                 set.experiment,
                 set.runs.len()
             ),

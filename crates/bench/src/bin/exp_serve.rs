@@ -11,13 +11,19 @@
 //! ```text
 //! cargo run --release -p goldfinger-bench --bin exp_serve [-- \
 //!     --ops 100000 --batch 256 --update-pct 30 --shards 8 \
-//!     --verify-serial --json results/serve.json]
+//!     --ops-file trace.oplog --verify-serial --json results/serve.json]
 //! ```
 //!
+//! The op log is **streamed**, never materialized: by default a lazy
+//! deterministic generator (`synth_op_stream`), or with `--ops-file` a
+//! line-at-a-time reader over a recorded log (`OpLogReader`). Memory
+//! stays flat no matter how long the replay is.
+//!
 //! `--verify-serial` replays the identical op log a second time on a
-//! fresh single-threaded service and asserts both runs produced the same
-//! lookup and graph digests — the CI legs run this at `GF_THREADS ∈
-//! {1,4}` so a thread-count-dependent drain cannot land.
+//! fresh single-threaded service (the generator is re-seeded / the file
+//! re-opened) and asserts both runs produced the same lookup and graph
+//! digests — the CI legs run this at `GF_THREADS ∈ {1,4}` so a
+//! thread-count-dependent drain cannot land.
 //!
 //! Observability hooks: `GF_TRACE=path.json` flight-records the build and
 //! the replay (drain phases, pool tasks, kernel batches) into a
@@ -26,13 +32,16 @@
 //! duration of the run.
 
 use goldfinger_bench::workloads::{build_dataset, record_mem_gauges, shared_pool};
-use goldfinger_bench::{emit_if_requested, mem_json, Args, ExperimentConfig, Table};
+use goldfinger_bench::{emit_if_requested, mem_json, prep_json, Args, ExperimentConfig, Table};
 use goldfinger_core::hash::DynHasher;
 use goldfinger_core::shf::ShfParams;
 use goldfinger_core::similarity::ShfJaccard;
 use goldfinger_datasets::synth::SynthConfig;
 use goldfinger_knn::brute::BruteForce;
-use goldfinger_knn::serve::{replay, synth_ops, KnnService, ReplayOutcome, ServeConfig};
+use goldfinger_knn::oplog::OpLogReader;
+use goldfinger_knn::serve::{
+    replay_stream, synth_op_stream, KnnService, Op, ReplayOutcome, ServeConfig,
+};
 use goldfinger_obs::{Json, MetricsServer, Registry, ReportSet, RunReport, StatusFn, TraceSession};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,25 +56,70 @@ fn build_service(
     cfg: &ExperimentConfig,
     serve: &ServeConfig,
     registry: &Registry,
-) -> KnnService<DynHasher> {
+) -> (KnnService<DynHasher>, Duration) {
     let params = ShfParams::new(cfg.bits, DynHasher::default());
+    let t0 = Instant::now();
     let store = params.fingerprint_store(data.profiles());
+    let prep = t0.elapsed();
     let graph = BruteForce::default()
         .build(&ShfJaccard::new(&store), cfg.k)
         .graph;
-    KnnService::new(&graph, &store, *params.hasher(), serve.clone(), registry)
+    (
+        KnnService::new(&graph, &store, *params.hasher(), serve.clone(), registry),
+        prep,
+    )
 }
 
-fn run_replay(
-    svc: &KnnService<DynHasher>,
-    serve: &ServeConfig,
-    ops: &[goldfinger_knn::serve::Op],
-) -> ServeRun {
+/// Where the replay's ops come from. Each replay asks for a fresh stream,
+/// so `--verify-serial` re-seeds the generator / re-opens the file instead
+/// of holding the log in memory.
+enum OpSource {
+    Synth {
+        n_users: usize,
+        n_items: u32,
+        n_ops: usize,
+        update_pct: u32,
+        seed: u64,
+    },
+    File(String),
+}
+
+impl OpSource {
+    fn stream(&self) -> Box<dyn Iterator<Item = Op>> {
+        match self {
+            OpSource::Synth {
+                n_users,
+                n_items,
+                n_ops,
+                update_pct,
+                seed,
+            } => Box::new(synth_op_stream(
+                *n_users,
+                *n_items,
+                *n_ops,
+                *update_pct,
+                *seed,
+            )),
+            OpSource::File(path) => {
+                let file = std::fs::File::open(path)
+                    .unwrap_or_else(|e| panic!("opening --ops-file {path}: {e}"));
+                let path = path.clone();
+                Box::new(
+                    OpLogReader::new(file).map(move |r| {
+                        r.unwrap_or_else(|e| panic!("reading --ops-file {path}: {e}"))
+                    }),
+                )
+            }
+        }
+    }
+}
+
+fn run_replay(svc: &KnnService<DynHasher>, serve: &ServeConfig, source: &OpSource) -> ServeRun {
     let t0 = Instant::now();
     let outcome = if serve.threads > 1 {
-        shared_pool(serve.threads).install(|| replay(svc, ops))
+        shared_pool(serve.threads).install(|| replay_stream(svc, source.stream()))
     } else {
-        replay(svc, ops)
+        replay_stream(svc, source.stream())
     };
     ServeRun {
         outcome,
@@ -93,24 +147,37 @@ fn main() {
 
     let data = build_dataset(&cfg, SynthConfig::ml1m());
     let n = data.n_users();
-    println!(
-        "dataset: {n} users, {} items — replaying {n_ops} ops \
-         ({update_pct}% updates, batch {}, {} shards, {} threads)\n",
-        data.n_items(),
-        serve.batch,
-        serve.shards,
-        serve.threads
-    );
-
-    let ops = synth_ops(
-        n,
-        data.n_items() as u32,
-        n_ops,
-        update_pct,
-        cfg.seed ^ 0x0b5,
-    );
+    let source = match args.get("ops-file") {
+        Some(path) => OpSource::File(path.to_string()),
+        None => OpSource::Synth {
+            n_users: n,
+            n_items: data.n_items() as u32,
+            n_ops,
+            update_pct,
+            seed: cfg.seed ^ 0x0b5,
+        },
+    };
+    match &source {
+        OpSource::Synth { .. } => println!(
+            "dataset: {n} users, {} items — streaming {n_ops} synthetic ops \
+             ({update_pct}% updates, batch {}, {} shards, {} threads)\n",
+            data.n_items(),
+            serve.batch,
+            serve.shards,
+            serve.threads
+        ),
+        OpSource::File(path) => println!(
+            "dataset: {n} users, {} items — streaming ops from {path} \
+             (batch {}, {} shards, {} threads)\n",
+            data.n_items(),
+            serve.batch,
+            serve.shards,
+            serve.threads
+        ),
+    }
     let registry = Arc::new(Registry::new());
-    let svc = Arc::new(build_service(&data, &cfg, &serve, &registry));
+    let (svc, prep) = build_service(&data, &cfg, &serve, &registry);
+    let svc = Arc::new(svc);
     // Live exposition while the replay runs: /metrics from the replay's
     // registry, /epoch reporting the service's published epoch + digest.
     let server = args.get("metrics-addr").map(|addr| {
@@ -127,7 +194,8 @@ fn main() {
         println!("metrics: http://{}/metrics", server.local_addr());
         server
     });
-    let run = run_replay(&svc, &serve, &ops);
+    let run = run_replay(&svc, &serve, &source);
+    let replayed_ops = (run.outcome.lookups + run.outcome.updates) as usize;
 
     if args.has_flag("verify-serial") {
         let serial_cfg = ServeConfig {
@@ -135,8 +203,8 @@ fn main() {
             ..serve.clone()
         };
         let serial_registry = Registry::new();
-        let serial_svc = build_service(&data, &cfg, &serial_cfg, &serial_registry);
-        let serial = run_replay(&serial_svc, &serial_cfg, &ops);
+        let (serial_svc, _) = build_service(&data, &cfg, &serial_cfg, &serial_registry);
+        let serial = run_replay(&serial_svc, &serial_cfg, &source);
         assert_eq!(
             run.outcome, serial.outcome,
             "replay diverged from the single-threaded reference"
@@ -160,7 +228,7 @@ fn main() {
     let repairs = get("serve.repairs");
     let evals = get("serve.repair_evals");
     let drains = get("serve.drains");
-    let throughput = n_ops as f64 / run.wall.as_secs_f64();
+    let throughput = replayed_ops as f64 / run.wall.as_secs_f64();
     let evals_per_repair = if repairs == 0 {
         0.0
     } else {
@@ -168,7 +236,7 @@ fn main() {
     };
 
     let mut table = Table::new("Online serving — replay summary", &["metric", "value"]);
-    table.push(vec!["ops".into(), n_ops.to_string()]);
+    table.push(vec!["ops".into(), replayed_ops.to_string()]);
     table.push(vec![
         "throughput (ops/s)".into(),
         format!("{throughput:.0}"),
@@ -212,10 +280,11 @@ fn main() {
         seed: cfg.seed,
         similarity_evals: evals,
         wall: run.wall,
+        prep_wall: prep,
         ..RunReport::default()
     };
     for (name, value) in [
-        ("ops", n_ops as f64),
+        ("ops", replayed_ops as f64),
         ("updates", run.outcome.updates as f64),
         ("lookups", run.outcome.lookups as f64),
         ("update_pct", update_pct as f64),
@@ -254,6 +323,10 @@ fn main() {
     report.extra.push((
         "lookup_digest".to_string(),
         Json::Str(format!("{:016x}", run.outcome.lookup_digest)),
+    ));
+    report.extra.push((
+        "prep".to_string(),
+        prep_json("shf", prep, data.profiles().n_associations() as u64),
     ));
     report.extra.push(("mem".to_string(), mem_json()));
 

@@ -13,11 +13,11 @@
 //! ```
 
 use goldfinger_bench::{
-    build_datasets, emit_if_requested, fmt_duration, Args, ExperimentConfig, Table,
+    build_datasets, emit_if_requested, fmt_duration, prep_json, Args, ExperimentConfig, Table,
 };
 use goldfinger_core::profile::ProfileStore;
-use goldfinger_minhash::{BbitParams, BbitStore, MinHashParams, PermutationStrategy};
-use goldfinger_obs::{Phase, ReportSet, RunReport, SpanSet};
+use goldfinger_minhash::{BbitParams, BbitStore, MinHashParams, PermutationStrategy, SketchMode};
+use goldfinger_obs::{Phase, PhaseSpan, ReportSet, RunReport, SpanSet};
 use std::hint::black_box;
 
 fn main() {
@@ -32,7 +32,14 @@ fn main() {
             "Table 3 — preparation time (GoldFinger {} bits; MinHash {perms} perms x {bbit} bits)",
             cfg.bits
         ),
-        &["dataset", "native", "MinHash", "GoldFinger", "speedup (x)"],
+        &[
+            "dataset",
+            "native",
+            "MinHash",
+            &format!("MinHash ({})", SketchMode::from_env().name()),
+            "GoldFinger",
+            "speedup (x)",
+        ],
     );
     for data in build_datasets(&cfg, args.get("datasets")) {
         let profiles = data.profiles();
@@ -62,16 +69,55 @@ fn main() {
         black_box(&sketches);
         let minhash = span.stop();
 
+        // Hashed MinHash under the active `GF_SKETCH` mode: one-pass
+        // sketching hashes each association once; classic hashes it once
+        // per permutation. Comparing this column across the two modes is
+        // the Table 3 ingest-speed story for MinHash itself.
+        let span = spans.span(Phase::Fingerprinting);
+        let hashed = BbitStore::build(
+            BbitParams {
+                minhash: MinHashParams {
+                    permutations: perms,
+                    strategy: PermutationStrategy::Hashed,
+                    seed: cfg.seed,
+                },
+                bits: bbit,
+            },
+            profiles,
+        );
+        black_box(&hashed);
+        let minhash_hashed = span.stop();
+
         // GoldFinger: one Jenkins hash per association.
         let span = spans.span(Phase::Fingerprinting);
         let store = cfg.shf_params(cfg.bits).fingerprint_store(profiles);
         black_box(&store);
         let goldfinger = span.stop();
 
-        for (provider, bits, prep) in [
-            ("native", 0u64, native),
-            ("minhash", (perms as u64) * bbit as u64, minhash),
-            ("goldfinger", cfg.bits as u64, goldfinger),
+        let associations = profiles.n_associations() as u64;
+        for (provider, sketch, phase, bits, prep) in [
+            ("native", "native", Phase::DatasetPrep, 0u64, native),
+            (
+                "minhash",
+                "explicit",
+                Phase::Fingerprinting,
+                (perms as u64) * bbit as u64,
+                minhash,
+            ),
+            (
+                "minhash-hashed",
+                SketchMode::from_env().name(),
+                Phase::Fingerprinting,
+                (perms as u64) * bbit as u64,
+                minhash_hashed,
+            ),
+            (
+                "goldfinger",
+                "shf",
+                Phase::Fingerprinting,
+                cfg.bits as u64,
+                goldfinger,
+            ),
         ] {
             set.runs.push(RunReport {
                 experiment: "table3".to_string(),
@@ -83,6 +129,12 @@ fn main() {
                 bits,
                 seed: cfg.seed,
                 prep_wall: prep,
+                phases: vec![PhaseSpan {
+                    phase,
+                    wall: prep,
+                    entries: 1,
+                }],
+                extra: vec![("prep".to_string(), prep_json(sketch, prep, associations))],
                 ..RunReport::default()
             });
         }
@@ -91,6 +143,7 @@ fn main() {
             data.name().to_string(),
             fmt_duration(native),
             fmt_duration(minhash),
+            fmt_duration(minhash_hashed),
             fmt_duration(goldfinger),
             format!(
                 "{:.1}",

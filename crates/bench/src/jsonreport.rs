@@ -59,6 +59,28 @@ pub fn observed_run(
     (out, report)
 }
 
+/// Renders a preparation-phase summary as the `"prep"` extra object of a
+/// [`RunReport`] — the kernel-style companion for ingest speed: which
+/// sketching path built the similarity representation (`"shf"`,
+/// `"onepass"`/`"classic"` minhash, or `"native"` for no sketch at all),
+/// how long it took, and the resulting associations/second. `check_report`
+/// requires this object on every emitted run, so Table-3-style
+/// prep-vs-build splits can be recovered from any report file.
+pub fn prep_json(sketch: &str, prep: std::time::Duration, associations: u64) -> Json {
+    let secs = prep.as_secs_f64();
+    let rate = if secs > 0.0 {
+        associations as f64 / secs
+    } else {
+        0.0
+    };
+    Json::obj(vec![
+        ("sketch", Json::Str(sketch.to_string())),
+        ("prep_secs", Json::Num(secs)),
+        ("associations", Json::Num(associations as f64)),
+        ("assoc_per_sec", Json::Num(rate)),
+    ])
+}
+
 /// Renders the current memory gauges as the `"mem"` extra object of a
 /// [`RunReport`]: live arena bytes and peak RSS (`0` where `/proc` is
 /// unavailable).
@@ -112,6 +134,15 @@ pub fn report_for(
     obs: &RecordingObserver,
 ) -> RunReport {
     let stats = &out.result.stats;
+    let sketch = match provider {
+        ProviderKind::Native => "native",
+        ProviderKind::GoldFinger(_) => "shf",
+    };
+    let prep_extra = prep_json(
+        sketch,
+        stats.prep_wall,
+        data.profiles().n_associations() as u64,
+    );
     RunReport {
         experiment: experiment.to_string(),
         dataset: data.name().to_string(),
@@ -132,7 +163,7 @@ pub fn report_for(
         wall: stats.wall,
         prep_wall: stats.prep_wall,
         traffic: None,
-        extra: Vec::new(),
+        extra: vec![("prep".to_string(), prep_extra)],
     }
 }
 

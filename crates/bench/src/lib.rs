@@ -22,7 +22,9 @@ pub mod report;
 pub mod workloads;
 
 pub use args::Args;
-pub use jsonreport::{emit_if_requested, mem_json, merge_report_files, observed_run, read_report};
+pub use jsonreport::{
+    emit_if_requested, mem_json, merge_report_files, observed_run, prep_json, read_report,
+};
 pub use report::{fmt_duration, gain_percent, Table};
 pub use workloads::{
     build_dataset, build_datasets, dispatch, dispatch_observed, fingerprint, run, run_observed,

@@ -18,7 +18,7 @@ use crate::arena::{row_words_for, AlignedWords};
 use crate::bits::BitArray;
 use crate::hash::{DynHasher, ItemHasher};
 use crate::kernels;
-use crate::parallel::par_map_chunks;
+use crate::parallel::{par_map_chunks, par_map_indexed};
 use crate::pool::Pool;
 use crate::profile::{ItemId, ProfileStore};
 
@@ -160,6 +160,124 @@ impl<H: ItemHasher> ShfParams<H> {
         drop(rows);
         ShfStore {
             bits: self.bits,
+            words_per_fp,
+            row_words,
+            data,
+            cards,
+        }
+    }
+}
+
+/// Incremental builder of an [`ShfStore`] for streaming ingestion: the
+/// aligned arena is allocated up front for a known population, batches of
+/// `(row, item)` associations are OR-ed in as they come off the wire, and
+/// cardinalities are computed once by popcount at [`ShfStreamWriter::finish`].
+///
+/// This is the arena-side half of the `datasets → core::pool →
+/// core::arena` streaming pipeline: a chunked file reader feeds batches,
+/// each batch is hashed in parallel on the installed [`Pool`], and the
+/// resulting bit positions are OR-ed stripe-parallel — each worker owns a
+/// contiguous range of arena rows, so no two threads ever write the same
+/// word. ORs are idempotent and commutative and the popcount pass is
+/// order-independent, so the finished store is **bit-identical** to
+/// [`ShfParams::fingerprint_store`] over the same associations, for any
+/// thread count and any batch boundaries. Peak memory is the arena plus
+/// one in-flight batch — independent of the file size.
+#[derive(Debug)]
+pub struct ShfStreamWriter {
+    bits: u32,
+    words_per_fp: usize,
+    row_words: usize,
+    data: AlignedWords,
+    n: usize,
+}
+
+impl ShfStreamWriter {
+    /// Allocates a zeroed arena for `n_users` fingerprints of `bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`.
+    pub fn new(bits: u32, n_users: usize) -> Self {
+        assert!(bits > 0, "fingerprint width must be positive");
+        let words_per_fp = BitArray::words_for(bits);
+        let row_words = row_words_for(words_per_fp);
+        ShfStreamWriter {
+            bits,
+            words_per_fp,
+            row_words,
+            data: AlignedWords::zeroed(row_words * n_users),
+            n: n_users,
+        }
+    }
+
+    /// Number of rows the arena was sized for.
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.n
+    }
+
+    /// Fingerprint width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.bits
+    }
+
+    /// ORs one batch of `(row, item)` associations into the arena: items
+    /// are hashed in parallel on the installed [`Pool`], then each worker
+    /// applies the positions falling into its own contiguous row stripe.
+    ///
+    /// # Panics
+    /// Panics if a row is out of range.
+    pub fn ingest_batch<H: ItemHasher>(&mut self, batch: &[(u32, ItemId)], hasher: &H) {
+        if batch.is_empty() {
+            return;
+        }
+        let _t = goldfinger_obs::trace::span_arg("phase", "stream_ingest", batch.len() as u64);
+        let threads = Pool::current().map_or(1, |p| p.threads());
+        let bits = self.bits;
+        let n = self.n;
+        let positions: Vec<(u32, u32)> = par_map_indexed(batch.len(), threads, |i| {
+            let (row, it) = batch[i];
+            assert!((row as usize) < n, "row {row} out of range");
+            (row, hasher.bit_position(it as u64, bits))
+        });
+        let row_words = self.row_words;
+        let per = n.div_ceil(threads.max(1)).max(1);
+        let mut stripes: Vec<(usize, &mut [u64])> =
+            self.data.chunks_mut(per * row_words).enumerate().collect();
+        par_map_chunks(&mut stripes, threads, |_, _, chunk| {
+            for (s, stripe) in chunk.iter_mut() {
+                let lo = (*s * per) as u32;
+                let hi = lo + (stripe.len() / row_words) as u32;
+                for &(row, pos) in &positions {
+                    if (lo..hi).contains(&row) {
+                        let base = (row - lo) as usize * row_words;
+                        stripe[base + (pos / 64) as usize] |= 1u64 << (pos % 64);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Seals the arena into an [`ShfStore`], computing every cached
+    /// cardinality with one parallel popcount sweep.
+    pub fn finish(self) -> ShfStore {
+        let threads = Pool::current().map_or(1, |p| p.threads());
+        let ShfStreamWriter {
+            bits,
+            words_per_fp,
+            row_words,
+            data,
+            n,
+        } = self;
+        let cards: Vec<u32> = par_map_indexed(n, threads, |u| {
+            data[u * row_words..u * row_words + words_per_fp]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum()
+        });
+        ShfStore {
+            bits,
             words_per_fp,
             row_words,
             data,
@@ -517,21 +635,30 @@ impl ShfStore {
         }
     }
 
-    /// Folds fresh items into fingerprint `u` in place — delta
-    /// fingerprinting: bits are OR-ed directly into the arena row and the
-    /// cached cardinality is maintained incrementally, so an update costs
-    /// `O(|items|)` instead of the `O(bits)` extract–modify–write of
-    /// [`ShfStore::get`] + [`ShfStore::set_fingerprint`]. Returns the
-    /// number of bits newly set (items whose hash collided with an
-    /// existing bit set none).
+    /// Folds fresh items into fingerprint `u` in place — the
+    /// delta-fingerprinting primitive: bits are OR-ed directly into the
+    /// arena row and the cached cardinality is maintained incrementally,
+    /// so a profile-growth update costs `O(|added_items|)` instead of the
+    /// `O(bits)` extract–modify–write of [`ShfStore::get`] +
+    /// [`ShfStore::set_fingerprint`] (and instead of refingerprinting the
+    /// whole profile). Returns the number of bits newly set. Each bit is
+    /// tested before it is set, so duplicate items within one call — and
+    /// items whose hash collides with an already-set bit — contribute
+    /// nothing to the cardinality: the result always equals a
+    /// from-scratch fingerprint of the deduplicated union profile.
     ///
     /// # Panics
     /// Panics if `u` is out of range.
-    pub fn insert_items<H: ItemHasher>(&mut self, u: u32, items: &[ItemId], hasher: &H) -> u32 {
+    pub fn apply_delta<H: ItemHasher>(
+        &mut self,
+        u: u32,
+        added_items: &[ItemId],
+        hasher: &H,
+    ) -> u32 {
         let start = u as usize * self.row_words;
         let row = &mut self.data[start..start + self.words_per_fp];
         let mut added = 0u32;
-        for &it in items {
+        for &it in added_items {
             let pos = hasher.bit_position(it as u64, self.bits);
             let word = &mut row[(pos / 64) as usize];
             let mask = 1u64 << (pos % 64);
@@ -541,6 +668,57 @@ impl ShfStore {
             }
         }
         self.cards[u as usize] += added;
+        added
+    }
+
+    /// [`ShfStore::apply_delta`] under its historical name.
+    pub fn insert_items<H: ItemHasher>(&mut self, u: u32, items: &[ItemId], hasher: &H) -> u32 {
+        self.apply_delta(u, items, hasher)
+    }
+
+    /// Applies a batch of deltas: hashes every delta's items in parallel
+    /// on the installed [`Pool`] (the expensive half of a delta), then
+    /// ORs the resulting bit positions into the arena serially **in batch
+    /// order**. Returns the total number of bits newly set.
+    ///
+    /// The serial OR phase makes the result independent of the thread
+    /// count even when the same user appears in several deltas, and each
+    /// bit is still tested before it is set, so cardinalities stay exact
+    /// under duplicates — bit-identical to calling
+    /// [`ShfStore::apply_delta`] once per delta in order.
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range.
+    pub fn apply_deltas<H: ItemHasher + Sync>(
+        &mut self,
+        deltas: &[(u32, Vec<ItemId>)],
+        hasher: &H,
+    ) -> u32 {
+        let threads = Pool::current().map_or(1, |p| p.threads());
+        let bits = self.bits;
+        let positions: Vec<Vec<u32>> = par_map_indexed(deltas.len(), threads, |i| {
+            deltas[i]
+                .1
+                .iter()
+                .map(|&it| hasher.bit_position(it as u64, bits))
+                .collect()
+        });
+        let mut added = 0u32;
+        for (&(u, _), pos) in deltas.iter().zip(&positions) {
+            let start = u as usize * self.row_words;
+            let row = &mut self.data[start..start + self.words_per_fp];
+            let mut delta_added = 0u32;
+            for &p in pos {
+                let word = &mut row[(p / 64) as usize];
+                let mask = 1u64 << (p % 64);
+                if *word & mask == 0 {
+                    *word |= mask;
+                    delta_added += 1;
+                }
+            }
+            self.cards[u as usize] += delta_added;
+            added += delta_added;
+        }
         added
     }
 
@@ -922,6 +1100,113 @@ mod tests {
         // Untouched rows stay untouched; re-inserting is a no-op.
         assert_eq!(delta.fingerprint_words(0), reference.fingerprint_words(0));
         assert_eq!(delta.insert_items(1, &fresh, p.hasher()), 0);
+    }
+
+    #[test]
+    fn duplicate_items_in_one_delta_keep_cardinality_exact() {
+        // Regression: duplicates within one apply_delta call must count
+        // once — the estimated cardinality has to match a from-scratch
+        // fingerprint of the *deduplicated* profile.
+        let p = params(256);
+        let base: Vec<u32> = (0..30).collect();
+        let mut store = p.fingerprint_store(&ProfileStore::from_item_lists(vec![base.clone()]));
+        let delta = [500u32, 500, 501, 5, 501, 500, 5];
+        let added = store.apply_delta(0, &delta, p.hasher());
+        let mut union = base;
+        union.extend([500, 501]); // 5 was already present
+        let scratch = p.fingerprint(&union);
+        assert_eq!(store.cardinality(0), scratch.cardinality());
+        assert_eq!(store.get(0), scratch);
+        assert!(added <= 2, "two distinct new items at most");
+    }
+
+    #[test]
+    fn apply_deltas_is_bit_identical_to_sequential_apply_delta() {
+        use crate::pool::Pool;
+        let p = params(512);
+        let lists: Vec<Vec<u32>> = (0..9).map(|u| (u * 5..u * 5 + 12).collect()).collect();
+        let base = p.fingerprint_store(&ProfileStore::from_item_lists(lists));
+        // Repeated users, overlapping and duplicate items, an empty delta.
+        let deltas: Vec<(u32, Vec<u32>)> = vec![
+            (3, (700..740).collect()),
+            (0, vec![2000, 2000, 2001]),
+            (3, (720..760).collect()),
+            (8, vec![]),
+            (0, vec![2001, 3]),
+        ];
+        let mut reference = base.clone();
+        let mut expect_added = 0u32;
+        for (u, items) in &deltas {
+            expect_added += reference.apply_delta(*u, items, p.hasher());
+        }
+        for threads in [1usize, 4] {
+            let mut batched = base.clone();
+            let added = Pool::new(threads).install(|| batched.apply_deltas(&deltas, p.hasher()));
+            assert_eq!(added, expect_added, "threads={threads}");
+            assert_eq!(batched.data, reference.data, "threads={threads}");
+            assert_eq!(batched.cards, reference.cards, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn apply_deltas_matches_from_scratch_refingerprint() {
+        // Bit-identity with a full refingerprint of the merged profiles —
+        // the delta path must never drift from the one-shot path.
+        let p = params(320);
+        let mut lists: Vec<Vec<u32>> = (0..7).map(|u| (u * 9..u * 9 + 20).collect()).collect();
+        let mut store = p.fingerprint_store(&ProfileStore::from_item_lists(lists.clone()));
+        let deltas: Vec<(u32, Vec<u32>)> = (0..7)
+            .map(|u| (u, (u * 13 + 900..u * 13 + 930).collect()))
+            .collect();
+        store.apply_deltas(&deltas, p.hasher());
+        for (u, items) in &deltas {
+            lists[*u as usize].extend(items);
+        }
+        let scratch = p.fingerprint_store(&ProfileStore::from_item_lists(lists));
+        assert_eq!(store.data, scratch.data);
+        assert_eq!(store.cards, scratch.cards);
+    }
+
+    #[test]
+    fn stream_writer_matches_fingerprint_store_for_any_batching() {
+        use crate::pool::Pool;
+        let p = params(320);
+        let lists: Vec<Vec<u32>> = (0..23)
+            .map(|u| ((u * 11)..(u * 11 + 3 + u % 13)).collect())
+            .collect();
+        let reference = p.fingerprint_store(&ProfileStore::from_item_lists(lists.clone()));
+        // Associations in an order no in-memory store would produce, with
+        // duplicates sprinkled in.
+        let mut assoc: Vec<(u32, u32)> = lists
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&it| (u as u32, it)))
+            .collect();
+        assoc.reverse();
+        assoc.extend_from_slice(&assoc.clone()[..7]);
+        for threads in [1usize, 4] {
+            for batch in [1usize, 8, 1000] {
+                let store = Pool::new(threads).install(|| {
+                    let mut w = ShfStreamWriter::new(320, lists.len());
+                    assert_eq!(w.n_users(), lists.len());
+                    assert_eq!(w.width(), 320);
+                    for chunk in assoc.chunks(batch) {
+                        w.ingest_batch(chunk, p.hasher());
+                    }
+                    w.finish()
+                });
+                assert_eq!(
+                    store.data, reference.data,
+                    "threads={threads} batch={batch}"
+                );
+                assert_eq!(
+                    store.cards, reference.cards,
+                    "threads={threads} batch={batch}"
+                );
+            }
+        }
+        // An empty population finishes into an empty store.
+        assert!(ShfStreamWriter::new(64, 0).finish().is_empty());
     }
 
     #[test]

@@ -294,6 +294,58 @@ proptest! {
         prop_assert!(h.bit_position(item, bits) < bits);
     }
 
+    /// Delta fingerprinting is bit-identical to a from-scratch
+    /// refingerprint of the grown profiles: for every hasher kind, for
+    /// batched application at 1 and 4 pool threads, and as scored by
+    /// every available similarity kernel.
+    #[test]
+    fn apply_delta_equals_from_scratch_refingerprint(
+        mut lists in proptest::collection::vec(item_set(), 1..6),
+        fresh in proptest::collection::vec(item_set(), 1..6),
+        kind in prop_oneof![
+            Just(HasherKind::Jenkins),
+            Just(HasherKind::Lookup3),
+            Just(HasherKind::SplitMix),
+            Just(HasherKind::FxLike),
+        ],
+    ) {
+        use goldfinger_core::pool::Pool;
+        let params = ShfParams::new(448, DynHasher::new(kind, 11));
+        let base = params.fingerprint_store(&ProfileStore::from_item_lists(lists.clone()));
+        let deltas: Vec<(u32, Vec<u32>)> = fresh
+            .iter()
+            .enumerate()
+            .map(|(i, items)| ((i % lists.len()) as u32, items.clone()))
+            .collect();
+        for (u, items) in &deltas {
+            lists[*u as usize].extend(items);
+        }
+        let scratch = params.fingerprint_store(&ProfileStore::from_item_lists(lists.clone()));
+        for threads in [1usize, 4] {
+            let mut grown = base.clone();
+            Pool::new(threads).install(|| grown.apply_deltas(&deltas, params.hasher()));
+            for u in 0..lists.len() as u32 {
+                prop_assert_eq!(
+                    grown.fingerprint_words(u),
+                    scratch.fingerprint_words(u),
+                    "threads={} user={}", threads, u
+                );
+                prop_assert_eq!(grown.cardinality(u), scratch.cardinality(u));
+            }
+            // Every kernel variant scores the delta-built and the
+            // scratch-built arenas identically.
+            for kernel in kernels::available() {
+                for u in 0..lists.len() as u32 {
+                    prop_assert_eq!(
+                        (kernel.and_count)(grown.fingerprint_words(0), grown.fingerprint_words(u)),
+                        (kernel.and_count)(scratch.fingerprint_words(0), scratch.fingerprint_words(u)),
+                        "{} user {}", kernel.name, u
+                    );
+                }
+            }
+        }
+    }
+
     /// TopK equals sort-and-truncate for arbitrary inputs.
     #[test]
     fn topk_matches_sort(

@@ -22,13 +22,17 @@ pub mod load;
 pub mod model;
 pub mod sample;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 pub mod write;
 
 pub use cv::{five_fold, k_fold, FoldSplit};
-pub use load::{load_edge_list, load_movielens_dat, load_ratings_csv, LoadError};
+pub use load::{
+    load_edge_list, load_movielens_dat, load_ratings_csv, LoadError, RatingsFormat, TripleReader,
+};
 pub use model::{BinaryDataset, Rating, RatingsDataset, BINARIZE_THRESHOLD, MIN_RATINGS_PER_USER};
 pub use sample::{item_popularity, sample_least_popular};
 pub use stats::DatasetStats;
+pub use stream::{stream_fingerprint, StreamConfig, StreamSummary};
 pub use synth::{SynthConfig, ZipfSampler};
 pub use write::{write_edge_list, write_movielens_dat, write_ratings_csv};

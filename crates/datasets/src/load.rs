@@ -63,6 +63,124 @@ fn parse_err(line: usize, message: impl Into<String>) -> LoadError {
     }
 }
 
+/// The on-disk ratings formats understood by the loaders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatingsFormat {
+    /// MovieLens `.dat`: `user::item::rating::timestamp`.
+    MovielensDat,
+    /// `user,item,rating[,timestamp]` with an optional header line.
+    Csv,
+    /// Undirected `u v` / `u<TAB>v` pairs; each edge yields two value-5
+    /// ratings, one per direction.
+    EdgeList,
+}
+
+/// A streaming `(user, item, rating)` triple reader: parses one buffered
+/// line at a time and yields triples **in file order** without ever
+/// materializing the file — the front of the streaming-ingestion pipeline
+/// (`datasets → core::pool → core::arena`). The in-memory loaders are
+/// thin collectors over this same iterator, so the two paths cannot drift.
+pub struct TripleReader<R> {
+    lines: std::io::Lines<BufReader<R>>,
+    format: RatingsFormat,
+    lineno: usize,
+    /// The reverse direction of an edge-list pair, emitted next.
+    pending: Option<(u64, u64, f32)>,
+}
+
+impl<R: Read> TripleReader<R> {
+    /// Wraps a reader; `format` selects the per-line grammar.
+    pub fn new(reader: R, format: RatingsFormat) -> Self {
+        TripleReader {
+            lines: BufReader::new(reader).lines(),
+            format,
+            lineno: 0,
+            pending: None,
+        }
+    }
+
+    /// Parses one line; `Ok(None)` means the line carries no triple
+    /// (blank, comment, or CSV header).
+    fn parse(&mut self, line: &str) -> Result<Option<(u64, u64, f32)>, LoadError> {
+        let lineno = self.lineno;
+        let trimmed = line.trim();
+        match self.format {
+            RatingsFormat::MovielensDat => {
+                if trimmed.is_empty() {
+                    return Ok(None);
+                }
+                let mut parts = line.split("::");
+                let user = next_u64(&mut parts, lineno, "user")?;
+                let item = next_u64(&mut parts, lineno, "item")?;
+                let rating = next_f32(&mut parts, lineno, "rating")?;
+                Ok(Some((user, item, rating)))
+            }
+            RatingsFormat::Csv => {
+                if trimmed.is_empty() {
+                    return Ok(None);
+                }
+                // Skip a header such as "userId,movieId,rating,timestamp".
+                if lineno == 1
+                    && trimmed
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic())
+                {
+                    return Ok(None);
+                }
+                let mut parts = trimmed.split(',');
+                let user = next_u64(&mut parts, lineno, "user")?;
+                let item = next_u64(&mut parts, lineno, "item")?;
+                let rating = next_f32(&mut parts, lineno, "rating")?;
+                Ok(Some((user, item, rating)))
+            }
+            RatingsFormat::EdgeList => {
+                if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                    return Ok(None);
+                }
+                let mut parts = trimmed.split_whitespace();
+                let u = next_u64(&mut parts, lineno, "source")?;
+                let v = next_u64(&mut parts, lineno, "target")?;
+                self.pending = Some((v, u, 5.0));
+                Ok(Some((u, v, 5.0)))
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for TripleReader<R> {
+    type Item = Result<(u64, u64, f32), LoadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(t) = self.pending.take() {
+            return Some(Ok(t));
+        }
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.lineno += 1;
+            match self.parse(&line) {
+                Ok(Some(t)) => return Some(Ok(t)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Collects a [`TripleReader`] into an in-memory dataset.
+fn collect_triples(
+    reader: impl Read,
+    format: RatingsFormat,
+    name: &str,
+) -> Result<RatingsDataset, LoadError> {
+    let triples: Vec<(u64, u64, f32)> =
+        TripleReader::new(reader, format).collect::<Result<_, _>>()?;
+    Ok(RatingsDataset::from_sparse_ids(name, triples))
+}
+
 /// Loads a MovieLens `.dat` ratings file (`user::item::rating::timestamp`).
 pub fn load_movielens_dat(path: impl AsRef<Path>, name: &str) -> Result<RatingsDataset, LoadError> {
     let file = File::open(path)?;
@@ -71,20 +189,7 @@ pub fn load_movielens_dat(path: impl AsRef<Path>, name: &str) -> Result<RatingsD
 
 /// Reads MovieLens `.dat` content from any reader (used by tests).
 pub fn read_movielens_dat(reader: impl Read, name: &str) -> Result<RatingsDataset, LoadError> {
-    let mut triples = Vec::new();
-    for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut parts = line.split("::");
-        let user = next_u64(&mut parts, lineno, "user")?;
-        let item = next_u64(&mut parts, lineno, "item")?;
-        let rating = next_f32(&mut parts, lineno, "rating")?;
-        triples.push((user, item, rating));
-    }
-    Ok(RatingsDataset::from_sparse_ids(name, triples))
+    collect_triples(reader, RatingsFormat::MovielensDat, name)
 }
 
 /// Loads a ratings CSV (`user,item,rating[,timestamp]`, optional header).
@@ -95,30 +200,7 @@ pub fn load_ratings_csv(path: impl AsRef<Path>, name: &str) -> Result<RatingsDat
 
 /// Reads ratings CSV content from any reader.
 pub fn read_ratings_csv(reader: impl Read, name: &str) -> Result<RatingsDataset, LoadError> {
-    let mut triples = Vec::new();
-    for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        // Skip a header such as "userId,movieId,rating,timestamp".
-        if lineno == 1
-            && trimmed
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_alphabetic())
-        {
-            continue;
-        }
-        let mut parts = trimmed.split(',');
-        let user = next_u64(&mut parts, lineno, "user")?;
-        let item = next_u64(&mut parts, lineno, "item")?;
-        let rating = next_f32(&mut parts, lineno, "rating")?;
-        triples.push((user, item, rating));
-    }
-    Ok(RatingsDataset::from_sparse_ids(name, triples))
+    collect_triples(reader, RatingsFormat::Csv, name)
 }
 
 /// Loads an undirected edge list (whitespace- or tab-separated pairs) as a
@@ -131,21 +213,7 @@ pub fn load_edge_list(path: impl AsRef<Path>, name: &str) -> Result<RatingsDatas
 
 /// Reads edge-list content from any reader.
 pub fn read_edge_list(reader: impl Read, name: &str) -> Result<RatingsDataset, LoadError> {
-    let mut triples = Vec::new();
-    for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let u = next_u64(&mut parts, lineno, "source")?;
-        let v = next_u64(&mut parts, lineno, "target")?;
-        triples.push((u, v, 5.0));
-        triples.push((v, u, 5.0));
-    }
-    Ok(RatingsDataset::from_sparse_ids(name, triples))
+    collect_triples(reader, RatingsFormat::EdgeList, name)
 }
 
 fn next_u64<'a>(

@@ -53,6 +53,7 @@ pub mod lsh;
 pub mod metrics;
 pub mod neighborlist;
 pub mod nndescent;
+pub mod oplog;
 pub mod serial;
 pub mod serve;
 pub mod shard;
@@ -72,6 +73,10 @@ pub use kiff::Kiff;
 pub use lsh::Lsh;
 pub use metrics::{average_similarity, edge_recall, quality};
 pub use nndescent::NNDescent;
+pub use oplog::{write_op_log, OpLogReader};
 pub use serial::{read_knn_graph, write_knn_graph};
-pub use serve::{replay, synth_ops, KnnService, Op, ReplayOutcome, ServeConfig, ServiceSnapshot};
+pub use serve::{
+    replay, replay_stream, synth_op_stream, synth_ops, KnnService, Op, ReplayOutcome, ServeConfig,
+    ServiceSnapshot,
+};
 pub use shard::{Repair, Shard, ShardSet};

@@ -1,0 +1,173 @@
+//! On-disk op logs for the serving layer: a line-oriented text format so
+//! replay drivers can stream a recorded traffic log from a file instead
+//! of pre-materializing the op vector.
+//!
+//! Grammar (one op per line; blank lines and `#` comments are skipped):
+//!
+//! ```text
+//! L <user>                    top-k lookup
+//! U <user> <item>[,<item>…]   profile update (≥ 1 item)
+//! ```
+//!
+//! [`OpLogReader`] yields [`Op`]s in file order and plugs straight into
+//! [`crate::serve::replay_stream`]; [`write_op_log`] accepts any op
+//! iterator (e.g. [`crate::serve::synth_op_stream`]), so a log can be
+//! recorded without ever holding it in memory either.
+
+use crate::serve::Op;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes `ops` to `w` in the op-log text format; returns the number of
+/// ops written.
+pub fn write_op_log(ops: impl IntoIterator<Item = Op>, w: &mut impl Write) -> std::io::Result<u64> {
+    let mut w = std::io::BufWriter::new(w);
+    let mut n = 0u64;
+    for op in ops {
+        match op {
+            Op::Lookup { user } => writeln!(w, "L {user}")?,
+            Op::Update { user, items } => {
+                write!(w, "U {user} ")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(w, ",")?;
+                    }
+                    write!(w, "{item}")?;
+                }
+                writeln!(w)?;
+            }
+        }
+        n += 1;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+/// Streams [`Op`]s out of an op-log file one line at a time.
+pub struct OpLogReader<R> {
+    lines: std::io::Lines<BufReader<R>>,
+    lineno: usize,
+}
+
+impl<R: Read> OpLogReader<R> {
+    /// Wraps a reader over op-log text.
+    pub fn new(reader: R) -> Self {
+        OpLogReader {
+            lines: BufReader::new(reader).lines(),
+            lineno: 0,
+        }
+    }
+}
+
+fn bad(lineno: usize, message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("op log line {lineno}: {}", message.into()),
+    )
+}
+
+fn parse_op(line: &str, lineno: usize) -> std::io::Result<Option<Op>> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = trimmed.split_whitespace();
+    let kind = fields.next().unwrap_or_default();
+    let user: u32 = fields
+        .next()
+        .ok_or_else(|| bad(lineno, "missing user field"))?
+        .parse()
+        .map_err(|_| bad(lineno, "invalid user id"))?;
+    match kind {
+        "L" => {
+            if fields.next().is_some() {
+                return Err(bad(lineno, "trailing fields after lookup"));
+            }
+            Ok(Some(Op::Lookup { user }))
+        }
+        "U" => {
+            let raw = fields
+                .next()
+                .ok_or_else(|| bad(lineno, "update without items"))?;
+            let items: Vec<u32> = raw
+                .split(',')
+                .map(|s| s.parse().map_err(|_| bad(lineno, "invalid item id")))
+                .collect::<Result<_, _>>()?;
+            if items.is_empty() {
+                return Err(bad(lineno, "update without items"));
+            }
+            Ok(Some(Op::Update { user, items }))
+        }
+        other => Err(bad(lineno, format!("unknown op kind {other:?}"))),
+    }
+}
+
+impl<R: Read> Iterator for OpLogReader<R> {
+    type Item = std::io::Result<Op>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e)),
+            };
+            self.lineno += 1;
+            match parse_op(&line, self.lineno) {
+                Ok(Some(op)) => return Some(Ok(op)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::synth_ops;
+
+    #[test]
+    fn op_log_round_trips_a_synthetic_log() {
+        let ops = synth_ops(50, 4000, 500, 40, 7);
+        let mut buf = Vec::new();
+        let n = write_op_log(ops.iter().cloned(), &mut buf).unwrap();
+        assert_eq!(n, 500);
+        let back: Vec<Op> = OpLogReader::new(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# recorded log\n\nL 3\nU 7 10,11\n";
+        let ops: Vec<Op> = OpLogReader::new(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Lookup { user: 3 },
+                Op::Update {
+                    user: 7,
+                    items: vec![10, 11]
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        for (text, needle) in [
+            ("L x\n", "line 1"),
+            ("L 1 extra\n", "trailing"),
+            ("U 1\n", "without items"),
+            ("U 1 2,bad\n", "invalid item"),
+            ("# ok\nQ 1\n", "line 2"),
+        ] {
+            let err = OpLogReader::new(text.as_bytes())
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?} → {err}");
+        }
+    }
+}

@@ -392,23 +392,23 @@ impl<H: ItemHasher> KnnService<H> {
         let Writer { set, hasher, .. } = w;
 
         // Route updates to their owner shards, preserving op order.
-        let mut by_shard: Vec<Vec<(usize, Vec<u32>)>> = vec![Vec::new(); set.n_shards()];
+        let mut by_shard: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); set.n_shards()];
         let mut dirty_users: Vec<u32> = Vec::with_capacity(queue.len());
         for p in &queue {
-            by_shard[set.owner(p.user)].push((set.local(p.user), p.items.clone()));
+            by_shard[set.owner(p.user)].push((set.local(p.user) as u32, p.items.clone()));
             dirty_users.push(p.user);
         }
         dirty_users.sort_unstable();
         dirty_users.dedup();
 
-        // Phase 1: fold items into the owner shards' arena slices, in
-        // parallel — each worker writes only its own shards.
+        // Phase 1: fold each shard's delta batch into its arena slice, in
+        // parallel — each worker writes only its own shards, and within a
+        // shard the batch is applied in op order (delta fingerprinting;
+        // no whole-user refingerprint ever happens here).
         let apply_trace = trace::span_arg("serve", "apply_updates", queue.len() as u64);
         par_map_chunks(set.shards_mut(), threads, |_, base, chunk| {
             for (i, shard) in chunk.iter_mut().enumerate() {
-                for (local, items) in &by_shard[base + i] {
-                    shard.apply_update(*local, items, hasher);
-                }
+                shard.apply_updates(&by_shard[base + i], hasher);
             }
         });
 
@@ -483,9 +483,33 @@ impl<H: ItemHasher> KnnService<H> {
     }
 }
 
-/// Generates a deterministic interleaved traffic log: `n_ops` operations,
-/// `update_pct`% profile updates (1–3 random items each, drawn from
-/// `0..n_items`) and the rest top-k lookups, over uniformly random users.
+/// Lazily generates the deterministic interleaved traffic log of
+/// [`synth_ops`] one op at a time: `n_ops` operations, `update_pct`%
+/// profile updates (1–3 random items each, drawn from `0..n_items`) and
+/// the rest top-k lookups, over uniformly random users. Drivers feed this
+/// straight into [`replay_stream`] so the log is never materialized.
+pub fn synth_op_stream(
+    n_users: usize,
+    n_items: u32,
+    n_ops: usize,
+    update_pct: u32,
+    seed: u64,
+) -> impl Iterator<Item = Op> {
+    assert!(n_users > 0 && n_items > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_ops).map(move |_| {
+        let user = rng.gen_range(0..n_users) as u32;
+        if rng.gen_range(0..100u32) < update_pct {
+            let count = rng.gen_range(1..4usize);
+            let items = (0..count).map(|_| rng.gen_range(0..n_items)).collect();
+            Op::Update { user, items }
+        } else {
+            Op::Lookup { user }
+        }
+    })
+}
+
+/// Collects [`synth_op_stream`] into a vector (tests and small replays).
 pub fn synth_ops(
     n_users: usize,
     n_items: u32,
@@ -493,20 +517,7 @@ pub fn synth_ops(
     update_pct: u32,
     seed: u64,
 ) -> Vec<Op> {
-    assert!(n_users > 0 && n_items > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n_ops)
-        .map(|_| {
-            let user = rng.gen_range(0..n_users) as u32;
-            if rng.gen_range(0..100u32) < update_pct {
-                let count = rng.gen_range(1..4usize);
-                let items = (0..count).map(|_| rng.gen_range(0..n_items)).collect();
-                Op::Update { user, items }
-            } else {
-                Op::Lookup { user }
-            }
-        })
-        .collect()
+    synth_op_stream(n_users, n_items, n_ops, update_pct, seed).collect()
 }
 
 /// What a replay saw: op counts plus digests that must be identical for
@@ -526,21 +537,27 @@ pub struct ReplayOutcome {
     pub final_epoch: u64,
 }
 
-/// Replays an op log against the service serially (the service itself
-/// parallelises drains), flushing the queue at the end.
-pub fn replay<H: ItemHasher>(svc: &KnnService<H>, ops: &[Op]) -> ReplayOutcome {
+/// Replays an op *stream* against the service serially (the service
+/// itself parallelises drains), flushing the queue at the end. Ops are
+/// consumed one at a time, so callers can feed a lazy generator
+/// ([`synth_op_stream`]) or a file reader ([`crate::oplog::OpLogReader`])
+/// without ever materializing the log.
+pub fn replay_stream<H: ItemHasher>(
+    svc: &KnnService<H>,
+    ops: impl IntoIterator<Item = Op>,
+) -> ReplayOutcome {
     let mut lookup_digest = FNV_OFFSET;
     let (mut lookups, mut updates) = (0u64, 0u64);
     for op in ops {
         match op {
             Op::Update { user, items } => {
-                svc.update(*user, items.clone());
+                svc.update(user, items);
                 updates += 1;
             }
             Op::Lookup { user } => {
                 lookups += 1;
-                if let Some(list) = svc.lookup(*user) {
-                    lookup_digest = fnv(lookup_digest, *user as u64);
+                if let Some(list) = svc.lookup(user) {
+                    lookup_digest = fnv(lookup_digest, user as u64);
                     for s in &list {
                         lookup_digest = fnv(lookup_digest, s.user as u64);
                         lookup_digest = fnv(lookup_digest, s.sim.to_bits());
@@ -558,6 +575,11 @@ pub fn replay<H: ItemHasher>(svc: &KnnService<H>, ops: &[Op]) -> ReplayOutcome {
         final_digest: snap.digest(),
         final_epoch: snap.epoch(),
     }
+}
+
+/// Replays a materialized op log (clones each op into [`replay_stream`]).
+pub fn replay<H: ItemHasher>(svc: &KnnService<H>, ops: &[Op]) -> ReplayOutcome {
+    replay_stream(svc, ops.iter().cloned())
 }
 
 #[cfg(test)]

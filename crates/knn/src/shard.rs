@@ -75,7 +75,18 @@ impl Shard {
     /// returns how many bits were newly set. This is the per-shard write
     /// path of a profile update: only the owner's arena slice is touched.
     pub fn apply_update<H: ItemHasher>(&mut self, local: usize, items: &[u32], hasher: &H) -> u32 {
-        self.store.insert_items(local as u32, items, hasher)
+        self.store.apply_delta(local as u32, items, hasher)
+    }
+
+    /// Applies a whole drain batch of `(local, items)` deltas to the
+    /// owned arena slice in batch order (delta fingerprinting:
+    /// `ShfStore::apply_deltas`) and returns the total bits newly set.
+    pub fn apply_updates<H: ItemHasher + Sync>(
+        &mut self,
+        deltas: &[(u32, Vec<u32>)],
+        hasher: &H,
+    ) -> u32 {
+        self.store.apply_deltas(deltas, hasher)
     }
 
     /// Returns the repair counter for `local` and advances it — one call

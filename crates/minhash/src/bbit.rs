@@ -7,6 +7,7 @@
 //! collision rate, so `Ĵ = (P̂ − C) / (1 − C)`.
 
 use crate::signature::{MinHashParams, MinHashStore};
+use crate::sketch::SketchMode;
 use goldfinger_core::profile::ProfileStore;
 
 /// Parameters of the b-bit compaction.
@@ -46,11 +47,21 @@ impl BbitStore {
     /// # Panics
     /// Panics if `bits` is outside `1..=16`.
     pub fn build(params: BbitParams, profiles: &ProfileStore) -> Self {
+        Self::build_with_mode(params, profiles, SketchMode::from_env())
+    }
+
+    /// [`BbitStore::build`] with an explicit [`SketchMode`] for the
+    /// underlying MinHash construction. The packing itself only consumes
+    /// coordinates and is mode-agnostic.
+    ///
+    /// # Panics
+    /// Panics if `bits` is outside `1..=16`.
+    pub fn build_with_mode(params: BbitParams, profiles: &ProfileStore, mode: SketchMode) -> Self {
         assert!(
             (1..=16).contains(&params.bits),
             "bits per coordinate must be in 1..=16"
         );
-        let full = MinHashStore::build(params.minhash, profiles);
+        let full = MinHashStore::build_with_mode(params.minhash, profiles, mode);
         Self::from_minhash(&full, params.bits, profiles)
     }
 
@@ -154,8 +165,8 @@ mod tests {
         ])
     }
 
-    fn build(bits: u32, perms: usize) -> BbitStore {
-        BbitStore::build(
+    fn build_mode(bits: u32, perms: usize, mode: SketchMode) -> BbitStore {
+        BbitStore::build_with_mode(
             BbitParams {
                 minhash: MinHashParams {
                     permutations: perms,
@@ -165,7 +176,12 @@ mod tests {
                 bits,
             },
             &profiles(),
+            mode,
         )
+    }
+
+    fn build(bits: u32, perms: usize) -> BbitStore {
+        build_mode(bits, perms, SketchMode::Classic)
     }
 
     #[test]
@@ -179,6 +195,15 @@ mod tests {
         let store = build(4, 1024);
         let est = store.jaccard(0, 1);
         assert!((est - 1.0 / 3.0).abs() < 0.08, "est = {est}");
+    }
+
+    #[test]
+    fn onepass_estimate_tracks_true_jaccard() {
+        let store = build_mode(4, 1024, SketchMode::OnePass);
+        let est = store.jaccard(0, 1);
+        assert!((est - 1.0 / 3.0).abs() < 0.1, "est = {est}");
+        assert!((store.jaccard(0, 2) - 1.0).abs() < 1e-9);
+        assert_eq!(store.jaccard(0, 3), 0.0);
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod bbit;
 pub mod permute;
 pub mod provider;
 pub mod signature;
+pub mod sketch;
 
 pub use bbit::{BbitParams, BbitStore};
 pub use permute::{PermutationStrategy, Permutations};
 pub use provider::{BbitJaccard, MinHashJaccard};
 pub use signature::{MinHashParams, MinHashSignature, MinHashStore};
+pub use sketch::SketchMode;

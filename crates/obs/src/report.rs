@@ -346,7 +346,10 @@ impl ReportSet {
     ///   bench failure mode);
     /// - build runs (every experiment except `"serve"`) must report a
     ///   non-empty `phases` list — a build with no phase attribution is
-    ///   an instrumentation regression.
+    ///   an instrumentation regression;
+    /// - every run must carry a `"prep"` extra object with a numeric
+    ///   `prep_secs ≥ 0` — reports without the preparation split cannot
+    ///   answer the Table 3 ingest-speed question.
     pub fn validate_strict(&self) -> Result<(), String> {
         self.validate()?;
         for (i, run) in self.runs.iter().enumerate() {
@@ -374,6 +377,22 @@ impl ReportSet {
             }
             if run.experiment != "serve" && run.phases.is_empty() {
                 return Err(at("build run reports an empty phases list".to_string()));
+            }
+            let prep_secs = run
+                .extra
+                .iter()
+                .find(|(k, _)| k == "prep")
+                .and_then(|(_, v)| v.get("prep_secs"))
+                .and_then(Json::as_f64);
+            match prep_secs {
+                Some(secs) if secs >= 0.0 => {}
+                Some(secs) => return Err(at(format!("prep extra has prep_secs = {secs} < 0"))),
+                None => {
+                    return Err(at(
+                        "run is missing the \"prep\" extra (object with numeric prep_secs)"
+                            .to_string(),
+                    ))
+                }
             }
         }
         Ok(())
@@ -426,8 +445,20 @@ mod tests {
                 calls: 500,
                 bytes: 66000,
             }),
-            extra: vec![("quality".to_string(), Json::Num(0.93))],
+            extra: vec![
+                ("quality".to_string(), Json::Num(0.93)),
+                ("prep".to_string(), prep_extra()),
+            ],
         }
+    }
+
+    fn prep_extra() -> Json {
+        Json::obj(vec![
+            ("sketch", Json::from("shf")),
+            ("prep_secs", Json::Num(0.002)),
+            ("associations", Json::Num(1000.0)),
+            ("assoc_per_sec", Json::Num(500_000.0)),
+        ])
     }
 
     #[test]
@@ -480,6 +511,7 @@ mod tests {
         run.extra = vec![
             ("lookup_p50_us".to_string(), Json::Num(10.0)),
             ("lookup_p99_us".to_string(), Json::Num(90.0)),
+            ("prep".to_string(), prep_extra()),
         ];
         set.runs.push(run);
         assert!(set.validate_strict().is_ok());
@@ -499,6 +531,23 @@ mod tests {
         // Serve runs are exempt: they have drain phases, not build phases.
         set.runs[0].experiment = "serve".to_string();
         assert!(set.validate_strict().is_ok());
+    }
+
+    #[test]
+    fn strict_validation_requires_the_prep_extra() {
+        let mut set = ReportSet::new("fig12");
+        let mut run = sample_report();
+        run.extra.retain(|(k, _)| k != "prep");
+        set.runs.push(run);
+        let err = set.validate_strict().unwrap_err();
+        assert!(err.contains("prep"), "{err}");
+        // A prep object with a negative duration is just as invalid.
+        set.runs[0].extra.push((
+            "prep".to_string(),
+            Json::obj(vec![("prep_secs", Json::Num(-1.0))]),
+        ));
+        let err = set.validate_strict().unwrap_err();
+        assert!(err.contains("< 0"), "{err}");
     }
 
     #[test]

@@ -82,11 +82,15 @@ fn usage() -> &'static str {
      \n\
      generate:    --out FILE [--format dat|csv|edges]   export the synthetic dataset\n\
      fingerprint: --bits B (default 1024)  --out FILE (GFS1 format)\n\
+                  --stream   two-pass streaming ingestion straight from\n\
+                             --ratings FILE (bounded memory, bit-identical)\n\
      knn:         --algo brute|hyrec|nndescent|lsh|kiff (default brute)\n\
                   --k K (default 30)  --goldfinger [--bits B]  --out FILE (GFG1)\n\
      recommend:   knn options plus --user U (default 0) --n N (default 10)\n\
      privacy:     --items M --bits B --cardinality C\n\
      serve:       --replay N (ops, default 100000)  --update-pct P (default 30)\n\
+                  --ops-file FILE   stream a recorded op log (`L u` / `U u i,j`\n\
+                                    lines) instead of the synthetic generator\n\
                   --shards S (default 8)  --batch B (default 256)\n\
                   --probes P (default 4)  --threads T (default 1)\n\
                   --metrics-addr HOST:PORT   serve /metrics, /healthz and /epoch\n\
@@ -177,11 +181,40 @@ fn run() -> Result<(), String> {
             println!("{}", s.table2_row());
         }
         "fingerprint" => {
-            let data = load_dataset(&cli)?;
             let bits: u32 = cli.parse_num("bits", 1024)?;
+            let params = ShfParams::new(bits, DynHasher::default());
             let t0 = std::time::Instant::now();
-            let store =
-                ShfParams::new(bits, DynHasher::default()).fingerprint_store(data.profiles());
+            let store = if cli.has("stream") {
+                // Streaming ingestion: two passes over the file, arena rows
+                // written in place — no RatingsDataset/ProfileStore, bounded
+                // memory. Bit-identical to the in-memory path below.
+                let path = cli
+                    .get("ratings")
+                    .ok_or_else(|| "--stream requires --ratings FILE".to_string())?;
+                let format = match cli.get_or("format", "dat").as_str() {
+                    "dat" => goldfinger::datasets::RatingsFormat::MovielensDat,
+                    "csv" => goldfinger::datasets::RatingsFormat::Csv,
+                    "edges" => goldfinger::datasets::RatingsFormat::EdgeList,
+                    other => return Err(format!("unknown --format {other:?} (dat|csv|edges)")),
+                };
+                let cfg = goldfinger::datasets::StreamConfig::default();
+                let (store, summary) =
+                    goldfinger::datasets::stream_fingerprint(path, format, &params, &cfg)
+                        .map_err(|e| format!("streaming {path}: {e}"))?;
+                println!(
+                    "streamed {} ratings ({} positive) over {} users \
+                     ({} kept) and {} items",
+                    summary.n_ratings,
+                    summary.n_positive,
+                    summary.raw_users,
+                    summary.kept_users,
+                    summary.n_items
+                );
+                store
+            } else {
+                let data = load_dataset(&cli)?;
+                params.fingerprint_store(data.profiles())
+            };
             println!(
                 "fingerprinted {} profiles into {bits}-bit SHFs in {:?} ({} bytes/user)",
                 store.len(),
@@ -282,7 +315,10 @@ fn run() -> Result<(), String> {
             );
         }
         "serve" => {
-            use goldfinger::knn::serve::{replay, synth_ops, KnnService, ServeConfig};
+            use goldfinger::knn::oplog::OpLogReader;
+            use goldfinger::knn::serve::{
+                replay_stream, synth_op_stream, KnnService, Op, ServeConfig,
+            };
             use goldfinger::obs::{Json, MetricsServer, Registry, StatusFn};
             use std::sync::Arc;
 
@@ -333,18 +369,41 @@ fn run() -> Result<(), String> {
                 }
                 None => None,
             };
-            let ops = synth_ops(n, data.n_items() as u32, n_ops, update_pct, seed ^ 0x0b5);
+            // The op log is streamed, not materialized: either the lazy
+            // synthetic generator or a line-at-a-time file reader.
+            let ops: Box<dyn Iterator<Item = Op>> = match cli.get("ops-file") {
+                Some(path) => {
+                    let file = std::fs::File::open(path)
+                        .map_err(|e| format!("opening --ops-file {path}: {e}"))?;
+                    let path = path.to_string();
+                    Box::new(OpLogReader::new(file).map(move |r| match r {
+                        Ok(op) => op,
+                        Err(e) => {
+                            eprintln!("reading --ops-file {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }))
+                }
+                None => Box::new(synth_op_stream(
+                    n,
+                    data.n_items() as u32,
+                    n_ops,
+                    update_pct,
+                    seed ^ 0x0b5,
+                )),
+            };
             let t0 = std::time::Instant::now();
             // Route the parallel drain phases through the work-stealing
             // pool (rather than the raw scoped-thread fallback) so traced
             // runs attribute them to pool tasks.
             let threads: usize = cli.parse_num("threads", 1)?;
             let outcome = if threads > 1 {
-                goldfinger::core::pool::Pool::new(threads).install(|| replay(&svc, &ops))
+                goldfinger::core::pool::Pool::new(threads).install(|| replay_stream(&svc, ops))
             } else {
-                replay(&svc, &ops)
+                replay_stream(&svc, ops)
             };
             let wall = t0.elapsed();
+            let n_ops = (outcome.lookups + outcome.updates) as usize;
 
             let p = |h: &goldfinger::obs::Histogram, q: f64| {
                 h.quantile_upper_bound(q).as_secs_f64() * 1e6

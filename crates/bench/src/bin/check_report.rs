@@ -3,36 +3,129 @@
 //! validity (non-empty run set, per-iteration traces summing to the
 //! reported totals) plus the strict invariants: no `*_p50_*` extra above
 //! its `*_p99_*` counterpart (histogram-resolution regressions), a
-//! non-empty `phases` list on every build (non-serve) run, and a `"prep"`
+//! non-empty `phases` list on every build (non-serve) run, a `"prep"`
 //! extra (sketch name + `prep_secs`) on every run so the preparation/build
-//! split stays recoverable. Exits non-zero on any missing or malformed
-//! report.
+//! split stays recoverable, and per-run-attributable RSS peaks (either a
+//! `peak_reset` attestation or an `rss_before_kb` floor next to the
+//! peak). Exits non-zero on any missing or malformed report.
+//!
+//! With `--mem-budget BYTES` (`k`/`m`/`g` suffixes accepted) every run
+//! carrying a `"mem"` extra must also keep `rss_peak_kb` within the
+//! budget plus `--slack PCT` (default 25%). The slack absorbs what a
+//! budget can't control: allocator bookkeeping, binary text and page
+//! tables, and the kernel's page-granular RSS accounting — the gate is
+//! meant to catch builds whose working set stopped being bounded, not to
+//! fail on a few MiB of process noise.
 //!
 //! ```text
 //! cargo run --release -p goldfinger-bench --bin check_report -- results/fig12.json
+//! cargo run --release -p goldfinger-bench --bin check_report -- \
+//!     --mem-budget 512m results/scale.json
 //! ```
 
 use goldfinger_bench::read_report;
+use goldfinger_obs::Json;
 use std::path::Path;
 
+/// Parses a byte count with optional `k`/`m`/`g` (KiB/MiB/GiB) suffix.
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let v = v.trim().to_lowercase();
+    let (num, shift) = match v.as_bytes().last() {
+        Some(b'k') => (&v[..v.len() - 1], 10u32),
+        Some(b'm') => (&v[..v.len() - 1], 20),
+        Some(b'g') => (&v[..v.len() - 1], 30),
+        _ => (v.as_str(), 0),
+    };
+    num.parse::<u64>()
+        .map(|n| n << shift)
+        .map_err(|_| format!("cannot parse byte count {v:?} (e.g. 512m, 2g)"))
+}
+
+/// Checks every run's reported RSS peak against the budget ceiling.
+fn check_mem_budget(
+    set: &goldfinger_obs::ReportSet,
+    budget: u64,
+    slack_pct: u64,
+) -> Result<usize, String> {
+    let ceiling = budget + budget * slack_pct / 100;
+    let mut checked = 0usize;
+    for (i, run) in set.runs.iter().enumerate() {
+        let Some(mem) = run.extra.iter().find(|(k, _)| k == "mem").map(|(_, v)| v) else {
+            continue;
+        };
+        let peak_kb = mem.get("rss_peak_kb").and_then(Json::as_f64).unwrap_or(0.0);
+        let peak_bytes = (peak_kb * 1024.0) as u64;
+        if peak_bytes > ceiling {
+            return Err(format!(
+                "run #{i} ({}/{}/{}): rss_peak_kb = {peak_kb} ({} MiB) exceeds the \
+                 {} MiB budget (+{slack_pct}% slack = {} MiB ceiling)",
+                run.dataset,
+                run.algo,
+                run.provider,
+                peak_bytes >> 20,
+                budget >> 20,
+                ceiling >> 20,
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut budget: Option<u64> = None;
+    let mut slack_pct: u64 = 25;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mem-budget" => {
+                let v = args.next().unwrap_or_default();
+                match parse_bytes(&v) {
+                    Ok(b) => budget = Some(b),
+                    Err(e) => {
+                        eprintln!("--mem-budget: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--slack" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(p) => slack_pct = p,
+                    Err(_) => {
+                        eprintln!("--slack: cannot parse {v:?} (percent)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => paths.push(arg),
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: check_report FILE.json [FILE.json …]");
+        eprintln!("usage: check_report [--mem-budget BYTES [--slack PCT]] FILE.json [FILE.json …]");
         std::process::exit(2);
     }
     let mut failed = false;
     for path in &paths {
         let checked = read_report(Path::new(path)).and_then(|set| {
             set.validate_strict()?;
-            Ok(set)
+            let mem_runs = match budget {
+                Some(b) => Some(check_mem_budget(&set, b, slack_pct)?),
+                None => None,
+            };
+            Ok((set, mem_runs))
         });
         match checked {
-            Ok(set) => println!(
+            Ok((set, mem_runs)) => println!(
                 "{path}: ok — experiment {:?}, {} run(s), traces consistent, \
-                 quantiles ordered, phases attributed, prep split present",
+                 quantiles ordered, phases attributed, prep split present{}",
                 set.experiment,
-                set.runs.len()
+                set.runs.len(),
+                match mem_runs {
+                    Some(n) => format!(", {n} run(s) within the RSS budget"),
+                    None => String::new(),
+                }
             ),
             Err(e) => {
                 eprintln!("{path}: INVALID — {e}");

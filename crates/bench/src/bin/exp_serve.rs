@@ -133,6 +133,10 @@ fn micros(d: Duration) -> f64 {
 
 fn main() {
     let _trace = TraceSession::from_env();
+    // Per-run peak attribution: rebase the RSS high-water mark and record
+    // the floor this process starts the experiment from.
+    let peak_reset = goldfinger_obs::mem::reset_rss_peak();
+    let mem_before = goldfinger_obs::mem::snapshot();
     let args = Args::from_env();
     let cfg = ExperimentConfig::from_args(&args);
     let n_ops = args.get_usize("ops", 100_000);
@@ -328,7 +332,9 @@ fn main() {
         "prep".to_string(),
         prep_json("shf", prep, data.profiles().n_associations() as u64),
     ));
-    report.extra.push(("mem".to_string(), mem_json()));
+    report
+        .extra
+        .push(("mem".to_string(), mem_json(mem_before, peak_reset)));
 
     let mut set = ReportSet::new("serve");
     set.runs.push(report);

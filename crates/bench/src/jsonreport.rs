@@ -41,6 +41,10 @@ pub fn observed_run(
     let pool = (cfg.threads > 1).then(|| shared_pool(cfg.threads));
     let before = pool.as_ref().map(|p| p.stats());
     let kernel_before = kernels::stats();
+    // Rebase the kernel's RSS high-water mark so the reported peak covers
+    // this run only, and snapshot the floor it starts from either way.
+    let peak_reset = goldfinger_obs::mem::reset_rss_peak();
+    let mem_before = goldfinger_obs::mem::snapshot();
     let run_trace = goldfinger_obs::trace::span("bench", "run");
     let out = run_observed(cfg, kind, data, provider, &obs);
     drop(run_trace);
@@ -55,7 +59,9 @@ pub fn observed_run(
     report
         .extra
         .push(("kernel".to_string(), kernel_stats_json(&kernel_delta)));
-    report.extra.push(("mem".to_string(), mem_json()));
+    report
+        .extra
+        .push(("mem".to_string(), mem_json(mem_before, peak_reset)));
     (out, report)
 }
 
@@ -81,19 +87,36 @@ pub fn prep_json(sketch: &str, prep: std::time::Duration, associations: u64) -> 
     ])
 }
 
-/// Renders the current memory gauges as the `"mem"` extra object of a
-/// [`RunReport`]: live arena bytes and peak RSS (`0` where `/proc` is
-/// unavailable).
-pub fn mem_json() -> Json {
+/// Renders the memory gauges as the `"mem"` extra object of a
+/// [`RunReport`] (`0` where `/proc` is unavailable):
+///
+/// - `arena_bytes` — live heap fingerprint-arena bytes;
+/// - `mapped_bytes` — spilled (memory-mapped) arena bytes;
+/// - `rss_before_kb` — `VmRSS` snapshotted *before* the run started;
+/// - `rss_now_kb` — `VmRSS` at report time;
+/// - `rss_peak_kb` — `VmHWM` at report time;
+/// - `peak_reset` — whether the kernel high-water mark was reset at run
+///   start, making `rss_peak_kb` a genuine per-run peak. When `false`,
+///   the peak is a process-lifetime value and `rss_before_kb` is the
+///   floor it may have inherited from earlier runs in the same process.
+pub fn mem_json(before: Option<goldfinger_obs::mem::MemSnapshot>, peak_reset: bool) -> Json {
+    let now = goldfinger_obs::mem::snapshot().unwrap_or_default();
     Json::obj(vec![
         (
             "arena_bytes",
             Json::Num(goldfinger_core::arena::live_arena_bytes() as f64),
         ),
         (
-            "rss_peak_kb",
-            Json::Num(goldfinger_obs::mem::rss_peak_kb().unwrap_or(0) as f64),
+            "mapped_bytes",
+            Json::Num(goldfinger_core::arena::mapped_arena_bytes() as f64),
         ),
+        (
+            "rss_before_kb",
+            Json::Num(before.unwrap_or_default().rss_kb as f64),
+        ),
+        ("rss_now_kb", Json::Num(now.rss_kb as f64)),
+        ("rss_peak_kb", Json::Num(now.peak_kb as f64)),
+        ("peak_reset", Json::Bool(peak_reset)),
     ])
 }
 

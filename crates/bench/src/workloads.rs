@@ -247,16 +247,21 @@ pub fn record_kernel_stats(reg: &Registry, stats: &KernelStats) {
     reg.counter("kernel.batched_rows").add(stats.batched_rows);
 }
 
-/// Records the process memory gauges — `mem.arena_bytes` (live fingerprint
-/// arena allocation, from `goldfinger-core`'s accounting) and
-/// `mem.rss_peak_kb` (`VmHWM`, 0 off Linux) — into `reg`. Called at
-/// report time so the peak covers the whole run (ROADMAP item 4
-/// groundwork).
+/// Records the process memory gauges into `reg` — `mem.arena_bytes`
+/// (live heap fingerprint-arena allocation, from `goldfinger-core`'s
+/// accounting), `mem.mapped_bytes` (spilled arena segments),
+/// `mem.rss_now_kb` (`VmRSS`) and `mem.rss_peak_kb` (`VmHWM`; a per-run
+/// value only after `goldfinger_obs::mem::reset_rss_peak`, lifetime
+/// otherwise; 0 off Linux). Called at report time so the peak covers the
+/// whole run.
 pub fn record_mem_gauges(reg: &Registry) {
+    let snap = goldfinger_obs::mem::snapshot().unwrap_or_default();
     reg.gauge("mem.arena_bytes")
         .set(goldfinger_core::arena::live_arena_bytes() as i64);
-    reg.gauge("mem.rss_peak_kb")
-        .set(goldfinger_obs::mem::rss_peak_kb().unwrap_or(0) as i64);
+    reg.gauge("mem.mapped_bytes")
+        .set(goldfinger_core::arena::mapped_arena_bytes() as i64);
+    reg.gauge("mem.rss_now_kb").set(snap.rss_kb as i64);
+    reg.gauge("mem.rss_peak_kb").set(snap.peak_kb as i64);
 }
 
 /// Runs one `(algorithm, provider)` combination, reporting per-iteration

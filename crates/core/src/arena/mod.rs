@@ -11,8 +11,26 @@
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut};
+use std::path::Path;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(target_os = "linux")]
+pub mod mmap;
+
+/// Bytes currently mapped by live spill-backend buffers (0 where the spill
+/// backend is unavailable). Mirrors [`live_arena_bytes`] for the
+/// memory-mapped side; mapped bytes are address space, not residency.
+pub fn mapped_arena_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        mmap::mapped_arena_bytes()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
 
 /// Alignment (and padding quantum) of fingerprint arenas, in bytes.
 pub const CACHE_LINE: usize = 64;
@@ -155,6 +173,183 @@ impl From<&[u64]> for AlignedWords {
         buf
     }
 }
+
+/// Storage backend of a fingerprint arena: the seam between "how rows are
+/// addressed" (always a flat `[u64]` with [`row_words_for`] strides) and
+/// "where the words live".
+///
+/// - [`ArenaBackend::Heap`] — the default: a cache-line-aligned heap
+///   allocation, fully resident for the lifetime of the store.
+/// - [`ArenaBackend::Mmap`] — the spill backend: a `MAP_SHARED` mapping of
+///   a plain file. Pages fault in on demand, the kernel evicts cold ones
+///   under pressure, and [`ArenaBackend::advise_cold`] evicts eagerly.
+///   Only available on Linux; [`ArenaBackend::spill`] reports an error
+///   elsewhere rather than silently falling back.
+///
+/// Both variants dereference to `[u64]`, so every consumer of the arena —
+/// the batched gather kernels above all — is backend-agnostic.
+#[derive(Debug)]
+pub enum ArenaBackend {
+    /// Resident, cache-line-aligned heap words.
+    Heap(AlignedWords),
+    /// File-backed mapped words (the spill backend).
+    #[cfg(target_os = "linux")]
+    Mmap(mmap::MmapWords),
+}
+
+impl ArenaBackend {
+    /// Allocates `len` zeroed heap words (the default backend).
+    pub fn heap(len: usize) -> ArenaBackend {
+        ArenaBackend::Heap(AlignedWords::zeroed(len))
+    }
+
+    /// Creates a zeroed spill arena of `len` words backed by `path`.
+    ///
+    /// Returns an `Unsupported` error on platforms without the mmap
+    /// backend instead of quietly allocating on the heap: a caller asking
+    /// to spill is making a memory-budget promise this module must not
+    /// break silently.
+    pub fn spill(path: &Path, len: usize) -> std::io::Result<ArenaBackend> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(ArenaBackend::Mmap(mmap::MmapWords::create(path, len)?))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = (path, len);
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "spill arena backend requires Linux",
+            ))
+        }
+    }
+
+    /// Maps an existing spill file created by [`ArenaBackend::spill`].
+    pub fn open_spill(path: &Path) -> std::io::Result<ArenaBackend> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(ArenaBackend::Mmap(mmap::MmapWords::open(path)?))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = path;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "spill arena backend requires Linux",
+            ))
+        }
+    }
+
+    /// Backend name for reports and diagnostics (`"heap"` / `"mmap"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ArenaBackend::Heap(_) => "heap",
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(_) => "mmap",
+        }
+    }
+
+    /// True when the words live in a file-backed mapping.
+    pub fn is_spilled(&self) -> bool {
+        !matches!(self, ArenaBackend::Heap(_))
+    }
+
+    /// Path of the backing spill file, when there is one.
+    pub fn spill_path(&self) -> Option<&Path> {
+        match self {
+            ArenaBackend::Heap(_) => None,
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(m) => Some(m.path()),
+        }
+    }
+
+    /// Length in words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ArenaBackend::Heap(w) => w.len(),
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(m) => m.len(),
+        }
+    }
+
+    /// True when the arena holds no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evicts the resident pages of word range `lo..hi` on the spill
+    /// backend (syncing dirty pages first); a no-op on the heap backend,
+    /// where residency is not the caller's to manage.
+    pub fn advise_cold(&self, lo: usize, hi: usize) -> std::io::Result<()> {
+        match self {
+            ArenaBackend::Heap(_) => Ok(()),
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(m) => m.advise_dontneed(lo, hi),
+        }
+    }
+
+    /// Flushes dirty pages to the backing file (no-op on the heap).
+    pub fn sync(&self) -> std::io::Result<()> {
+        match self {
+            ArenaBackend::Heap(_) => Ok(()),
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(m) => m.sync(),
+        }
+    }
+}
+
+impl Deref for ArenaBackend {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        match self {
+            ArenaBackend::Heap(w) => w,
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(m) => m,
+        }
+    }
+}
+
+impl DerefMut for ArenaBackend {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        match self {
+            ArenaBackend::Heap(w) => w,
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(m) => m,
+        }
+    }
+}
+
+impl From<AlignedWords> for ArenaBackend {
+    fn from(words: AlignedWords) -> Self {
+        ArenaBackend::Heap(words)
+    }
+}
+
+/// Cloning an arena always materializes on the heap: a spilled arena's
+/// backing file is owned by the original, and an independent resident copy
+/// is the only clone semantics that cannot silently alias it.
+impl Clone for ArenaBackend {
+    fn clone(&self) -> Self {
+        match self {
+            ArenaBackend::Heap(w) => ArenaBackend::Heap(w.clone()),
+            #[cfg(target_os = "linux")]
+            ArenaBackend::Mmap(m) => ArenaBackend::Heap(AlignedWords::from(&m[..])),
+        }
+    }
+}
+
+impl PartialEq for ArenaBackend {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for ArenaBackend {}
 
 #[cfg(test)]
 mod tests {

@@ -196,6 +196,37 @@ impl ProfileStore {
     }
 }
 
+/// Streaming access to user profiles — the seam that lets out-of-core
+/// pipelines consume profiles without requiring them all in RAM.
+///
+/// [`ProfileStore`] implements it by borrowing its packed slices; a
+/// synthetic generator implements it by *deriving* each user's items on
+/// demand from a per-user seed. Implementations must be deterministic:
+/// `items_into(u, …)` yields the same sorted, deduplicated list every
+/// call, because out-of-core builds visit users more than once.
+pub trait ProfileSource: Sync {
+    /// Number of users.
+    fn n_users(&self) -> usize;
+
+    /// Replaces `buf`'s contents with user `u`'s sorted, deduplicated
+    /// items.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    fn items_into(&self, u: UserId, buf: &mut Vec<ItemId>);
+}
+
+impl ProfileSource for ProfileStore {
+    fn n_users(&self) -> usize {
+        ProfileStore::n_users(self)
+    }
+
+    fn items_into(&self, u: UserId, buf: &mut Vec<ItemId>) {
+        buf.clear();
+        buf.extend_from_slice(self.items(u));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

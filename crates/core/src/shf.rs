@@ -14,13 +14,15 @@
 //! similarity approximation (see the multi-hash ablation in
 //! `goldfinger-bench`).
 
-use crate::arena::{row_words_for, AlignedWords};
+use crate::arena::{row_words_for, AlignedWords, ArenaBackend};
 use crate::bits::BitArray;
 use crate::hash::{DynHasher, ItemHasher};
 use crate::kernels;
 use crate::parallel::{par_map_chunks, par_map_indexed};
 use crate::pool::Pool;
 use crate::profile::{ItemId, ProfileStore};
+use std::io::{self, Read, Write};
+use std::path::Path;
 
 /// Parameters of a fingerprinting scheme: the fingerprint width `b` and the
 /// item hash function.
@@ -108,7 +110,7 @@ impl<H: ItemHasher> ShfParams<H> {
             bits: self.bits,
             words_per_fp,
             row_words,
-            data,
+            data: data.into(),
             cards,
         }
     }
@@ -162,7 +164,7 @@ impl<H: ItemHasher> ShfParams<H> {
             bits: self.bits,
             words_per_fp,
             row_words,
-            data,
+            data: data.into(),
             cards,
         }
     }
@@ -183,12 +185,18 @@ impl<H: ItemHasher> ShfParams<H> {
 /// [`ShfParams::fingerprint_store`] over the same associations, for any
 /// thread count and any batch boundaries. Peak memory is the arena plus
 /// one in-flight batch — independent of the file size.
+///
+/// The arena can live on either [`ArenaBackend`]: [`ShfStreamWriter::new`]
+/// allocates it on the heap, [`ShfStreamWriter::new_spilled`] maps it
+/// straight onto its on-disk spill file, so a multi-GB ratings ingest
+/// never holds the full arena as anonymous memory — the kernel writes
+/// back and evicts pages as it pleases.
 #[derive(Debug)]
 pub struct ShfStreamWriter {
     bits: u32,
     words_per_fp: usize,
     row_words: usize,
-    data: AlignedWords,
+    data: ArenaBackend,
     n: usize,
 }
 
@@ -205,9 +213,37 @@ impl ShfStreamWriter {
             bits,
             words_per_fp,
             row_words,
-            data: AlignedWords::zeroed(row_words * n_users),
+            data: ArenaBackend::heap(row_words * n_users),
             n: n_users,
         }
+    }
+
+    /// Like [`ShfStreamWriter::new`], but the arena is created directly in
+    /// its on-disk spill form inside `dir` (see [`ShfStore::spill_to`] for
+    /// the layout). [`ShfStreamWriter::finish`] seals the store on the
+    /// same backend and writes the store's metadata sidecar, so the
+    /// directory is immediately reopenable with [`ShfStore::open_spilled`].
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`.
+    pub fn new_spilled(bits: u32, n_users: usize, dir: &Path) -> std::io::Result<Self> {
+        assert!(bits > 0, "fingerprint width must be positive");
+        std::fs::create_dir_all(dir)?;
+        let words_per_fp = BitArray::words_for(bits);
+        let row_words = row_words_for(words_per_fp);
+        Ok(ShfStreamWriter {
+            bits,
+            words_per_fp,
+            row_words,
+            data: ArenaBackend::spill(&dir.join(ARENA_FILE), row_words * n_users)?,
+            n: n_users,
+        })
+    }
+
+    /// Backend name of the arena being written (`"heap"` / `"mmap"`).
+    #[inline]
+    pub fn backend_kind(&self) -> &'static str {
+        self.data.kind()
     }
 
     /// Number of rows the arena was sized for.
@@ -261,6 +297,15 @@ impl ShfStreamWriter {
 
     /// Seals the arena into an [`ShfStore`], computing every cached
     /// cardinality with one parallel popcount sweep.
+    ///
+    /// A spilled writer ([`ShfStreamWriter::new_spilled`]) seals onto the
+    /// same backend: the mapping is synced and the metadata sidecar is
+    /// written next to the arena file, leaving a complete on-disk store.
+    ///
+    /// # Panics
+    /// Panics if the spill sidecar cannot be written (the arena file
+    /// itself was already mapped writable, so failures here are the same
+    /// class of I/O errors that would have surfaced at creation).
     pub fn finish(self) -> ShfStore {
         let threads = Pool::current().map_or(1, |p| p.threads());
         let ShfStreamWriter {
@@ -276,13 +321,15 @@ impl ShfStreamWriter {
                 .map(|w| w.count_ones())
                 .sum()
         });
-        ShfStore {
+        let store = ShfStore {
             bits,
             words_per_fp,
             row_words,
             data,
             cards,
-        }
+        };
+        store.seal_spill().expect("sealing spilled arena store");
+        store
     }
 }
 
@@ -404,6 +451,15 @@ pub fn jaccard_from_counts(intersection: u32, c1: u32, c2: u32) -> f64 {
 /// enough for the intermediate counts to live on the stack.
 const GATHER_CHUNK: usize = 64;
 
+/// Name of the raw arena file inside a spill directory.
+pub const ARENA_FILE: &str = "arena.words";
+/// Name of the metadata sidecar inside a spill directory.
+pub const ARENA_META_FILE: &str = "arena.meta";
+/// Magic of the spill metadata sidecar.
+const ARENA_META_MAGIC: [u8; 4] = *b"GFAM";
+/// Version of the spill metadata sidecar layout.
+const ARENA_META_VERSION: u32 = 1;
+
 /// All users' fingerprints packed into one cache-line-aligned arena.
 ///
 /// Fingerprint `u` occupies the first `words_per_fp` words of row
@@ -413,12 +469,19 @@ const GATHER_CHUNK: usize = 64;
 /// did not need to touch. This is the representation every GoldFinger KNN
 /// algorithm scans; batched lookups go through the runtime-dispatched
 /// [`crate::kernels`].
+///
+/// The arena lives on an [`ArenaBackend`]: the heap by default, or a
+/// file-backed mapping after [`ShfStore::spill_to`] /
+/// [`ShfStore::open_spilled`]. Every accessor — `fingerprint_words`, the
+/// batched gather kernels, the delta writers — is backend-agnostic; the
+/// only observable difference is residency, which
+/// [`ShfStore::advise_cold_rows`] lets out-of-core builds manage.
 #[derive(Debug, Clone)]
 pub struct ShfStore {
     bits: u32,
     words_per_fp: usize,
     row_words: usize,
-    data: AlignedWords,
+    data: ArenaBackend,
     cards: Vec<u32>,
 }
 
@@ -461,9 +524,116 @@ impl ShfStore {
             bits,
             words_per_fp,
             row_words,
-            data: arena,
+            data: arena.into(),
             cards,
         }
+    }
+
+    /// Copies the store into its on-disk spill form inside `dir` and
+    /// returns the spilled store (the receiver is untouched).
+    ///
+    /// Layout: `dir/arena.words` holds the padded arena rows verbatim —
+    /// the mapped file *is* the working representation, there is no
+    /// separate serialization — and `dir/arena.meta` is a small sidecar
+    /// (magic `GFAM`, version, width, population, cached cardinalities)
+    /// from which [`ShfStore::open_spilled`] can rebuild the store.
+    pub fn spill_to(&self, dir: &Path) -> io::Result<ShfStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut arena = ArenaBackend::spill(&dir.join(ARENA_FILE), self.data.len())?;
+        arena.copy_from_slice(&self.data);
+        arena.sync()?;
+        let store = ShfStore {
+            bits: self.bits,
+            words_per_fp: self.words_per_fp,
+            row_words: self.row_words,
+            data: arena,
+            cards: self.cards.clone(),
+        };
+        store.write_spill_meta(dir)?;
+        Ok(store)
+    }
+
+    /// Reopens a store spilled with [`ShfStore::spill_to`] (or sealed by a
+    /// spilled [`ShfStreamWriter`]): the arena file is mapped in place —
+    /// no bytes are copied — and the sidecar restores width and
+    /// cardinalities.
+    pub fn open_spilled(dir: &Path) -> io::Result<ShfStore> {
+        let (bits, cards) = read_spill_meta(&dir.join(ARENA_META_FILE))?;
+        let data = ArenaBackend::open_spill(&dir.join(ARENA_FILE))?;
+        let words_per_fp = BitArray::words_for(bits);
+        let row_words = row_words_for(words_per_fp);
+        if data.len() != row_words * cards.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "arena file holds {} words, metadata implies {}",
+                    data.len(),
+                    row_words * cards.len()
+                ),
+            ));
+        }
+        Ok(ShfStore {
+            bits,
+            words_per_fp,
+            row_words,
+            data,
+            cards,
+        })
+    }
+
+    /// Backend name of the arena (`"heap"` / `"mmap"`), for reports.
+    #[inline]
+    pub fn backend_kind(&self) -> &'static str {
+        self.data.kind()
+    }
+
+    /// True when the arena is file-backed (spilled).
+    #[inline]
+    pub fn is_spilled(&self) -> bool {
+        self.data.is_spilled()
+    }
+
+    /// Evicts the resident pages of fingerprint rows `lo..hi` on a spilled
+    /// arena (no-op on the heap backend): the residency lever of the
+    /// out-of-core build — after a shard finishes scanning a row range,
+    /// dropping it bounds peak RSS without invalidating any `&[u64]` the
+    /// kernels might gather later (the pages simply fault back in).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > len()`.
+    pub fn advise_cold_rows(&self, lo: usize, hi: usize) -> io::Result<()> {
+        assert!(lo <= hi && hi <= self.len(), "invalid row range {lo}..{hi}");
+        self.data
+            .advise_cold(lo * self.row_words, hi * self.row_words)
+    }
+
+    /// Writes the metadata sidecar for a spilled arena into `dir`.
+    fn write_spill_meta(&self, dir: &Path) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(20 + self.cards.len() * 4);
+        buf.extend_from_slice(&ARENA_META_MAGIC);
+        buf.extend_from_slice(&ARENA_META_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.bits.to_le_bytes());
+        buf.extend_from_slice(&(self.cards.len() as u64).to_le_bytes());
+        for &c in &self.cards {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        let mut f = std::fs::File::create(dir.join(ARENA_META_FILE))?;
+        f.write_all(&buf)?;
+        f.sync_all()
+    }
+
+    /// Completes a spilled store's on-disk form: syncs the mapping and
+    /// writes the sidecar next to the arena file. No-op on the heap.
+    fn seal_spill(&self) -> io::Result<()> {
+        let Some(path) = self.data.spill_path() else {
+            return Ok(());
+        };
+        let dir = path
+            .parent()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "arena file has no parent"))?
+            .to_path_buf();
+        self.data.sync()?;
+        self.write_spill_meta(&dir)
     }
 
     /// Number of fingerprints.
@@ -630,7 +800,7 @@ impl ShfStore {
             bits: self.bits,
             words_per_fp: self.words_per_fp,
             row_words: self.row_words,
-            data,
+            data: data.into(),
             cards: self.cards[lo..hi].to_vec(),
         }
     }
@@ -754,6 +924,37 @@ impl ShfStore {
     pub fn bytes_per_comparison(&self) -> u64 {
         2 * (self.words_per_fp as u64 * 8 + 4)
     }
+}
+
+/// Parses a spill metadata sidecar: `(bits, cards)`.
+fn read_spill_meta(path: &Path) -> io::Result<(u32, Vec<u32>)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 20];
+    f.read_exact(&mut head)
+        .map_err(|_| bad("truncated arena metadata"))?;
+    if head[0..4] != ARENA_META_MAGIC {
+        return Err(bad("bad arena metadata magic"));
+    }
+    if u32::from_le_bytes(head[4..8].try_into().unwrap()) != ARENA_META_VERSION {
+        return Err(bad("unsupported arena metadata version"));
+    }
+    let bits = u32::from_le_bytes(head[8..12].try_into().unwrap());
+    if bits == 0 {
+        return Err(bad("zero fingerprint width"));
+    }
+    let n = u64::from_le_bytes(head[12..20].try_into().unwrap());
+    let n = usize::try_from(n).map_err(|_| bad("population overflows usize"))?;
+    let mut raw = Vec::new();
+    f.read_to_end(&mut raw)?;
+    if raw.len() != n * 4 {
+        return Err(bad("cardinality table length mismatch"));
+    }
+    let cards = raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok((bits, cards))
 }
 
 #[cfg(test)]
@@ -1228,5 +1429,97 @@ mod tests {
     #[should_panic(expected = "does not match")]
     fn from_raw_parts_rejects_bad_dimensions_in_release_too() {
         let _ = ShfStore::from_raw_parts(128, vec![1, 1], vec![1u64; 3]);
+    }
+
+    #[cfg(target_os = "linux")]
+    fn spill_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gf-shf-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn spill_round_trip_is_bit_identical_and_queryable() {
+        let store = batch_fixture();
+        let dir = spill_dir("roundtrip");
+        let spilled = store.spill_to(&dir).unwrap();
+        assert_eq!(spilled.backend_kind(), "mmap");
+        assert!(spilled.is_spilled());
+        assert!(!store.is_spilled());
+        assert_eq!(spilled.data, store.data);
+        assert_eq!(spilled.cards, store.cards);
+        // Queries go through the same kernels and match exactly.
+        let ids: Vec<u32> = (0..37).collect();
+        let mut heap_j = vec![0.0; ids.len()];
+        let mut mmap_j = vec![0.0; ids.len()];
+        store.jaccard_batch(5, &ids, &mut heap_j);
+        spilled.jaccard_batch(5, &ids, &mut mmap_j);
+        assert_eq!(heap_j, mmap_j);
+        // Evicting rows must not change what subsequent reads observe.
+        spilled.advise_cold_rows(0, spilled.len()).unwrap();
+        assert_eq!(spilled.data, store.data);
+        // Reopening maps the same bytes, and a clone rematerializes on the
+        // heap without aliasing the file.
+        let reopened = ShfStore::open_spilled(&dir).unwrap();
+        assert_eq!(reopened.data, store.data);
+        assert_eq!(reopened.cards, store.cards);
+        assert_eq!(reopened.width(), store.width());
+        let clone = reopened.clone();
+        assert_eq!(clone.backend_kind(), "heap");
+        assert_eq!(clone.data, store.data);
+        drop(spilled);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn spilled_stream_writer_seals_a_reopenable_store() {
+        let p = params(320);
+        let lists: Vec<Vec<u32>> = (0..19)
+            .map(|u| ((u * 11)..(u * 11 + 3 + u % 13)).collect())
+            .collect();
+        let reference = p.fingerprint_store(&ProfileStore::from_item_lists(lists.clone()));
+        let dir = spill_dir("stream");
+        let mut w = ShfStreamWriter::new_spilled(320, lists.len(), &dir).unwrap();
+        assert_eq!(w.backend_kind(), "mmap");
+        let assoc: Vec<(u32, u32)> = lists
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&it| (u as u32, it)))
+            .collect();
+        for chunk in assoc.chunks(7) {
+            w.ingest_batch(chunk, p.hasher());
+        }
+        let store = w.finish();
+        assert!(store.is_spilled());
+        assert_eq!(store.data, reference.data);
+        assert_eq!(store.cards, reference.cards);
+        // finish() already sealed the sidecar: the directory reopens cold.
+        drop(store);
+        let reopened = ShfStore::open_spilled(&dir).unwrap();
+        assert_eq!(reopened.data, reference.data);
+        assert_eq!(reopened.cards, reference.cards);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn open_spilled_rejects_corrupt_metadata() {
+        let dir = spill_dir("corrupt");
+        let spilled = batch_fixture().spill_to(&dir).unwrap();
+        drop(spilled);
+        let meta = dir.join(ARENA_META_FILE);
+        let mut bytes = std::fs::read(&meta).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&meta, &bytes).unwrap();
+        assert!(ShfStore::open_spilled(&dir).is_err());
+        bytes[0] ^= 0xFF;
+        bytes.truncate(bytes.len() - 2);
+        std::fs::write(&meta, &bytes).unwrap();
+        assert!(ShfStore::open_spilled(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

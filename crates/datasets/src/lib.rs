@@ -33,6 +33,6 @@ pub use load::{
 pub use model::{BinaryDataset, Rating, RatingsDataset, BINARIZE_THRESHOLD, MIN_RATINGS_PER_USER};
 pub use sample::{item_popularity, sample_least_popular};
 pub use stats::DatasetStats;
-pub use stream::{stream_fingerprint, StreamConfig, StreamSummary};
-pub use synth::{SynthConfig, ZipfSampler};
+pub use stream::{stream_fingerprint, stream_fingerprint_spilled, StreamConfig, StreamSummary};
+pub use synth::{StreamProfiles, SynthConfig, ZipfSampler};
 pub use write::{write_edge_list, write_movielens_dat, write_ratings_csv};

@@ -93,8 +93,34 @@ pub fn stream_fingerprint<H: ItemHasher>(
     params: &ShfParams<H>,
     cfg: &StreamConfig,
 ) -> Result<(ShfStore, StreamSummary), LoadError> {
-    let path = path.as_ref();
+    stream_fingerprint_inner(path.as_ref(), format, params, cfg, None)
+}
 
+/// [`stream_fingerprint`] with the arena **spilled**: fingerprint rows go
+/// straight into a memory-mapped file under `spill_dir` instead of the
+/// heap, so ingesting a dataset whose fingerprints exceed RAM stays
+/// bounded — the kernel writes cold arena pages back as the build
+/// proceeds. The finished store is sealed on disk
+/// ([`ShfStore::open_spilled`] reopens it) and bit-identical to the heap
+/// path. Linux only; elsewhere the spill request fails with
+/// `Unsupported` rather than silently falling back.
+pub fn stream_fingerprint_spilled<H: ItemHasher>(
+    path: impl AsRef<Path>,
+    format: RatingsFormat,
+    params: &ShfParams<H>,
+    cfg: &StreamConfig,
+    spill_dir: impl AsRef<Path>,
+) -> Result<(ShfStore, StreamSummary), LoadError> {
+    stream_fingerprint_inner(path.as_ref(), format, params, cfg, Some(spill_dir.as_ref()))
+}
+
+fn stream_fingerprint_inner<H: ItemHasher>(
+    path: &Path,
+    format: RatingsFormat,
+    params: &ShfParams<H>,
+    cfg: &StreamConfig,
+    spill_dir: Option<&Path>,
+) -> Result<(ShfStore, StreamSummary), LoadError> {
     // Pass 1: intern ids in first-seen order, count ratings per user.
     let mut users: HashMap<u64, u32> = HashMap::new();
     let mut items: HashMap<u64, u32> = HashMap::new();
@@ -126,8 +152,12 @@ pub fn stream_fingerprint<H: ItemHasher>(
     }
 
     // Pass 2: batch the positive associations of kept users into the
-    // pool-parallel arena writer.
-    let mut writer = ShfStreamWriter::new(params.bits(), kept as usize);
+    // pool-parallel arena writer (heap or spilled, same row layout).
+    let mut writer = match spill_dir {
+        Some(dir) => ShfStreamWriter::new_spilled(params.bits(), kept as usize, dir)
+            .map_err(LoadError::Io)?,
+        None => ShfStreamWriter::new(params.bits(), kept as usize),
+    };
     let mut batch: Vec<(u32, u32)> = Vec::with_capacity(cfg.batch.max(1));
     let mut n_positive = 0usize;
     for triple in TripleReader::new(File::open(path)?, format) {
@@ -212,6 +242,44 @@ mod tests {
             );
             assert_eq!(streamed.cardinality(u), reference.cardinality(u));
         }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn spilled_streaming_seals_a_bit_identical_store_on_disk() {
+        let mut content = String::new();
+        for u in [1u32, 2, 3] {
+            for i in 0..7 {
+                content.push_str(&format!("{u}::{}::5::0\n", 50 * u + i));
+            }
+        }
+        let path = write_fixture(&content);
+        let dir = std::env::temp_dir().join(format!("gf-stream-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = ShfParams::new(128, DynHasher::default());
+        let cfg = StreamConfig {
+            min_ratings: 5,
+            ..StreamConfig::default()
+        };
+        let (spilled, summary) =
+            stream_fingerprint_spilled(&path, RatingsFormat::MovielensDat, &params, &cfg, &dir)
+                .unwrap();
+        let (heap, _) =
+            stream_fingerprint(&path, RatingsFormat::MovielensDat, &params, &cfg).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(summary.kept_users, 3);
+        assert!(spilled.is_spilled());
+        for u in 0..heap.len() as u32 {
+            assert_eq!(spilled.fingerprint_words(u), heap.fingerprint_words(u));
+            assert_eq!(spilled.cardinality(u), heap.cardinality(u));
+        }
+        // The sealed on-disk form reopens as the same store.
+        drop(spilled);
+        let reopened = goldfinger_core::shf::ShfStore::open_spilled(&dir).unwrap();
+        for u in 0..heap.len() as u32 {
+            assert_eq!(reopened.fingerprint_words(u), heap.fingerprint_words(u));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

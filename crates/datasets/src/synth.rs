@@ -17,6 +17,8 @@
 //!    as many ratings at or below 3 so binarisation has work to do.
 
 use crate::model::{Rating, RatingsDataset};
+use goldfinger_core::hash::splitmix64_mix;
+use goldfinger_core::profile::ProfileSource;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -213,6 +215,108 @@ impl SynthConfig {
     }
 }
 
+/// Per-user-seeded streaming profile generator for out-of-core builds.
+///
+/// [`SynthConfig::generate`] draws every user from **one** sequential RNG
+/// stream, so producing user `u`'s profile requires replaying users
+/// `0..u` — fine in RAM, unusable when a 10M-user build wants to stream
+/// profiles shard by shard. `StreamProfiles` uses the same generation
+/// model (lognormal sizes, cluster permutations, Zipf popularity) but
+/// seeds a fresh RNG per user from `splitmix64_mix(seed, u)`, making
+/// every profile independently addressable: `items_into(u, …)` is O(its
+/// own profile) and bit-stable across calls, which is exactly the
+/// [`ProfileSource`] contract.
+///
+/// The profiles are *not* the same streams as `generate()` — the two
+/// generators are statistically matched, not bit-matched. It yields the
+/// binarised (positive-item) profile directly; sub-threshold ratings
+/// never exist here.
+#[derive(Debug, Clone)]
+pub struct StreamProfiles {
+    n_users: usize,
+    n_items: u64,
+    cluster_affinity: f64,
+    zipf: ZipfSampler,
+    perms: Vec<(u64, u64)>,
+    mu: f64,
+    sigma: f64,
+    seed: u64,
+}
+
+impl StreamProfiles {
+    /// Builds the generator for a config (shares its calibration fields;
+    /// `negative_ratio` is irrelevant because output is already binary).
+    ///
+    /// # Panics
+    /// Panics on the same invalid configs as [`SynthConfig::generate`].
+    pub fn new(cfg: &SynthConfig) -> Self {
+        assert!(cfg.n_items >= 2, "need at least two items");
+        assert!(
+            (0.0..=1.0).contains(&cfg.cluster_affinity),
+            "cluster_affinity must be a probability"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let m = cfg.n_items as u64;
+        let perms: Vec<(u64, u64)> = (0..cfg.n_clusters.max(1))
+            .map(|_| {
+                let a = loop {
+                    let cand = rng.gen_range(1..m);
+                    if gcd(cand, m) == 1 {
+                        break cand;
+                    }
+                };
+                (a, rng.gen_range(0..m))
+            })
+            .collect();
+        let sigma: f64 = 0.6;
+        let mu = cfg.mean_profile.max(1.0).ln() - sigma * sigma / 2.0;
+        StreamProfiles {
+            n_users: cfg.n_users,
+            n_items: m,
+            cluster_affinity: cfg.cluster_affinity,
+            zipf: ZipfSampler::new(cfg.n_items, cfg.zipf_exponent),
+            perms,
+            mu,
+            sigma,
+            seed: cfg.seed,
+        }
+    }
+}
+
+impl ProfileSource for StreamProfiles {
+    fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    fn items_into(&self, u: u32, buf: &mut Vec<u32>) {
+        assert!((u as usize) < self.n_users, "user {u} out of range");
+        buf.clear();
+        // Jump-seeded: the whole profile derives from (seed, u) alone.
+        let mut rng = StdRng::seed_from_u64(splitmix64_mix(
+            self.seed ^ (u as u64).wrapping_mul(0xA076_1D64),
+        ));
+        let cluster = rng.gen_range(0..self.perms.len());
+        let (a, b) = self.perms[cluster];
+        let size = sample_lognormal(&mut rng, self.mu, self.sigma)
+            .round()
+            .clamp(5.0, (self.n_items / 2) as f64) as usize;
+        let mut attempts = 0usize;
+        while buf.len() < size && attempts < size * 20 {
+            attempts += 1;
+            let rank = self.zipf.sample(&mut rng) as u64;
+            let item = if rng.gen::<f64>() < self.cluster_affinity {
+                ((a * rank + b) % self.n_items) as u32
+            } else {
+                rank as u32
+            };
+            if !buf.contains(&item) {
+                buf.push(item);
+            }
+        }
+        buf.sort_unstable();
+    }
+}
+
 /// Zipf-law sampler over ranks `0..n` via inverse-CDF binary search on a
 /// precomputed cumulative table (`O(log n)` per draw, exact).
 #[derive(Debug, Clone)]
@@ -390,6 +494,34 @@ mod tests {
         for r in 0..4 {
             assert!((z.pmf(r) - 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn stream_profiles_are_deterministic_sorted_and_calibrated() {
+        let cfg = tiny();
+        let sp = StreamProfiles::new(&cfg);
+        assert_eq!(ProfileSource::n_users(&sp), 300);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut total = 0usize;
+        for u in 0..300u32 {
+            sp.items_into(u, &mut a);
+            sp.items_into(u, &mut b);
+            assert_eq!(a, b, "user {u} not stable across calls");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "user {u} not sorted");
+            assert!(a.iter().all(|&i| (i as usize) < cfg.n_items));
+            total += a.len();
+        }
+        let mean = total as f64 / 300.0;
+        assert!(
+            (mean - cfg.mean_profile).abs() < 15.0,
+            "mean profile {mean} too far from {}",
+            cfg.mean_profile
+        );
+        // Different users get different profiles (no seed aliasing).
+        sp.items_into(0, &mut a);
+        sp.items_into(1, &mut b);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod analysis;
 pub mod brute;
 pub mod builder;
 pub mod builders;
+pub mod csr;
 pub mod dynamic;
 pub mod engine;
 pub mod graph;
@@ -53,6 +54,7 @@ pub mod lsh;
 pub mod metrics;
 pub mod neighborlist;
 pub mod nndescent;
+pub mod oocbuild;
 pub mod oplog;
 pub mod serial;
 pub mod serve;
@@ -63,6 +65,7 @@ pub use analysis::{degree_stats, edge_overlap, in_degrees, reverse_graph, Degree
 // `BuildObserver` (re-exported from `goldfinger-obs` for convenience).
 pub use brute::BruteForce;
 pub use builder::{BuildInput, ErasedBuilder, KnnBuilder};
+pub use csr::CompactGraph;
 pub use dynamic::DynamicKnn;
 pub use engine::{JoinStrategy, RefineEngine};
 pub use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, RecordingObserver};
@@ -73,6 +76,7 @@ pub use kiff::Kiff;
 pub use lsh::Lsh;
 pub use metrics::{average_similarity, edge_recall, quality};
 pub use nndescent::NNDescent;
+pub use oocbuild::{OocConfig, OocStats};
 pub use oplog::{write_op_log, OpLogReader};
 pub use serial::{read_knn_graph, write_knn_graph};
 pub use serve::{

@@ -46,6 +46,26 @@ impl Default for Lsh {
     }
 }
 
+/// Derives table `t`'s MinHash permutation seed from the build seed.
+///
+/// Public because the out-of-core pipeline ([`crate::oocbuild`]) must
+/// reproduce the exact same bucketing to stay bit-identical to
+/// [`Lsh::build`].
+#[inline]
+pub fn table_seed(seed: u64, t: usize) -> u64 {
+    splitmix64_mix(seed ^ (t as u64).wrapping_mul(0x9E37))
+}
+
+/// MinHash bucket key of a profile under one table's permutation
+/// ([`table_seed`]); `None` for an empty profile, which hashes nowhere.
+#[inline]
+pub fn bucket_key(items: &[u32], table_seed: u64) -> Option<u64> {
+    items
+        .iter()
+        .map(|&i| splitmix64_mix(i as u64 ^ table_seed))
+        .min()
+}
+
 impl Lsh {
     /// Builds an approximate KNN graph.
     ///
@@ -96,17 +116,13 @@ impl Lsh {
         let bucket_trace = trace::span("phase", "candidate_generation");
         let mut tables: Vec<HashMap<u64, Vec<u32>>> = Vec::with_capacity(self.tables);
         for t in 0..self.tables {
-            let table_seed = splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
+            let ts = table_seed(self.seed, t);
             let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
             for (u, items) in profiles.iter() {
-                if items.is_empty() {
-                    continue; // a user with no item hashes nowhere
-                }
-                let key = items
-                    .iter()
-                    .map(|&i| splitmix64_mix(i as u64 ^ table_seed))
-                    .min()
-                    .expect("non-empty profile");
+                // A user with no item hashes nowhere.
+                let Some(key) = bucket_key(items, ts) else {
+                    continue;
+                };
                 buckets.entry(key).or_default().push(u);
             }
             tables.push(buckets);
@@ -155,19 +171,13 @@ impl Lsh {
                 // same order as offering per pair, but through the gather
                 // kernel for fingerprint providers.
                 slot.candidates.clear();
-                if !items.is_empty() {
-                    for (t, buckets) in tables.iter().enumerate() {
-                        let table_seed =
-                            splitmix64_mix(self.seed ^ (t as u64).wrapping_mul(0x9E37));
-                        let key = items
-                            .iter()
-                            .map(|&i| splitmix64_mix(i as u64 ^ table_seed))
-                            .min()
-                            .expect("non-empty profile");
-                        for &v in buckets.get(&key).map_or(&[][..], Vec::as_slice) {
-                            if slot.stamp.mark(v as usize) {
-                                slot.candidates.push(v);
-                            }
+                for (t, buckets) in tables.iter().enumerate() {
+                    let Some(key) = bucket_key(items, table_seed(self.seed, t)) else {
+                        break; // empty profile: no keys in any table
+                    };
+                    for &v in buckets.get(&key).map_or(&[][..], Vec::as_slice) {
+                        if slot.stamp.mark(v as usize) {
+                            slot.candidates.push(v);
                         }
                     }
                 }

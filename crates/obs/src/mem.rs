@@ -1,19 +1,83 @@
-//! Process memory introspection: peak RSS from `/proc/self/status`.
+//! Process memory introspection: resident-set gauges from
+//! `/proc/self/status`.
 //!
 //! Linux-only by nature; other platforms get a graceful `None` so report
 //! glue can record a zero without conditional compilation at call sites.
+//!
+//! ## Peak attribution
+//!
+//! `VmHWM` is a **process-lifetime** high-water mark: in a batch binary
+//! every run after the first inherits the largest earlier peak, which is
+//! how `BENCH` files ended up attributing one run's footprint to all of
+//! them. Per-run truth needs both halves:
+//!
+//! - [`reset_rss_peak`] drops the kernel's high-water mark to the current
+//!   RSS (writing `5` to `/proc/self/clear_refs`) so the next `VmHWM`
+//!   read covers only what happened since;
+//! - [`snapshot`] captures `VmRSS`/`VmHWM` *before* the run, so even when
+//!   the reset is unavailable (restricted `/proc`) the inherited floor is
+//!   recorded next to the peak instead of masquerading as it.
 
-/// Peak resident set size of this process in kilobytes (`VmHWM`), or
-/// `None` when `/proc/self/status` is unavailable or unparsable (non-Linux
-/// platforms, restricted mounts).
-pub fn rss_peak_kb() -> Option<u64> {
+/// One read of the process memory gauges (`/proc/self/status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemSnapshot {
+    /// Current resident set size in kilobytes (`VmRSS`).
+    pub rss_kb: u64,
+    /// Lifetime peak resident set size in kilobytes (`VmHWM`) — subject
+    /// to the attribution caveat above unless the peak was just reset.
+    pub peak_kb: u64,
+}
+
+/// Reads both RSS gauges in one pass over `/proc/self/status`, or `None`
+/// where the file is unavailable or unparsable (non-Linux platforms,
+/// restricted mounts).
+pub fn snapshot() -> Option<MemSnapshot> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let mut snap = MemSnapshot::default();
+    let mut seen = 0u8;
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest.split_whitespace().next().and_then(|v| v.parse().ok());
+        let (field, mask) = if let Some(rest) = line.strip_prefix("VmRSS:") {
+            (rest, 1u8)
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            (rest, 2u8)
+        } else {
+            continue;
+        };
+        let kb: u64 = field.split_whitespace().next()?.parse().ok()?;
+        if mask == 1 {
+            snap.rss_kb = kb;
+        } else {
+            snap.peak_kb = kb;
+        }
+        seen |= mask;
+        if seen == 3 {
+            return Some(snap);
         }
     }
     None
+}
+
+/// Current resident set size of this process in kilobytes (`VmRSS`).
+pub fn rss_now_kb() -> Option<u64> {
+    snapshot().map(|s| s.rss_kb)
+}
+
+/// Peak resident set size of this process in kilobytes (`VmHWM`), or
+/// `None` when `/proc/self/status` is unavailable or unparsable (non-Linux
+/// platforms, restricted mounts). Lifetime value — see the module docs
+/// and [`reset_rss_peak`] for per-run attribution.
+pub fn rss_peak_kb() -> Option<u64> {
+    snapshot().map(|s| s.peak_kb)
+}
+
+/// Resets the kernel's RSS high-water mark to the current RSS by writing
+/// `5` to `/proc/self/clear_refs` (Linux ≥ 4.0). Returns `true` when the
+/// reset took effect — afterwards `VmHWM` measures only the activity
+/// since this call. `false` (non-Linux, restricted `/proc`) means peaks
+/// keep their lifetime semantics and consumers must fall back to
+/// before/after snapshots.
+pub fn reset_rss_peak() -> bool {
+    std::fs::write("/proc/self/clear_refs", b"5").is_ok()
 }
 
 #[cfg(test)]
@@ -30,5 +94,44 @@ mod tests {
                 assert!(!linux, "Linux must expose VmHWM");
             }
         }
+    }
+
+    #[test]
+    fn snapshot_reads_both_gauges_consistently() {
+        let Some(snap) = snapshot() else {
+            let linux = cfg!(target_os = "linux");
+            assert!(!linux, "Linux must expose VmRSS/VmHWM");
+            return;
+        };
+        assert!(snap.rss_kb > 0);
+        // The lifetime peak can never be below the current RSS.
+        assert!(snap.peak_kb >= snap.rss_kb, "{snap:?}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_reset_rebases_the_high_water_mark() {
+        if !reset_rss_peak() {
+            return; // restricted /proc: nothing to verify
+        }
+        let before = snapshot().unwrap();
+        // Once reset, the peak tracks from (about) the current RSS, not
+        // the process-lifetime maximum. Allow kernel-accounting slack.
+        assert!(
+            before.peak_kb <= before.rss_kb + 10_240,
+            "peak {} not rebased near rss {}",
+            before.peak_kb,
+            before.rss_kb
+        );
+        // Touch ~32 MiB and watch the fresh peak register it.
+        let buf = vec![1u8; 32 << 20];
+        std::hint::black_box(&buf);
+        let after = snapshot().unwrap();
+        assert!(
+            after.peak_kb >= before.peak_kb + 16_384,
+            "peak {} did not grow past {}",
+            after.peak_kb,
+            before.peak_kb
+        );
     }
 }

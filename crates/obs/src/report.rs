@@ -349,7 +349,13 @@ impl ReportSet {
     ///   an instrumentation regression;
     /// - every run must carry a `"prep"` extra object with a numeric
     ///   `prep_secs ≥ 0` — reports without the preparation split cannot
-    ///   answer the Table 3 ingest-speed question.
+    ///   answer the Table 3 ingest-speed question;
+    /// - a `"mem"` extra reporting a positive `rss_peak_kb` must either
+    ///   attest `peak_reset = true` (the kernel high-water mark was
+    ///   rebased at run start, so the peak is per-run truth) or carry a
+    ///   numeric `rss_before_kb` floor — `VmHWM` is a process-lifetime
+    ///   value, and a bare lifetime peak inherited from earlier runs in
+    ///   the same batch must not pass for a per-run measurement.
     pub fn validate_strict(&self) -> Result<(), String> {
         self.validate()?;
         for (i, run) in self.runs.iter().enumerate() {
@@ -392,6 +398,20 @@ impl ReportSet {
                         "run is missing the \"prep\" extra (object with numeric prep_secs)"
                             .to_string(),
                     ))
+                }
+            }
+            if let Some(mem) = run.extra.iter().find(|(k, _)| k == "mem").map(|(_, v)| v) {
+                let peak = mem.get("rss_peak_kb").and_then(Json::as_f64).unwrap_or(0.0);
+                let reset = mem
+                    .get("peak_reset")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                let before = mem.get("rss_before_kb").and_then(Json::as_f64);
+                if peak > 0.0 && !reset && before.is_none() {
+                    return Err(at(format!(
+                        "mem extra reports rss_peak_kb = {peak} without peak_reset or an \
+                         rss_before_kb floor — a lifetime VmHWM is not a per-run peak"
+                    )));
                 }
             }
         }
@@ -548,6 +568,35 @@ mod tests {
         ));
         let err = set.validate_strict().unwrap_err();
         assert!(err.contains("< 0"), "{err}");
+    }
+
+    #[test]
+    fn strict_validation_rejects_unattributed_rss_peaks() {
+        let mut set = ReportSet::new("fig12");
+        let mut run = sample_report();
+        run.extra.push((
+            "mem".to_string(),
+            Json::obj(vec![("rss_peak_kb", Json::Num(22_388.0))]),
+        ));
+        set.runs.push(run);
+        // A bare lifetime VmHWM with neither attestation nor floor fails.
+        let err = set.validate_strict().unwrap_err();
+        assert!(err.contains("per-run peak"), "{err}");
+        // A reset peak is per-run truth…
+        let mem = &mut set.runs[0].extra.last_mut().unwrap().1;
+        *mem = Json::obj(vec![
+            ("rss_peak_kb", Json::Num(22_388.0)),
+            ("peak_reset", Json::Bool(true)),
+        ]);
+        assert!(set.validate_strict().is_ok());
+        // …and so is an unreset one that records its inherited floor.
+        let mem = &mut set.runs[0].extra.last_mut().unwrap().1;
+        *mem = Json::obj(vec![
+            ("rss_peak_kb", Json::Num(22_388.0)),
+            ("peak_reset", Json::Bool(false)),
+            ("rss_before_kb", Json::Num(21_000.0)),
+        ]);
+        assert!(set.validate_strict().is_ok());
     }
 
     #[test]

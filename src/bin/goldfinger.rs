@@ -72,7 +72,7 @@ impl Cli {
 }
 
 fn usage() -> &'static str {
-    "usage: goldfinger <stats|generate|fingerprint|knn|recommend|privacy|serve> [options]\n\
+    "usage: goldfinger <stats|generate|fingerprint|knn|build|recommend|privacy|serve> [options]\n\
      \n\
      dataset options (stats/fingerprint/knn/recommend):\n\
        --synth ml1m|ml10m|ml20m|am|dblp|gowalla   synthetic dataset (default ml1m)\n\
@@ -84,8 +84,21 @@ fn usage() -> &'static str {
      fingerprint: --bits B (default 1024)  --out FILE (GFS1 format)\n\
                   --stream   two-pass streaming ingestion straight from\n\
                              --ratings FILE (bounded memory, bit-identical)\n\
+                  --spill DIR   with --stream: write arena rows straight\n\
+                                into a sealed on-disk store under DIR\n\
      knn:         --algo brute|hyrec|nndescent|lsh|kiff (default brute)\n\
                   --k K (default 30)  --goldfinger [--bits B]  --out FILE (GFG1)\n\
+     build:       sharded out-of-core GoldFinger LSH build (spill-to-disk)\n\
+                  --users N          synthetic population size (overrides --scale)\n\
+                  --k K (default 10) --tables T (default 10) --bits B (default 256)\n\
+                  --shards N         contiguous user shards (default 0 = derive\n\
+                                     from --mem-budget; no budget = 1)\n\
+                  --mem-budget BYTES target peak RSS (accepts 512m/2g suffixes)\n\
+                  --spill DIR        spill directory (default gf-spill)\n\
+                  --no-spill         keep arena + index on the heap (still shards)\n\
+                  --max-bucket N     skip LSH buckets larger than N users (0 = off)\n\
+                  --compact          f32 segment sims (smaller spill, not bit-exact)\n\
+                  --out FILE         stream the stitched graph to FILE (GFG1)\n\
      recommend:   knn options plus --user U (default 0) --n N (default 10)\n\
      privacy:     --items M --bits B --cardinality C\n\
      serve:       --replay N (ops, default 100000)  --update-pct P (default 30)\n\
@@ -105,6 +118,64 @@ fn usage() -> &'static str {
        GF_TRACE_CAP=N          per-thread event-ring capacity (default 2^20)"
 }
 
+fn synth_preset(name: &str) -> Result<SynthConfig, String> {
+    Ok(match name.to_lowercase().as_str() {
+        "ml1m" => SynthConfig::ml1m(),
+        "ml10m" => SynthConfig::ml10m(),
+        "ml20m" => SynthConfig::ml20m(),
+        "am" | "amazon" | "amazonmovies" => SynthConfig::amazon_movies(),
+        "dblp" => SynthConfig::dblp(),
+        "gowalla" | "gw" => SynthConfig::gowalla(),
+        other => return Err(format!("unknown --synth {other:?}")),
+    })
+}
+
+/// Parses a byte count with optional `k`/`m`/`g` (KiB/MiB/GiB) suffix.
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let v = v.trim().to_lowercase();
+    let (num, shift) = match v.as_bytes().last() {
+        Some(b'k') => (&v[..v.len() - 1], 10),
+        Some(b'm') => (&v[..v.len() - 1], 20),
+        Some(b'g') => (&v[..v.len() - 1], 30),
+        _ => (v.as_str(), 0),
+    };
+    let n: u64 = num
+        .parse()
+        .map_err(|_| format!("--mem-budget: cannot parse {v:?} (e.g. 512m, 2g)"))?;
+    n.checked_shl(shift)
+        .filter(|&b| b >> shift == n)
+        .ok_or_else(|| format!("--mem-budget: {v:?} overflows"))
+}
+
+/// Runs the out-of-core build over any profile source: streamed to a GFG1
+/// file when `--out` is given, stitched in memory (and summarized)
+/// otherwise.
+fn run_ooc<P: goldfinger::core::profile::ProfileSource + ?Sized>(
+    cli: &Cli,
+    source: &P,
+    params: &ShfParams<DynHasher>,
+    cfg: &goldfinger::knn::oocbuild::OocConfig,
+) -> Result<(goldfinger::knn::oocbuild::OocStats, Option<String>), String> {
+    use goldfinger::knn::oocbuild;
+    match cli.get("out") {
+        Some(out) => {
+            let stats = oocbuild::build_to_disk(source, params, cfg, std::path::Path::new(out))
+                .map_err(|e| format!("ooc build: {e}"))?;
+            Ok((stats, Some(out.to_string())))
+        }
+        None => {
+            let (graph, stats) =
+                oocbuild::build(source, params, cfg).map_err(|e| format!("ooc build: {e}"))?;
+            println!(
+                "graph: {} edges, mean stored similarity {:.4}",
+                graph.n_edges(),
+                graph.mean_stored_similarity()
+            );
+            Ok((stats, None))
+        }
+    }
+}
+
 fn load_dataset(cli: &Cli) -> Result<BinaryDataset, String> {
     if let Some(path) = cli.get("ratings") {
         let format = cli.get_or("format", "dat");
@@ -117,15 +188,7 @@ fn load_dataset(cli: &Cli) -> Result<BinaryDataset, String> {
         .map_err(|e| format!("loading {path}: {e}"))?;
         return Ok(raw.prepare());
     }
-    let preset = match cli.get_or("synth", "ml1m").to_lowercase().as_str() {
-        "ml1m" => SynthConfig::ml1m(),
-        "ml10m" => SynthConfig::ml10m(),
-        "ml20m" => SynthConfig::ml20m(),
-        "am" | "amazon" | "amazonmovies" => SynthConfig::amazon_movies(),
-        "dblp" => SynthConfig::dblp(),
-        "gowalla" | "gw" => SynthConfig::gowalla(),
-        other => return Err(format!("unknown --synth {other:?}")),
-    };
+    let preset = synth_preset(&cli.get_or("synth", "ml1m"))?;
     let scale: f64 = cli.parse_num("scale", 0.1)?;
     let seed: u64 = cli.parse_num("seed", 42)?;
     Ok(preset.scaled(scale).with_seed(seed).generate().prepare())
@@ -198,9 +261,21 @@ fn run() -> Result<(), String> {
                     other => return Err(format!("unknown --format {other:?} (dat|csv|edges)")),
                 };
                 let cfg = goldfinger::datasets::StreamConfig::default();
-                let (store, summary) =
-                    goldfinger::datasets::stream_fingerprint(path, format, &params, &cfg)
-                        .map_err(|e| format!("streaming {path}: {e}"))?;
+                let (store, summary) = match cli.get("spill") {
+                    // Arena rows land in a sealed on-disk store under DIR
+                    // instead of the heap (Linux mmap backend).
+                    Some(dir) => goldfinger::datasets::stream_fingerprint_spilled(
+                        path, format, &params, &cfg, dir,
+                    ),
+                    None => goldfinger::datasets::stream_fingerprint(path, format, &params, &cfg),
+                }
+                .map_err(|e| format!("streaming {path}: {e}"))?;
+                if let Some(dir) = cli.get("spill") {
+                    println!(
+                        "spilled arena: {dir}/arena.words ({})",
+                        store.backend_kind()
+                    );
+                }
                 println!(
                     "streamed {} ratings ({} positive) over {} users \
                      ({} kept) and {} items",
@@ -257,6 +332,81 @@ fn run() -> Result<(), String> {
                 println!("wrote {out}");
             }
         }
+        "build" => {
+            use goldfinger::datasets::StreamProfiles;
+            use goldfinger::knn::oocbuild::OocConfig;
+
+            let k: usize = cli.parse_num("k", 10)?;
+            let tables: usize = cli.parse_num("tables", 10)?;
+            let bits: u32 = cli.parse_num("bits", 256)?;
+            let seed: u64 = cli.parse_num("seed", 42)?;
+            let spill_dir = cli.get_or("spill", "gf-spill");
+
+            let mut cfg = OocConfig::new(k, tables, seed, spill_dir.as_str());
+            cfg.shards = cli.parse_num("shards", 0)?;
+            cfg.mem_budget = match cli.get("mem-budget") {
+                Some(v) => parse_bytes(v)?,
+                None => 0,
+            };
+            cfg.spill = !cli.has("no-spill");
+            cfg.max_bucket = cli.parse_num("max-bucket", 0)?;
+            cfg.compact_segments = cli.has("compact");
+            let params = ShfParams::new(bits, DynHasher::default());
+
+            // Profile source: a per-user-derivable synthetic stream (any
+            // size, no materialization) or an in-memory loaded dataset.
+            let (stats, stitched) = if cli.get("ratings").is_some() {
+                let data = load_dataset(&cli)?;
+                run_ooc(&cli, data.profiles(), &params, &cfg)?
+            } else {
+                let preset = synth_preset(&cli.get_or("synth", "ml1m"))?;
+                let scale: f64 = cli.parse_num("scale", 0.1)?;
+                let mut synth = preset.scaled(scale).with_seed(seed);
+                if let Some(users) = cli.get("users") {
+                    synth.n_users = users
+                        .parse()
+                        .map_err(|_| format!("--users: cannot parse {users:?}"))?;
+                }
+                let source = StreamProfiles::new(&synth);
+                println!(
+                    "streaming {} synthetic users ({}, ~{:.0} items/user)",
+                    synth.n_users, synth.name, synth.mean_profile
+                );
+                run_ooc(&cli, &source, &params, &cfg)?
+            };
+            println!(
+                "ooc build: {} users, {} shards, {} evals, backend {} \
+                 ({} spilled bytes)",
+                stats.n_users,
+                stats.shards,
+                stats.similarity_evals,
+                stats.backend,
+                stats.spilled_bytes
+            );
+            println!(
+                "  fingerprint {:?} · index {:?} · scan {:?} · stitch {:?} · total {:?}",
+                stats.fingerprint_wall,
+                stats.index_wall,
+                stats.scan_wall,
+                stats.stitch_wall,
+                stats.wall
+            );
+            if let Some(snap) = goldfinger::obs::mem::snapshot() {
+                println!(
+                    "  rss {} MiB · peak {} MiB{}",
+                    snap.rss_kb / 1024,
+                    snap.peak_kb / 1024,
+                    if cfg.mem_budget > 0 {
+                        format!(" · budget {} MiB", cfg.mem_budget >> 20)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            if let Some(out) = stitched {
+                println!("wrote {out}");
+            }
+        }
         "recommend" => {
             let data = load_dataset(&cli)?;
             let (result, _) = build_graph(&cli, &data)?;
@@ -281,21 +431,12 @@ fn run() -> Result<(), String> {
             if cli.get("ratings").is_some() {
                 return Err("generate only works with --synth datasets".into());
             }
-            let preset = cli.get_or("synth", "ml1m");
             let scale: f64 = cli.parse_num("scale", 0.1)?;
             let seed: u64 = cli.parse_num("seed", 42)?;
-            let raw = match preset.to_lowercase().as_str() {
-                "ml1m" => SynthConfig::ml1m(),
-                "ml10m" => SynthConfig::ml10m(),
-                "ml20m" => SynthConfig::ml20m(),
-                "am" | "amazon" | "amazonmovies" => SynthConfig::amazon_movies(),
-                "dblp" => SynthConfig::dblp(),
-                "gowalla" | "gw" => SynthConfig::gowalla(),
-                other => return Err(format!("unknown --synth {other:?}")),
-            }
-            .scaled(scale)
-            .with_seed(seed)
-            .generate();
+            let raw = synth_preset(&cli.get_or("synth", "ml1m"))?
+                .scaled(scale)
+                .with_seed(seed)
+                .generate();
             let out = cli
                 .get("out")
                 .ok_or_else(|| "generate requires --out FILE".to_string())?;

@@ -1,0 +1,73 @@
+//! Criterion sweep of the Cluster-and-Conquer builder (DESIGN.md §17):
+//! build time across the table count and the cluster-size cap — the two
+//! knobs trading evaluations for recall — with LSH at the paper's 10
+//! tables as the baseline on the same population and fingerprints.
+//!
+//! ```text
+//! cargo bench -p goldfinger-bench --bench cluster_sweep
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::shf::ShfParams;
+use goldfinger_core::similarity::ShfJaccard;
+use goldfinger_datasets::synth::SynthConfig;
+use goldfinger_knn::cluster::Cluster;
+use goldfinger_knn::lsh::Lsh;
+use std::hint::black_box;
+use std::time::Duration;
+
+const K: usize = 30;
+
+fn bench_tables(c: &mut Criterion) {
+    let data = SynthConfig::ml1m().scaled(0.02).generate().prepare();
+    let store = ShfParams::new(1024, DynHasher::new(HasherKind::Jenkins, 42))
+        .fingerprint_store(data.profiles());
+    let sim = ShfJaccard::new(&store);
+    let mut group = c.benchmark_group("cluster_sweep_tables");
+    group.measurement_time(Duration::from_secs(8));
+    for tables in [4usize, 8, 14, 20] {
+        let cluster = Cluster {
+            tables,
+            seed: 42,
+            ..Cluster::default()
+        };
+        group.bench_with_input(BenchmarkId::new("cluster", tables), &tables, |b, _| {
+            b.iter(|| black_box(cluster.build(data.profiles(), &sim, K)))
+        });
+    }
+    let lsh = Lsh {
+        tables: 10,
+        seed: 42,
+        threads: 1,
+    };
+    group.bench_function("lsh_baseline_t10", |b| {
+        b.iter(|| black_box(lsh.build(data.profiles(), &sim, K)))
+    });
+    group.finish();
+}
+
+fn bench_cap(c: &mut Criterion) {
+    let data = SynthConfig::ml1m().scaled(0.02).generate().prepare();
+    let store = ShfParams::new(1024, DynHasher::new(HasherKind::Jenkins, 42))
+        .fingerprint_store(data.profiles());
+    let sim = ShfJaccard::new(&store);
+    let mut group = c.benchmark_group("cluster_sweep_cap");
+    group.measurement_time(Duration::from_secs(8));
+    // 0 disables the cap: the Zipf-hot buckets it would have skipped are
+    // the gap between the last two entries.
+    for cap in [64usize, 128, 256, 512, 0] {
+        let cluster = Cluster {
+            max_cluster: cap,
+            seed: 42,
+            ..Cluster::default()
+        };
+        group.bench_with_input(BenchmarkId::new("cap", cap), &cap, |b, _| {
+            b.iter(|| black_box(cluster.build(data.profiles(), &sim, K)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_cap);
+criterion_main!(benches);

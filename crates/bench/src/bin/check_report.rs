@@ -17,10 +17,17 @@
 //! meant to catch builds whose working set stopped being bounded, not to
 //! fail on a few MiB of process noise.
 //!
+//! With `--recall-floor F` every run carrying a `"recall"` extra (the
+//! directed-edge recall against the exact graph, attached by
+//! `exp_table4`) must stay at or above the floor — the gate that keeps
+//! approximate builders from silently trading recall for speed.
+//!
 //! ```text
 //! cargo run --release -p goldfinger-bench --bin check_report -- results/fig12.json
 //! cargo run --release -p goldfinger-bench --bin check_report -- \
 //!     --mem-budget 512m results/scale.json
+//! cargo run --release -p goldfinger-bench --bin check_report -- \
+//!     --recall-floor 0.4 results/table4.json
 //! ```
 
 use goldfinger_bench::read_report;
@@ -72,10 +79,34 @@ fn check_mem_budget(
     Ok(checked)
 }
 
+/// Checks every run carrying a `"recall"` extra against the floor.
+fn check_recall_floor(set: &goldfinger_obs::ReportSet, floor: f64) -> Result<usize, String> {
+    let mut checked = 0usize;
+    for (i, run) in set.runs.iter().enumerate() {
+        let Some(recall) = run
+            .extra
+            .iter()
+            .find(|(k, _)| k == "recall")
+            .and_then(|(_, v)| v.as_f64())
+        else {
+            continue;
+        };
+        if recall < floor {
+            return Err(format!(
+                "run #{i} ({}/{}/{}): recall = {recall:.4} below the {floor} floor",
+                run.dataset, run.algo, run.provider,
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut budget: Option<u64> = None;
     let mut slack_pct: u64 = 25;
+    let mut recall_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -99,11 +130,24 @@ fn main() {
                     }
                 }
             }
+            "--recall-floor" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => recall_floor = Some(f),
+                    _ => {
+                        eprintln!("--recall-floor: cannot parse {v:?} (fraction in [0, 1])");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => paths.push(arg),
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: check_report [--mem-budget BYTES [--slack PCT]] FILE.json [FILE.json …]");
+        eprintln!(
+            "usage: check_report [--mem-budget BYTES [--slack PCT]] [--recall-floor F] \
+             FILE.json [FILE.json …]"
+        );
         std::process::exit(2);
     }
     let mut failed = false;
@@ -114,16 +158,24 @@ fn main() {
                 Some(b) => Some(check_mem_budget(&set, b, slack_pct)?),
                 None => None,
             };
-            Ok((set, mem_runs))
+            let recall_runs = match recall_floor {
+                Some(f) => Some(check_recall_floor(&set, f)?),
+                None => None,
+            };
+            Ok((set, mem_runs, recall_runs))
         });
         match checked {
-            Ok((set, mem_runs)) => println!(
+            Ok((set, mem_runs, recall_runs)) => println!(
                 "{path}: ok — experiment {:?}, {} run(s), traces consistent, \
-                 quantiles ordered, phases attributed, prep split present{}",
+                 quantiles ordered, phases attributed, prep split present{}{}",
                 set.experiment,
                 set.runs.len(),
                 match mem_runs {
                     Some(n) => format!(", {n} run(s) within the RSS budget"),
+                    None => String::new(),
+                },
+                match recall_runs {
+                    Some(n) => format!(", {n} run(s) above the recall floor"),
                     None => String::new(),
                 }
             ),

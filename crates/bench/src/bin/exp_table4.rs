@@ -16,8 +16,44 @@ use goldfinger_bench::{
     ExperimentConfig, ProviderKind, Table,
 };
 use goldfinger_core::similarity::ExplicitJaccard;
-use goldfinger_knn::metrics::quality;
+use goldfinger_knn::cluster::Cluster;
+use goldfinger_knn::metrics::{edge_recall, quality};
 use goldfinger_obs::{Json, ReportSet};
+
+/// The `"cluster"` RunReport extra: the cluster layout the registry's
+/// Cluster configuration induced on this dataset (count, cap casualties,
+/// log2 size histogram) plus the dedup rate — the fraction of in-cluster
+/// pair slots the first-shared-table rule collapsed. `distinct_pairs` is
+/// the run's `similarity_evals + pruned_evals`, which for the Cluster
+/// builder counts every distinct co-clustered pair exactly once.
+fn cluster_extra(stats: &goldfinger_knn::cluster::ClusterStats, distinct_pairs: u64) -> Json {
+    let dedup_rate = if stats.pair_slots > 0 {
+        1.0 - distinct_pairs as f64 / stats.pair_slots as f64
+    } else {
+        0.0
+    };
+    Json::Obj(vec![
+        ("tables".into(), Json::Num(stats.tables as f64)),
+        ("buckets".into(), Json::Num(stats.buckets as f64)),
+        ("clusters".into(), Json::Num(stats.clusters as f64)),
+        ("scannable".into(), Json::Num(stats.scannable as f64)),
+        ("capped".into(), Json::Num(stats.capped as f64)),
+        ("max_size".into(), Json::Num(stats.max_size as f64)),
+        ("mean_size".into(), Json::Num(stats.mean_size)),
+        ("pair_slots".into(), Json::Num(stats.pair_slots as f64)),
+        ("dedup_rate".into(), Json::Num(dedup_rate)),
+        (
+            "size_hist_log2".into(),
+            Json::Arr(
+                stats
+                    .size_hist
+                    .iter()
+                    .map(|&c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn main() {
     let args = Args::from_env();
@@ -75,8 +111,30 @@ fn main() {
 
             let q_nat = quality(&nat.result.graph, &exact.result.graph, &native_sim);
             let q_gf = quality(&gf.result.graph, &exact.result.graph, &native_sim);
-            for (mut report, q) in [(nat_report, q_nat), (gf_report, q_gf)] {
+            // Cluster layout extra: same assignment for both providers
+            // (blips read profiles, not fingerprints), so compute it once.
+            let layout = (kind == AlgoKind::Cluster).then(|| {
+                Cluster {
+                    seed: cfg.seed,
+                    threads: cfg.threads,
+                    ..Cluster::default()
+                }
+                .assign(data.profiles())
+                .stats()
+            });
+            for (mut report, q, out) in [(nat_report, q_nat, &nat), (gf_report, q_gf, &gf)] {
                 report.extra.push(("quality".to_string(), Json::Num(q)));
+                // Directed-edge recall against the exact graph: the
+                // `check_report --recall-floor` CI gate reads this.
+                let recall = edge_recall(&out.result.graph, &exact.result.graph);
+                report.extra.push(("recall".to_string(), Json::Num(recall)));
+                if let Some(stats) = &layout {
+                    let distinct =
+                        out.result.stats.similarity_evals + out.result.stats.pruned_evals;
+                    report
+                        .extra
+                        .push(("cluster".to_string(), cluster_extra(stats, distinct)));
+                }
                 set.runs.push(report);
             }
             // As in the paper, computation time starts once the dataset is

@@ -31,6 +31,10 @@ pub enum AlgoKind {
     /// Bipartite candidate generation (Boutet et al., ICDE 2016) — not in
     /// the paper's Table 4, available for extended comparisons.
     Kiff,
+    /// Cluster-and-Conquer (Giakkoupis et al.): blip-hashed cache-resident
+    /// cluster scans — not in the paper's Table 4, available for extended
+    /// comparisons.
+    Cluster,
 }
 
 impl AlgoKind {
@@ -44,14 +48,16 @@ impl AlgoKind {
         ]
     }
 
-    /// All five implemented algorithms (the paper's four plus KIFF).
-    pub fn all_extended() -> [AlgoKind; 5] {
+    /// All six implemented algorithms (the paper's four plus KIFF and
+    /// Cluster).
+    pub fn all_extended() -> [AlgoKind; 6] {
         [
             AlgoKind::BruteForce,
             AlgoKind::Hyrec,
             AlgoKind::NNDescent,
             AlgoKind::Lsh,
             AlgoKind::Kiff,
+            AlgoKind::Cluster,
         ]
     }
 
@@ -406,9 +412,20 @@ mod tests {
         // `spec()` indexes by discriminant, so the enum declaration order
         // must mirror the registry order.
         let names: Vec<&str> = AlgoKind::all_extended().iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["Brute Force", "Hyrec", "NNDescent", "LSH", "KIFF"]);
+        assert_eq!(
+            names,
+            [
+                "Brute Force",
+                "Hyrec",
+                "NNDescent",
+                "LSH",
+                "KIFF",
+                "Cluster"
+            ]
+        );
         assert!(AlgoKind::all().iter().all(|k| k.spec().in_paper));
         assert!(!AlgoKind::Kiff.spec().in_paper);
+        assert!(!AlgoKind::Cluster.spec().in_paper);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Two layers:
 //!
-//! - [`KnnBuilder`] is the statically-dispatched trait the five builders
+//! - [`KnnBuilder`] is the statically-dispatched trait the six builders
 //!   implement. It is generic over the [`Similarity`] provider and the
 //!   [`BuildObserver`] — exactly like the builders' inherent methods, which
 //!   remain in place (concrete call sites keep their signatures and their
@@ -22,6 +22,7 @@
 //! they are in.
 
 use crate::brute::BruteForce;
+use crate::cluster::Cluster;
 use crate::graph::KnnResult;
 use crate::hyrec::Hyrec;
 use crate::kiff::Kiff;
@@ -92,9 +93,9 @@ pub trait KnnBuilder: Sync {
     fn name(&self) -> &'static str;
 
     /// Whether this configuration yields bit-identical output on repeated
-    /// runs. Brute Force, LSH and KIFF are deterministic for any thread
-    /// count; the greedy refiners only with `threads <= 1` (parallel joins
-    /// make tie outcomes scheduler-dependent).
+    /// runs. Brute Force, LSH, KIFF and Cluster are deterministic for any
+    /// thread count; the greedy refiners only with `threads <= 1` (parallel
+    /// joins make tie outcomes scheduler-dependent).
     fn deterministic(&self) -> bool;
 
     /// Whether [`BuildInput::profiles`] must be present.
@@ -254,6 +255,32 @@ impl KnnBuilder for Lsh {
         obs: &O,
     ) -> KnnResult {
         Lsh::build_observed(self, input.profiles(), input.sim, k, obs)
+    }
+}
+
+impl KnnBuilder for Cluster {
+    fn name(&self) -> &'static str {
+        "Cluster"
+    }
+
+    // Clusters are scanned as atomic units with cluster-local prune state
+    // and merged deterministically, so any thread count is bit-identical —
+    // counters included.
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn needs_profiles(&self) -> bool {
+        true
+    }
+
+    fn build_observed<S: Similarity + ?Sized, O: BuildObserver>(
+        &self,
+        input: BuildInput<'_, S>,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
+        Cluster::build_observed(self, input.profiles(), input.sim, k, obs)
     }
 }
 

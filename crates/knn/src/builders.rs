@@ -11,6 +11,7 @@
 
 use crate::brute::BruteForce;
 use crate::builder::ErasedBuilder;
+use crate::cluster::Cluster;
 use crate::hyrec::Hyrec;
 use crate::kiff::Kiff;
 use crate::lsh::Lsh;
@@ -54,7 +55,7 @@ impl BuilderSpec {
     }
 }
 
-static REGISTRY: [BuilderSpec; 5] = [
+static REGISTRY: [BuilderSpec; 6] = [
     BuilderSpec {
         name: "Brute Force",
         in_paper: true,
@@ -111,6 +112,20 @@ static REGISTRY: [BuilderSpec; 5] = [
             })
         },
     },
+    BuilderSpec {
+        name: "Cluster",
+        in_paper: false,
+        // Everything but seed and threads comes from `Cluster::default()`,
+        // so harnesses (exp_table4's layout extra, the sweep bench) can
+        // reconstruct the registry configuration from the same source.
+        make: |cfg| {
+            Box::new(Cluster {
+                seed: cfg.seed,
+                threads: cfg.threads,
+                ..Cluster::default()
+            })
+        },
+    },
 ];
 
 /// Every registered builder, in the paper's table order (KIFF last).
@@ -121,23 +136,37 @@ pub fn all() -> &'static [BuilderSpec] {
 /// Looks a builder up by name, case-insensitively and ignoring spaces,
 /// dashes and underscores; `"brute"` is accepted as a shorthand for
 /// `"Brute Force"`.
-pub fn get(name: &str) -> Option<&'static BuilderSpec> {
+///
+/// An unknown name comes back as an error listing every registered
+/// spelling, so CLI typos are self-diagnosing instead of forcing a source
+/// dive.
+pub fn get(name: &str) -> Result<&'static BuilderSpec, String> {
     let needle: String = name
         .chars()
         .filter(|c| !matches!(c, ' ' | '-' | '_'))
         .flat_map(char::to_lowercase)
         .collect();
-    if needle.is_empty() {
-        return None;
-    }
-    REGISTRY.iter().find(|spec| {
-        let canon: String = spec
-            .name
-            .chars()
-            .filter(|c| *c != ' ')
-            .flat_map(char::to_lowercase)
-            .collect();
-        canon == needle || (needle == "brute" && spec.name == "Brute Force")
+    let found = if needle.is_empty() {
+        None
+    } else {
+        REGISTRY.iter().find(|spec| {
+            let canon: String = spec
+                .name
+                .chars()
+                .filter(|c| *c != ' ')
+                .flat_map(char::to_lowercase)
+                .collect();
+            canon == needle || (needle == "brute" && spec.name == "Brute Force")
+        })
+    };
+    found.ok_or_else(|| {
+        let names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
+        format!(
+            "unknown builder {name:?}; registered: {} \
+             (case, spaces, dashes and underscores are ignored; \
+             \"brute\" works for \"Brute Force\")",
+            names.join(", ")
+        )
     })
 }
 
@@ -157,20 +186,51 @@ mod tests {
             ("nn_descent", "NNDescent"),
             ("lsh", "LSH"),
             ("kiff", "KIFF"),
+            ("cluster", "Cluster"),
+            ("Cluster", "Cluster"),
         ] {
-            let spec = get(spelling).unwrap_or_else(|| panic!("{spelling} not found"));
+            let spec = get(spelling).unwrap_or_else(|e| panic!("{spelling}: {e}"));
             assert_eq!(spec.name, expected, "{spelling}");
         }
-        assert!(get("louvain").is_none());
-        assert!(get("").is_none());
+    }
+
+    #[test]
+    fn unknown_names_list_the_registered_spellings() {
+        for bogus in ["louvain", ""] {
+            let err = match get(bogus) {
+                Ok(spec) => panic!("{bogus:?} resolved to {}", spec.name),
+                Err(e) => e,
+            };
+            assert!(err.contains("unknown builder"), "{err}");
+            for name in [
+                "Brute Force",
+                "Hyrec",
+                "NNDescent",
+                "LSH",
+                "KIFF",
+                "Cluster",
+            ] {
+                assert!(err.contains(name), "{bogus:?}: error omits {name}: {err}");
+            }
+        }
     }
 
     #[test]
     fn registry_lists_the_paper_algorithms_first() {
         let names: Vec<&str> = all().iter().map(|s| s.name).collect();
-        assert_eq!(names, ["Brute Force", "Hyrec", "NNDescent", "LSH", "KIFF"]);
+        assert_eq!(
+            names,
+            [
+                "Brute Force",
+                "Hyrec",
+                "NNDescent",
+                "LSH",
+                "KIFF",
+                "Cluster"
+            ]
+        );
         assert!(all()[..4].iter().all(|s| s.in_paper));
-        assert!(!all()[4].in_paper);
+        assert!(all()[4..].iter().all(|s| !s.in_paper));
     }
 
     #[test]
@@ -186,7 +246,8 @@ mod tests {
             // are bit-identical for any thread count.
             let greedy = spec.name == "Hyrec" || spec.name == "NNDescent";
             assert_eq!(b.deterministic(), !greedy);
-            let wants_profiles = spec.name == "LSH" || spec.name == "KIFF";
+            let wants_profiles =
+                spec.name == "LSH" || spec.name == "KIFF" || spec.name == "Cluster";
             assert_eq!(b.needs_profiles(), wants_profiles);
         }
     }

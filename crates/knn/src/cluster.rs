@@ -1,0 +1,808 @@
+//! Cluster-and-Conquer KNN construction (Giakkoupis, Kermarrec & Ruas —
+//! see PAPERS.md): hash every user into `tables` independent clusters via a
+//! cheap fingerprint-derived key, brute-force each cluster while its rows
+//! are cache-resident, and deterministically merge the per-cluster top-k
+//! partials.
+//!
+//! The cluster key is *not* a full MinHash pass over the profile. Each user
+//! first folds its items into a tiny one-off **blip** — a few 64-bit words
+//! set by hashing every item exactly once, i.e. a miniature SHF — and each
+//! table then takes the min-wise smallest blip *bit* under a per-table
+//! bit-priority hash ([`crate::lsh::table_seed`] derives the seeds, exactly
+//! like LSH). Two users land in the same cluster of table `t` with
+//! probability equal to the Jaccard index of their blips, a noisy but
+//! monotone proxy of their profile similarity. The per-table cost is
+//! `O(popcount(blip))` — bounded by the blip width, independent of the
+//! profile size — where LSH pays a full `O(|profile|)` permutation scan per
+//! table and a hash-map insert per (user, table).
+//!
+//! Zipf-hot buckets are handled like `oocbuild::max_bucket`: a cluster
+//! larger than [`Cluster::max_cluster`] is skipped entirely (`0` disables
+//! the cap). Every surviving cluster is scanned with the same discipline as
+//! [`crate::brute::BruteForce`]: rows gathered through
+//! [`Similarity::similarity_batch`] (the SIMD gather kernels for
+//! fingerprint providers), each unordered pair visited **once globally** —
+//! a pair co-clustered in several tables is charged to the first table
+//! where it shares an uncapped cluster. By default every surviving pair
+//! scores straight into the worker's global top-k partials; the opt-in
+//! [`Cluster::prune`] path instead tracks per-cluster-local top-k
+//! thresholds and skips pairs whose
+//! [`Similarity::similarity_upper_bound`] cannot beat them. Local
+//! thresholds only ever under-estimate the merged ones, so pruning never
+//! changes the output; and because both paths depend only on the
+//! assignment and each cluster's own fixed scan order (never on which
+//! worker got which cluster), the graph *and* the eval counters are
+//! bit-identical for any thread count, kernel, and work-stealing
+//! schedule. DESIGN.md §17.
+
+use crate::graph::{BuildStats, CsrBuilder, KnnResult};
+use crate::lsh::table_seed;
+use goldfinger_core::hash::splitmix64_mix;
+use goldfinger_core::parallel::{par_fold_dynamic, par_map_indexed};
+use goldfinger_core::profile::ProfileStore;
+use goldfinger_core::similarity::Similarity;
+use goldfinger_core::topk::TopK;
+use goldfinger_obs::trace;
+use goldfinger_obs::{BuildObserver, IterationEvent, NoopObserver, Phase};
+use std::time::{Duration, Instant};
+
+/// Default blip width in 64-bit words: 16384 bucket slots per table — wide
+/// enough that paper-scale profiles (tens to a few hundred items) set
+/// nearly one bit per item, so the blip Jaccard tracks the profile Jaccard
+/// and per-table collision probabilities match LSH's, while the 2 KiB blip
+/// stays comfortably cache-resident (and, with the set bits collected
+/// once, the per-table argmin never rescans it).
+const DEFAULT_BLIP_WORDS: usize = 256;
+
+/// Key of a user with an empty profile: member of no cluster in any table.
+const NO_KEY: u32 = u32::MAX;
+
+/// Cluster-and-Conquer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    /// Number of independent clusterings (one bit-priority hash each).
+    pub tables: usize,
+    /// Blip width in 64-bit words (`0` = default of 256, i.e. 16384
+    /// cluster slots per table). Wider blips make smaller, purer clusters.
+    pub blip_words: usize,
+    /// Skip clusters larger than this many users (`0` = no cap), mirroring
+    /// `oocbuild`'s `max_bucket`: Zipf-hot buckets would otherwise devolve
+    /// into quadratic scans of near-random candidates.
+    pub max_cluster: usize,
+    /// Seed deriving the blip item hash and the per-table bit priorities.
+    pub seed: u64,
+    /// Worker threads for the per-cluster scans (`0` = default parallelism,
+    /// `1` = serial). Output and counters are bit-identical for any thread
+    /// count.
+    pub threads: usize,
+    /// Skip evaluations whose [`Similarity::similarity_upper_bound`] cannot
+    /// beat the pair's per-cluster-local top-k thresholds. Never changes
+    /// the output graph; skipped pairs land in [`BuildStats::pruned_evals`].
+    /// Off by default: at the paper's parameters clusters are smaller than
+    /// `k`, so the thresholds needed to prune never materialise and the
+    /// bookkeeping only slows the scan down (the fast path skips the
+    /// cluster-local heaps entirely).
+    pub prune: bool,
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Cluster {
+            tables: 14,
+            blip_words: 0,
+            max_cluster: 256,
+            seed: 0xC1A5,
+            threads: 1,
+            prune: false,
+        }
+    }
+}
+
+/// The cluster layout one [`Cluster`] configuration induces on a
+/// population: per-(table, bucket) membership lists in CSR form, plus the
+/// per-user keys the scan's cross-table dedup check reads. Exposed so
+/// harnesses can report layout statistics ([`ClusterAssignment::stats`])
+/// without re-running a build.
+#[derive(Debug)]
+pub struct ClusterAssignment {
+    tables: usize,
+    buckets: usize,
+    cap: usize,
+    /// `dedup[u * tables + t]`: user `u`'s bucket key in table `t`, with
+    /// empty-profile and capped-cluster slots replaced by a per-user
+    /// sentinel (high bit set, low bits the user id) that never equals
+    /// another user's entry. The first-shared-table check then reduces to a
+    /// word-equality scan of two contiguous rows — no size lookups, no
+    /// branching on the cap.
+    dedup: Vec<u32>,
+    /// Bucket membership, grouped by cluster (ascending user ids within
+    /// each), sliced by `clusters`.
+    members: Vec<u32>,
+    /// Every non-empty cluster as `(flat_bucket, start, len)` into
+    /// `members`, ascending by flat bucket `t * buckets + b`. Sparse on
+    /// purpose: wide blips make `tables * buckets` huge while only O(n ·
+    /// tables) slots are ever occupied.
+    clusters: Vec<(u32, u32, u32)>,
+    /// Indices into `clusters` of the ones the scan visits: at least two
+    /// members and within the cap.
+    scannable: Vec<u32>,
+}
+
+/// Summary of a [`ClusterAssignment`], the source of the `"cluster"` extra
+/// in JSON run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Independent clusterings.
+    pub tables: usize,
+    /// Bucket slots per table (blip bits).
+    pub buckets: usize,
+    /// Non-empty clusters across all tables.
+    pub clusters: usize,
+    /// Clusters the scan visits (≥ 2 members, within the cap).
+    pub scannable: usize,
+    /// Clusters skipped for exceeding the cap.
+    pub capped: usize,
+    /// Largest cluster (capped ones included).
+    pub max_size: usize,
+    /// Mean size over scannable clusters.
+    pub mean_size: f64,
+    /// Σ `size·(size−1)/2` over scannable clusters: every in-cluster pair
+    /// slot before cross-table dedup. Together with the build's
+    /// `similarity_evals + pruned_evals` (the *distinct* co-clustered
+    /// pairs) this yields the dedup rate.
+    pub pair_slots: u64,
+    /// `size_hist[i]`: non-empty clusters with `floor(log2(size)) == i`.
+    pub size_hist: Vec<u64>,
+}
+
+impl ClusterAssignment {
+    /// Layout statistics (cluster counts, size histogram, pair slots).
+    pub fn stats(&self) -> ClusterStats {
+        let mut stats = ClusterStats {
+            tables: self.tables,
+            buckets: self.buckets,
+            clusters: 0,
+            scannable: 0,
+            capped: 0,
+            max_size: 0,
+            mean_size: 0.0,
+            pair_slots: 0,
+            size_hist: Vec::new(),
+        };
+        let mut scanned_members = 0usize;
+        for &(_, _, size) in &self.clusters {
+            let size = size as usize;
+            stats.clusters += 1;
+            stats.max_size = stats.max_size.max(size);
+            let log2 = usize::BITS as usize - 1 - size.leading_zeros() as usize;
+            if stats.size_hist.len() <= log2 {
+                stats.size_hist.resize(log2 + 1, 0);
+            }
+            stats.size_hist[log2] += 1;
+            if self.cap != 0 && size > self.cap {
+                stats.capped += 1;
+            } else if size >= 2 {
+                stats.scannable += 1;
+                scanned_members += size;
+                stats.pair_slots += (size as u64) * (size as u64 - 1) / 2;
+            }
+        }
+        if stats.scannable > 0 {
+            stats.mean_size = scanned_members as f64 / stats.scannable as f64;
+        }
+        stats
+    }
+
+    /// Whether the unordered pair `(u, v)` shares an uncapped cluster in a
+    /// table before `t` — in which case the scan of table `t` must not
+    /// visit it again. Deciding by the *first* shared table makes the
+    /// visited-pair set a function of the assignment alone, independent of
+    /// cluster scheduling.
+    #[inline]
+    fn seen_before_table(&self, u: u32, v: u32, t: usize) -> bool {
+        let du = &self.dedup[u as usize * self.tables..][..t];
+        let dv = &self.dedup[v as usize * self.tables..][..t];
+        du.iter().zip(dv).any(|(a, b)| a == b)
+    }
+}
+
+impl Cluster {
+    /// Blip width in words after applying the default.
+    #[inline]
+    fn words(&self) -> usize {
+        if self.blip_words == 0 {
+            DEFAULT_BLIP_WORDS
+        } else {
+            self.blip_words
+        }
+    }
+
+    /// Assigns every user to its per-table clusters: one blip per user
+    /// (each item hashed exactly once), one min-wise bit key per table,
+    /// counting-sort into CSR membership lists.
+    ///
+    /// # Panics
+    /// Panics if `tables == 0`.
+    pub fn assign(&self, profiles: &ProfileStore) -> ClusterAssignment {
+        assert!(self.tables > 0, "need at least one table");
+        let n = profiles.n_users();
+        let tables = self.tables;
+        let words = self.words();
+        let buckets = words * 64;
+        let blip_seed = splitmix64_mix(self.seed ^ 0xB11F);
+        let seeds: Vec<u64> = (0..tables).map(|t| table_seed(self.seed, t)).collect();
+
+        // Per-user key rows, parallel and order-preserving (so the result
+        // is thread-count invariant and clamping to the hardware is
+        // observation-free). The blip is rebuilt per user on the closure's
+        // stack; its set bits are then collected once, so the per-table
+        // argmin costs O(popcount) instead of rescanning every word per
+        // table.
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let workers = goldfinger_core::parallel::effective_threads(self.threads).min(hw);
+        let key_rows: Vec<Vec<u32>> = par_map_indexed(n, workers, |u| {
+            let mut blip = vec![0u64; words];
+            for &item in profiles.items(u as u32) {
+                let h = splitmix64_mix(item as u64 ^ blip_seed);
+                let b = (h % buckets as u64) as usize;
+                blip[b >> 6] |= 1u64 << (b & 63);
+            }
+            let mut set_bits: Vec<u32> = Vec::new();
+            for (w, &word) in blip.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    set_bits.push((w * 64) as u32 + bits.trailing_zeros());
+                    bits &= bits - 1;
+                }
+            }
+            seeds
+                .iter()
+                .map(|&ts| {
+                    let mut best = u64::MAX;
+                    let mut key = NO_KEY;
+                    for &b in &set_bits {
+                        // splitmix64_mix is a bijection, so ranks are
+                        // distinct and the argmin is unique.
+                        let rank = splitmix64_mix(b as u64 ^ ts);
+                        if rank < best {
+                            best = rank;
+                            key = b;
+                        }
+                    }
+                    key
+                })
+                .collect()
+        });
+        // Sparse CSR build: wide blips make `tables * buckets` far larger
+        // than the O(n · tables) occupied slots, so a dense counting sort
+        // would spend more time zeroing size/offset arrays than clustering.
+        // Sorting the (flat bucket, user) pairs instead groups each cluster
+        // contiguously with ascending user ids, at a cost that depends only
+        // on the population.
+        let mut entries: Vec<u64> = Vec::with_capacity(n * tables);
+        for (u, row) in key_rows.iter().enumerate() {
+            for (t, &k) in row.iter().enumerate() {
+                if k != NO_KEY {
+                    let fb = (t * buckets + k as usize) as u64;
+                    entries.push(fb << 32 | u as u64);
+                }
+            }
+        }
+        // All pairs are distinct, so the unstable sort is deterministic.
+        entries.sort_unstable();
+
+        let cap = self.max_cluster;
+        let mut members = Vec::with_capacity(entries.len());
+        let mut clusters: Vec<(u32, u32, u32)> = Vec::new();
+        let mut scannable: Vec<u32> = Vec::new();
+        // Dedup view of the keys: a slot that can never host a shared scan
+        // (empty profile, capped cluster) becomes a per-user sentinel, so
+        // the hot first-shared-table check is a branch-free equality scan.
+        // Real keys are bucket indices (< 2^31), sentinels have the high
+        // bit set — the two ranges cannot collide.
+        let mut dedup: Vec<u32> = (0..n)
+            .flat_map(|u| std::iter::repeat_n(0x8000_0000 | u as u32, tables))
+            .collect();
+        let mut i = 0;
+        while i < entries.len() {
+            let fb = entries[i] >> 32;
+            let mut j = i + 1;
+            while j < entries.len() && entries[j] >> 32 == fb {
+                j += 1;
+            }
+            let (start, len) = (members.len() as u32, (j - i) as u32);
+            for &e in &entries[i..j] {
+                members.push(e as u32);
+            }
+            let hot = cap != 0 && len as usize > cap;
+            if !hot {
+                let (t, key) = ((fb as usize) / buckets, (fb as usize % buckets) as u32);
+                for &e in &entries[i..j] {
+                    dedup[e as u32 as usize * tables + t] = key;
+                }
+                if len >= 2 {
+                    scannable.push(clusters.len() as u32);
+                }
+            }
+            clusters.push((fb as u32, start, len));
+            i = j;
+        }
+
+        ClusterAssignment {
+            tables,
+            buckets,
+            cap,
+            dedup,
+            members,
+            clusters,
+            scannable,
+        }
+    }
+
+    /// Builds an approximate KNN graph.
+    ///
+    /// `profiles` supplies the item sets the blips are derived from; `sim`
+    /// scores the in-cluster candidates (explicit provider = native run,
+    /// SHF provider = GoldFinger run).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `tables == 0`, or the provider's population
+    /// differs from the profile store's.
+    pub fn build<S: Similarity + ?Sized>(
+        &self,
+        profiles: &ProfileStore,
+        sim: &S,
+        k: usize,
+    ) -> KnnResult {
+        self.build_observed(profiles, sim, k, &NoopObserver)
+    }
+
+    /// Builds the graph, reporting progress to `obs`: one span for blip and
+    /// cluster assembly ([`Phase::CandidateGeneration`]), one for the
+    /// per-cluster scans ([`Phase::Join`]), one for the deterministic
+    /// reduction ([`Phase::Merge`]), and a single [`IterationEvent`] with
+    /// the final counters. Observation never changes the output; with the
+    /// default [`NoopObserver`] the hooks compile to nothing.
+    ///
+    /// # Panics
+    /// Same contract as [`Cluster::build`].
+    pub fn build_observed<S: Similarity + ?Sized, O: BuildObserver>(
+        &self,
+        profiles: &ProfileStore,
+        sim: &S,
+        k: usize,
+        obs: &O,
+    ) -> KnnResult {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(
+            profiles.n_users(),
+            sim.n_users(),
+            "profile store and similarity provider disagree on population"
+        );
+        let n = profiles.n_users();
+        let start = Instant::now();
+
+        let assign_start = O::ENABLED.then(Instant::now);
+        let assign_trace = trace::span("phase", "candidate_generation");
+        let assignment = self.assign(profiles);
+        drop(assign_trace);
+        if let Some(t) = assign_start {
+            obs.on_span(Phase::CandidateGeneration, t.elapsed());
+        }
+
+        // One worker's private fold state: global top-k partials over every
+        // user (merged deterministically afterwards, BruteForce-style),
+        // per-cluster-local partials for the prune thresholds, and the
+        // batched-scoring buffers. No locks on the hot path.
+        struct ScanState {
+            tops: Vec<TopK>,
+            local: Vec<TopK>,
+            ids: Vec<u32>,
+            pos: Vec<u32>,
+            sims: Vec<f64>,
+            evals: u64,
+            pruned: u64,
+        }
+        let prune = self.prune;
+        let asg = &assignment;
+        // The output is worker-count invariant, so workers beyond the
+        // hardware parallelism buy nothing — each one would only add an
+        // n-sized top-k fold state to thrash the cache during the scan and
+        // lengthen the merge. Clamp the requested count to the hardware.
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let workers = goldfinger_core::parallel::effective_threads(self.threads).min(hw);
+        let scan_start = O::ENABLED.then(Instant::now);
+        let scan_trace = trace::span_arg("phase", "join", asg.scannable.len() as u64);
+        let mut states = par_fold_dynamic(
+            asg.scannable.len(),
+            workers,
+            1,
+            |_| ScanState {
+                tops: (0..n).map(|_| TopK::new(k)).collect(),
+                local: Vec::new(),
+                ids: Vec::new(),
+                pos: Vec::new(),
+                sims: Vec::new(),
+                evals: 0,
+                pruned: 0,
+            },
+            |state, c| {
+                let (fb, start, len) = asg.clusters[asg.scannable[c] as usize];
+                let t = fb as usize / asg.buckets;
+                let m = &asg.members[start as usize..(start + len) as usize];
+                if !prune {
+                    // Fast path: no thresholds to track, so every surviving
+                    // pair scores straight into the worker's global
+                    // partials. The visited-pair set is fixed by the
+                    // assignment alone (dedup is a pure key lookup) and the
+                    // top-k kept set is insertion-order independent, so this
+                    // stays bit-identical for any schedule while skipping
+                    // the per-cluster heap churn: clusters are usually
+                    // smaller than k, so cluster-local heaps accept every
+                    // single offer and then replay them all into the global
+                    // partials — twice the heap work for nothing.
+                    for i in 0..m.len() {
+                        let u = m[i];
+                        state.ids.clear();
+                        for &v in &m[i + 1..] {
+                            if !asg.seen_before_table(u, v, t) {
+                                state.ids.push(v);
+                            }
+                        }
+                        if state.ids.is_empty() {
+                            continue;
+                        }
+                        state.evals += state.ids.len() as u64;
+                        if state.ids.len() <= 2 {
+                            // Sparse populations leave most rows with one
+                            // or two survivors; the per-pair entry point
+                            // computes bit-identical values without the
+                            // gather-batch setup.
+                            for &v in &state.ids {
+                                let s = sim.similarity(u, v);
+                                state.tops[u as usize].offer(s, v);
+                                state.tops[v as usize].offer(s, u);
+                            }
+                            continue;
+                        }
+                        state.sims.clear();
+                        state.sims.resize(state.ids.len(), 0.0);
+                        sim.similarity_batch(u, &state.ids, &mut state.sims);
+                        for (&v, &s) in state.ids.iter().zip(&state.sims) {
+                            state.tops[u as usize].offer(s, v);
+                            state.tops[v as usize].offer(s, u);
+                        }
+                    }
+                    return;
+                }
+                while state.local.len() < m.len() {
+                    state.local.push(TopK::new(k));
+                }
+                for top in &mut state.local[..m.len()] {
+                    top.clear();
+                }
+                for i in 0..m.len() {
+                    let u = m[i];
+                    // Decide the whole row first — dedup against earlier
+                    // tables, then the upper bound against the thresholds
+                    // as of the row start — so the survivors score through
+                    // one gather-kernel batch. Freezing the thresholds for
+                    // the row keeps decisions a pure function of the
+                    // cluster's scan order (thread- and
+                    // schedule-independent) and only ever under-prunes.
+                    state.ids.clear();
+                    state.pos.clear();
+                    let ti = state.local[i].threshold();
+                    for (j, &v) in m.iter().enumerate().skip(i + 1) {
+                        if asg.seen_before_table(u, v, t) {
+                            continue;
+                        }
+                        if let (Some(tu), Some(tv)) = (ti, state.local[j].threshold()) {
+                            if sim
+                                .similarity_upper_bound(u, v)
+                                .is_some_and(|b| b < tu && b < tv)
+                            {
+                                state.pruned += 1;
+                                continue;
+                            }
+                        }
+                        state.ids.push(v);
+                        state.pos.push(j as u32);
+                    }
+                    if state.ids.is_empty() {
+                        continue;
+                    }
+                    state.sims.clear();
+                    state.sims.resize(state.ids.len(), 0.0);
+                    sim.similarity_batch(u, &state.ids, &mut state.sims);
+                    state.evals += state.ids.len() as u64;
+                    for ((&v, &j), &s) in state.ids.iter().zip(&state.pos).zip(&state.sims) {
+                        state.local[i].offer(s, v);
+                        state.local[j as usize].offer(s, u);
+                    }
+                }
+                for (i, &u) in m.iter().enumerate() {
+                    for e in state.local[i].entries() {
+                        state.tops[u as usize].offer(e.sim, e.user);
+                    }
+                }
+            },
+        );
+        drop(scan_trace);
+        if let Some(t) = scan_start {
+            obs.on_span(Phase::Join, t.elapsed());
+        }
+
+        // Deterministic reduction in slot order: each distinct pair was
+        // scanned by exactly one worker (clusters are atomic units and the
+        // first-shared-table rule dedups across tables), so folding the
+        // insertion-order-independent partials yields the exact top-k of
+        // all offered pairs, bit-identical for any schedule.
+        let merge_start = O::ENABLED.then(Instant::now);
+        let merge_trace = trace::span("phase", "merge");
+        let mut merged = states.remove(0);
+        for state in states {
+            merged.evals += state.evals;
+            merged.pruned += state.pruned;
+            for (top, part) in merged.tops.iter_mut().zip(&state.tops) {
+                for e in part.entries() {
+                    top.offer(e.sim, e.user);
+                }
+            }
+        }
+        // Drain each selector straight into the CSR arena: sort in place,
+        // no per-user intermediate list.
+        let mut csr = CsrBuilder::with_capacity(k, n);
+        for top in &mut merged.tops {
+            csr.push_sorted(top.sorted_entries());
+        }
+        let graph = csr.finish();
+        drop(merge_trace);
+        let wall = start.elapsed();
+        if O::ENABLED {
+            if let Some(t) = merge_start {
+                obs.on_span(Phase::Merge, t.elapsed());
+            }
+            obs.on_iteration(IterationEvent {
+                iteration: 1,
+                similarity_evals: merged.evals,
+                pruned_evals: merged.pruned,
+                updates: 0,
+                threshold: 0.0,
+                wall,
+            });
+        }
+        KnnResult {
+            graph,
+            stats: BuildStats {
+                similarity_evals: merged.evals,
+                pruned_evals: merged.pruned,
+                iterations: 1,
+                wall,
+                prep_wall: Duration::ZERO,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfinger_core::similarity::ExplicitJaccard;
+
+    fn clustered() -> ProfileStore {
+        let mut lists = Vec::new();
+        for u in 0..10u32 {
+            let mut items: Vec<u32> = (0..25).collect();
+            items.push(200 + u);
+            lists.push(items);
+        }
+        for u in 0..10u32 {
+            let mut items: Vec<u32> = (100..125).collect();
+            items.push(300 + u);
+            lists.push(items);
+        }
+        ProfileStore::from_item_lists(lists)
+    }
+
+    /// Naive reference for the visited-pair set: distinct unordered pairs
+    /// sharing at least one uncapped cluster.
+    fn distinct_coclustered_pairs(c: &Cluster, profiles: &ProfileStore) -> u64 {
+        let asg = c.assign(profiles);
+        let n = profiles.n_users();
+        let mut count = 0u64;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if asg.seen_before_table(u, v, asg.tables) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn same_cluster_users_find_each_other() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Cluster::default().build(&profiles, &sim, 5);
+        let mut found = 0usize;
+        let mut total = 0usize;
+        for u in 0..20u32 {
+            for s in result.graph.neighbors(u) {
+                total += 1;
+                if (s.user < 10) == (u < 10) {
+                    found += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert_eq!(found, total, "cross-cluster neighbours found");
+    }
+
+    #[test]
+    fn empty_profiles_get_no_neighbors_but_keep_slots() {
+        let profiles =
+            ProfileStore::from_item_lists(vec![(0..30).collect(), (0..30).collect(), vec![]]);
+        let sim = ExplicitJaccard::new(&profiles);
+        let result = Cluster::default().build(&profiles, &sim, 2);
+        assert_eq!(result.graph.n_users(), 3);
+        assert!(result.graph.neighbors(2).is_empty());
+        assert_eq!(result.graph.neighbors(0)[0].user, 1);
+    }
+
+    #[test]
+    fn pair_accounting_matches_the_assignment() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        for cap in [0usize, 8] {
+            let c = Cluster {
+                max_cluster: cap,
+                ..Cluster::default()
+            };
+            let r = c.build(&profiles, &sim, 5);
+            let distinct = distinct_coclustered_pairs(&c, &profiles);
+            assert_eq!(
+                r.stats.similarity_evals + r.stats.pruned_evals,
+                distinct,
+                "cap={cap}: evals+pruned must equal the distinct co-clustered pairs"
+            );
+            let stats = c.assign(&profiles).stats();
+            assert!(
+                distinct <= stats.pair_slots,
+                "cap={cap}: dedup can only shrink the pair count"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let serial = Cluster::default().build(&profiles, &sim, 5);
+        for threads in [2usize, 3, 8] {
+            let par = Cluster {
+                threads,
+                ..Cluster::default()
+            }
+            .build(&profiles, &sim, 5);
+            assert_eq!(par.stats.similarity_evals, serial.stats.similarity_evals);
+            assert_eq!(par.stats.pruned_evals, serial.stats.pruned_evals);
+            for u in 0..20u32 {
+                assert_eq!(
+                    par.graph.neighbors(u),
+                    serial.graph.neighbors(u),
+                    "threads={threads} u={u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_changes_the_graph() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let unpruned = Cluster {
+            prune: false,
+            ..Cluster::default()
+        }
+        .build(&profiles, &sim, 3);
+        for threads in [1usize, 4] {
+            let pruned = Cluster {
+                threads,
+                ..Cluster::default()
+            }
+            .build(&profiles, &sim, 3);
+            assert_eq!(
+                unpruned.stats.similarity_evals,
+                pruned.stats.similarity_evals + pruned.stats.pruned_evals,
+                "pair accounting"
+            );
+            for u in 0..20u32 {
+                assert_eq!(
+                    unpruned.graph.neighbors(u),
+                    pruned.graph.neighbors(u),
+                    "threads={threads} u={u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_clusters_are_skipped_entirely() {
+        // Twenty clones share every cluster in every table; a cap below the
+        // clone count leaves them neighbourless while the pair below stays.
+        let mut lists: Vec<Vec<u32>> = (0..20).map(|_| (0..30).collect()).collect();
+        lists.push((500..540).collect());
+        lists.push((500..540).collect());
+        let profiles = ProfileStore::from_item_lists(lists);
+        let sim = ExplicitJaccard::new(&profiles);
+        let capped = Cluster {
+            max_cluster: 10,
+            ..Cluster::default()
+        }
+        .build(&profiles, &sim, 3);
+        for u in 0..20u32 {
+            assert!(
+                capped.graph.neighbors(u).is_empty(),
+                "user {u} sits only in over-cap clusters"
+            );
+        }
+        assert_eq!(capped.graph.neighbors(20)[0].user, 21);
+        let stats = Cluster {
+            max_cluster: 10,
+            ..Cluster::default()
+        }
+        .assign(&profiles)
+        .stats();
+        assert!(stats.capped > 0, "cap must have fired: {stats:?}");
+    }
+
+    #[test]
+    fn layout_stats_add_up() {
+        let profiles = clustered();
+        let c = Cluster::default();
+        let stats = c.assign(&profiles).stats();
+        assert_eq!(stats.tables, Cluster::default().tables);
+        assert_eq!(stats.buckets, DEFAULT_BLIP_WORDS * 64);
+        assert!(stats.clusters > 0);
+        assert_eq!(stats.size_hist.iter().sum::<u64>(), stats.clusters as u64);
+        assert!(stats.max_size <= 20);
+        assert!(stats.pair_slots > 0);
+        assert_eq!(stats.capped, 0);
+    }
+
+    #[test]
+    fn more_tables_find_no_fewer_pairs() {
+        let profiles = clustered();
+        let small = Cluster {
+            tables: 1,
+            ..Cluster::default()
+        };
+        let large = Cluster {
+            tables: 12,
+            ..Cluster::default()
+        };
+        assert!(
+            distinct_coclustered_pairs(&large, &profiles)
+                >= distinct_coclustered_pairs(&small, &profiles)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn population_mismatch_panics() {
+        let profiles = clustered();
+        let other = ProfileStore::from_item_lists(vec![vec![1]]);
+        let sim = ExplicitJaccard::new(&other);
+        let _ = Cluster::default().build(&profiles, &sim, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let profiles = clustered();
+        let sim = ExplicitJaccard::new(&profiles);
+        let _ = Cluster::default().build(&profiles, &sim, 0);
+    }
+}

@@ -177,6 +177,15 @@ impl CsrBuilder {
         self.offsets.push(self.edges.len() as u64);
     }
 
+    /// Appends the next user's neighbour list from an iterator that is
+    /// already in decreasing-similarity order — the allocation-free
+    /// counterpart of [`CsrBuilder::push_list`] for callers draining
+    /// selectors (`TopK::sorted_entries`) straight into the edge arena.
+    pub fn push_sorted(&mut self, list: impl Iterator<Item = Scored>) {
+        self.edges.extend(list);
+        self.offsets.push(self.edges.len() as u64);
+    }
+
     /// Seals the builder into a [`KnnGraph`].
     pub fn finish(self) -> KnnGraph {
         let CsrBuilder { k, offsets, edges } = self;

@@ -14,8 +14,9 @@
 //! | Hyrec | [`hyrec`] | greedy neighbours-of-neighbours |
 //! | LSH | [`lsh`] | MinHash bucketing, in-bucket scans |
 //! | KIFF | [`kiff`] | inverted-index co-rating candidates |
+//! | Cluster | [`cluster`] | blip-hashed cache-resident cluster scans |
 //!
-//! All five implement the [`KnnBuilder`] trait ([`builder`]); harnesses
+//! All six implement the [`KnnBuilder`] trait ([`builder`]); harnesses
 //! enumerate them through the [`builders`] registry instead of naming
 //! concrete types, and the greedy refiners share the iterative scaffolding
 //! of [`engine::RefineEngine`].
@@ -43,6 +44,7 @@ pub mod analysis;
 pub mod brute;
 pub mod builder;
 pub mod builders;
+pub mod cluster;
 pub mod csr;
 pub mod dynamic;
 pub mod engine;
@@ -65,6 +67,7 @@ pub use analysis::{degree_stats, edge_overlap, in_degrees, reverse_graph, Degree
 // `BuildObserver` (re-exported from `goldfinger-obs` for convenience).
 pub use brute::BruteForce;
 pub use builder::{BuildInput, ErasedBuilder, KnnBuilder};
+pub use cluster::{Cluster, ClusterAssignment, ClusterStats};
 pub use csr::CompactGraph;
 pub use dynamic::DynamicKnn;
 pub use engine::{JoinStrategy, RefineEngine};

@@ -24,6 +24,7 @@ use goldfinger_core::profile::ProfileStore;
 use goldfinger_core::shf::ShfParams;
 use goldfinger_core::similarity::{ExplicitJaccard, ShfJaccard, Similarity};
 use goldfinger_knn::brute::BruteForce;
+use goldfinger_knn::cluster::Cluster;
 use goldfinger_knn::graph::KnnResult;
 use goldfinger_knn::hyrec::Hyrec;
 use goldfinger_knn::kiff::Kiff;
@@ -152,6 +153,23 @@ fn run_all<S: Similarity>(profiles: &ProfileStore, sim: &S, tag: &'static str) -
         candidate_factor: 2,
         max_item_degree: Some(200),
     };
+    // Cluster is bit-identical for any thread count by construction, and
+    // the pruned variant must match the fast path exactly (pruning only
+    // skips evaluations that cannot enter the top-k).
+    let cluster1 = Cluster {
+        seed: 42,
+        threads: 1,
+        ..Cluster::default()
+    };
+    let cluster4 = Cluster {
+        seed: 42,
+        threads: 4,
+        ..Cluster::default()
+    };
+    let cluster_pruned = Cluster {
+        prune: true,
+        ..cluster1
+    };
 
     // Truncated runs freeze the refinement mid-trajectory: unlike the
     // converged graphs (which several algorithms agree on), these digests
@@ -177,6 +195,9 @@ fn run_all<S: Similarity>(profiles: &ProfileStore, sim: &S, tag: &'static str) -
         ("lsh/t4", lsh4.build(profiles, sim, K)),
         ("kiff", kiff.build(profiles, sim, K)),
         ("kiff/capped", kiff_capped.build(profiles, sim, K)),
+        ("cluster/t1", cluster1.build(profiles, sim, K)),
+        ("cluster/t4", cluster4.build(profiles, sim, K)),
+        ("cluster/prune", cluster_pruned.build(profiles, sim, K)),
     ];
     let _ = tag;
     cases.iter().map(|(c, r)| golden(c, r)).collect()
@@ -218,6 +239,12 @@ const GOLDEN_NATIVE: &[(&str, u64, u64, u64, u32)] = &[
     ("lsh/t4", 0xbf32c6e50d5952b8, 11458, 0, 1),
     ("kiff", 0xa278dfda9aef5e00, 8396, 0, 1),
     ("kiff/capped", 0x99ee006d80126df9, 4200, 0, 1),
+    // The clustered scan recovers the exact brute-force graph here (same
+    // digest) from ~6× fewer evaluations: the synthetic taste clusters are
+    // exactly what the blip keys recover.
+    ("cluster/t1", 0xa278dfda9aef5e00, 7311, 0, 1),
+    ("cluster/t4", 0xa278dfda9aef5e00, 7311, 0, 1),
+    ("cluster/prune", 0xa278dfda9aef5e00, 7311, 0, 1),
 ];
 
 /// Pinned pre-refactor outputs, GoldFinger provider (256-bit SHF).
@@ -233,6 +260,9 @@ const GOLDEN_SHF256: &[(&str, u64, u64, u64, u32)] = &[
     ("lsh/t4", 0xbfd9cfe1e3507ec4, 11458, 0, 1),
     ("kiff", 0xaa150c85a851a1f1, 8396, 0, 1),
     ("kiff/capped", 0x08ca07912666121e, 4200, 0, 1),
+    ("cluster/t1", 0x32054bdbe6f79ac8, 7311, 0, 1),
+    ("cluster/t4", 0x32054bdbe6f79ac8, 7311, 0, 1),
+    ("cluster/prune", 0x32054bdbe6f79ac8, 7311, 0, 1),
 ];
 
 #[test]

@@ -1,9 +1,13 @@
 //! Property-based tests: structural invariants every KNN builder must
 //! uphold, on arbitrary profile sets.
 
+use goldfinger_core::hash::{DynHasher, HasherKind};
+use goldfinger_core::kernels::{self, SimKernel};
 use goldfinger_core::profile::ProfileStore;
+use goldfinger_core::shf::{jaccard_from_counts, ShfParams, ShfStore};
 use goldfinger_core::similarity::{ExplicitJaccard, Similarity};
 use goldfinger_knn::brute::BruteForce;
+use goldfinger_knn::cluster::Cluster;
 use goldfinger_knn::graph::KnnGraph;
 use goldfinger_knn::hyrec::Hyrec;
 use goldfinger_knn::lsh::Lsh;
@@ -143,6 +147,107 @@ proptest! {
         let b = NNDescent { seed, ..NNDescent::default() }.build(&sim, 3).graph;
         for u in 0..a.n_users() as u32 {
             prop_assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+}
+
+/// An [`ShfJaccard`](goldfinger_core::similarity::ShfJaccard) twin pinned
+/// to one explicit kernel variant instead of the `GF_KERNEL`-selected
+/// [`kernels::active`] — so one test process can sweep every variant the
+/// host supports and prove the clustered build bit-identical across them.
+/// One run's comparable outcome: the full `(u, v, sim-bits)` edge stream
+/// plus the distinct co-clustered pair count.
+type ClusterOutcome = (Vec<(u32, u32, u64)>, u64);
+
+struct PinnedKernelJaccard<'a> {
+    store: &'a ShfStore,
+    kernel: &'static SimKernel,
+}
+
+impl Similarity for PinnedKernelJaccard<'_> {
+    fn n_users(&self) -> usize {
+        self.store.len()
+    }
+
+    fn similarity(&self, u: u32, v: u32) -> f64 {
+        let inter = (self.kernel.and_count)(
+            self.store.fingerprint_words(u),
+            self.store.fingerprint_words(v),
+        );
+        jaccard_from_counts(inter, self.store.cardinality(u), self.store.cardinality(v))
+    }
+
+    fn bytes_per_eval(&self, _u: u32, _v: u32) -> u64 {
+        (self.store.words_per_fingerprint() * 2 * 8) as u64
+    }
+
+    // Same bound as the production provider: cardinalities alone.
+    fn similarity_upper_bound(&self, u: u32, v: u32) -> Option<f64> {
+        let (a, b) = (self.store.cardinality(u), self.store.cardinality(v));
+        let (mn, mx) = (a.min(b), a.max(b));
+        Some(if mx == 0 { 0.0 } else { mn as f64 / mx as f64 })
+    }
+
+    fn similarity_batch(&self, u: u32, vs: &[u32], out: &mut [f64]) {
+        let mut counts = vec![0u32; vs.len()];
+        (self.kernel.and_counts_gather)(
+            self.store.fingerprint_words(u),
+            self.store.arena_words(),
+            self.store.row_words(),
+            vs,
+            &mut counts,
+        );
+        let cu = self.store.cardinality(u);
+        for ((&v, &c), o) in vs.iter().zip(&counts).zip(out.iter_mut()) {
+            *o = jaccard_from_counts(c, cu, self.store.cardinality(v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The clustered build's pinned invariant: for a fixed seed the graph
+    /// *and* the distinct co-clustered pair count are bit-identical across
+    /// worker counts, kernel variants, and the prune flag (pruning only
+    /// skips evaluations that could never enter the top-k, moving them
+    /// from `similarity_evals` to `pruned_evals`).
+    #[test]
+    fn cluster_is_bit_identical_across_threads_kernels_and_prune(
+        lists in population(),
+        k in 1usize..8,
+    ) {
+        let n = lists.len();
+        let profiles = ProfileStore::from_item_lists(lists);
+        let store = ShfParams::new(128, DynHasher::new(HasherKind::Jenkins, 7))
+            .fingerprint_store(&profiles);
+        let mut reference: Option<ClusterOutcome> = None;
+        for kernel in kernels::available() {
+            let sim = PinnedKernelJaccard { store: &store, kernel };
+            for threads in [1usize, 4] {
+                for prune in [false, true] {
+                    let r = Cluster { seed: 9, threads, prune, ..Cluster::default() }
+                        .build(&profiles, &sim, k);
+                    assert_graph_invariants(&r.graph, n, k);
+                    let edges: Vec<(u32, u32, u64)> = r
+                        .graph
+                        .edges()
+                        .map(|(u, v, s)| (u, v, s.to_bits()))
+                        .collect();
+                    let pairs = r.stats.similarity_evals + r.stats.pruned_evals;
+                    match &reference {
+                        None => reference = Some((edges, pairs)),
+                        Some((e0, p0)) => {
+                            prop_assert_eq!(
+                                &edges, e0,
+                                "kernel={} threads={} prune={}",
+                                kernel.name, threads, prune
+                            );
+                            prop_assert_eq!(pairs, *p0);
+                        }
+                    }
+                }
+            }
         }
     }
 }

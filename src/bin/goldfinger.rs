@@ -86,7 +86,7 @@ fn usage() -> &'static str {
                              --ratings FILE (bounded memory, bit-identical)\n\
                   --spill DIR   with --stream: write arena rows straight\n\
                                 into a sealed on-disk store under DIR\n\
-     knn:         --algo brute|hyrec|nndescent|lsh|kiff (default brute)\n\
+     knn:         --algo brute|hyrec|nndescent|lsh|kiff|cluster (default brute)\n\
                   --k K (default 30)  --goldfinger [--bits B]  --out FILE (GFG1)\n\
      build:       sharded out-of-core GoldFinger LSH build (spill-to-disk)\n\
                   --users N          synthetic population size (overrides --scale)\n\
@@ -220,7 +220,7 @@ fn dispatch_algo<S: Similarity>(
     k: usize,
     seed: u64,
 ) -> Result<KnnResult, String> {
-    let spec = builders::get(algo).ok_or_else(|| format!("unknown --algo {algo:?}"))?;
+    let spec = builders::get(algo).map_err(|e| format!("--algo: {e}"))?;
     let builder = spec.instantiate(&BuilderConfig { seed, threads: 1 });
     Ok(builder.build_erased(
         BuildInput::with_profiles(sim as &dyn Similarity, profiles),
